@@ -1,0 +1,27 @@
+# Convenience targets for the Gossiping-with-Latencies reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_PROFILE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done
+
+experiments:
+	$(PYTHON) -m repro run-experiment all
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one experiment from the registry (one iteration — the
+experiments are internally repeated over seed ladders), prints the
+reproduced table through the capture-disabled channel so it lands in the
+benchmark log, and saves it under ``benchmarks/results/``.
+
+Set ``REPRO_PROFILE=full`` for the larger parameter ladders.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def profile() -> str:
+    return os.environ.get("REPRO_PROFILE", "quick")
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys, profile):
+    """Run one registered experiment under pytest-benchmark and report it."""
+
+    def run(experiment_id: str):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment(experiment_id)
+        table = benchmark.pedantic(
+            experiment, args=(profile,), iterations=1, rounds=1
+        )
+        text = table.to_text()
+        with capsys.disabled():
+            print()
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        return table
+
+    return run

@@ -1,0 +1,11 @@
+"""E1 — Lemma 4: the singleton guessing game needs Ω(m) rounds."""
+
+
+def test_bench_e01_lemma4(run_experiment):
+    table = run_experiment("E1")
+    # The Ω(m) shape: rounds scale like m (log-log slope near 1) and the
+    # per-m cost never collapses toward zero.
+    sizes = table.column("m")
+    adaptive = table.column("adaptive_rounds")
+    assert adaptive[-1] > adaptive[0]
+    assert all(r / m > 0.05 for m, r in zip(sizes, adaptive))

@@ -1,0 +1,12 @@
+"""E2 — Lemma 5: Random_p targets — adaptive Θ(1/p) vs oblivious Θ(log(m)/p)."""
+
+
+def test_bench_e02_lemma5(run_experiment):
+    table = run_experiment("E2")
+    # The oblivious (push--pull-like) strategy pays strictly more than the
+    # adaptive one on every configuration — the log m gap.
+    ratios = table.column("oblivious/adaptive")
+    assert all(r > 1.0 for r in ratios)
+    # Adaptive cost tracks 1/p: rounds * p stays within a small band.
+    normalized = table.column("adaptive*p")
+    assert max(normalized) / min(normalized) < 6.0

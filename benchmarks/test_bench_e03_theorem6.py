@@ -1,0 +1,11 @@
+"""E3 — Theorem 6: Ω(Δ) rounds despite constant diameter and hop conductance."""
+
+
+def test_bench_e03_theorem6(run_experiment):
+    table = run_experiment("E3")
+    deltas = table.column("delta")
+    rounds = table.column("rounds_to_hit")
+    # Rounds grow with Δ...
+    assert rounds[-1] > 2 * rounds[0]
+    # ...and never exceed the trivial O(Δ) search cost by much.
+    assert all(r <= 3 * d + 10 for d, r in zip(deltas, rounds))

@@ -1,0 +1,13 @@
+"""E4 — Theorem 7: the G(Random_φ) network's structure and push--pull cost."""
+
+
+def test_bench_e04_theorem7(run_experiment):
+    table = run_experiment("E4")
+    # Measured phi_ell tracks the target phi within constants whenever the
+    # gadget is dense enough to concentrate (phi*n >= a few).
+    for row in table.rows:
+        if row["phi"] * row["n"] / 2 >= 6:
+            assert 0.2 <= row["measured_phi_ell"] / row["phi"] <= 2.0
+    # Push--pull time tracks log(n)/phi + ell within a constant band.
+    ratios = table.column("ratio")
+    assert all(0.2 <= r <= 8.0 for r in ratios)

@@ -1,0 +1,15 @@
+"""E5 — Theorem 8: the min(Δ + D, ℓ/φ) trade-off on the ring of gadgets."""
+
+
+def test_bench_e05_theorem8(run_experiment):
+    table = run_experiment("E5")
+    rounds = table.column("rounds")
+    envelopes = table.column("min_envelope")
+    # Measured time grows with ell in the pay regime then flattens: the
+    # last two measurements (search regime) differ by < 2x while the first
+    # two (pay regime) grow.
+    assert rounds[1] > rounds[0]
+    assert rounds[-1] < 2.5 * rounds[-3]
+    # The envelope tracks the measurement within a constant band.
+    ratios = [r / e for r, e in zip(rounds, envelopes)]
+    assert max(ratios) / min(ratios) < 5.0

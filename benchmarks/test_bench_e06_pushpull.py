@@ -1,0 +1,11 @@
+"""E6 — Theorem 12: push--pull completes within O((ℓ*/φ*)·log n)."""
+
+
+def test_bench_e06_pushpull_upper_bound(run_experiment):
+    table = run_experiment("E6")
+    # The upper bound is never violated by more than a constant: measured
+    # time stays below the predicted (ℓ*/φ*)·log n budget (with generous
+    # slack for the sweep approximation of φ*).
+    assert all(r <= 4.0 for r in table.column("measured/predicted"))
+    # And the predictor is informative: strong positive correlation.
+    assert "corr" in table.conclusion

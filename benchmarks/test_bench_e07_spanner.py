@@ -1,0 +1,13 @@
+"""E7 — Lemma 13 / Theorem 14: Baswana--Sen spanner size, degree, stretch."""
+
+
+def test_bench_e07_spanner(run_experiment):
+    table = run_experiment("E7")
+    assert all(table.column("stretch_ok"))
+    # O(n log n) edges: the normalized edge count stays bounded.
+    assert all(v < 4.0 for v in table.column("edges/(n·log n)"))
+    # Out-degree stays logarithmic-ish: bounded by 4 log2 n.
+    import math
+
+    for row in table.rows:
+        assert row["max_outdeg"] <= 4 * math.log2(row["n"])

@@ -1,0 +1,10 @@
+"""E8 — Lemma 17: EID(D) solves all-to-all dissemination in O(D·log³ n)."""
+
+
+def test_bench_e08_eid(run_experiment):
+    table = run_experiment("E8")
+    assert all(table.column("all_to_all_ok"))
+    # Completion stays within the D log^3 n budget (constant slack).
+    assert all(r <= 3.0 for r in table.column("rounds/budget"))
+    # And the budget is not absurdly loose: at least 5% used.
+    assert all(r >= 0.05 for r in table.column("rounds/budget"))

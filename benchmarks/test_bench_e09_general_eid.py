@@ -1,0 +1,11 @@
+"""E9 — Theorem 19 / Lemma 18: General EID with unknown diameter."""
+
+
+def test_bench_e09_general_eid(run_experiment):
+    table = run_experiment("E9")
+    for row in table.rows:
+        # Lemma 18: nobody terminates before dissemination completed.
+        assert row["complete_at"] is not None
+        assert row["detect_lag"] >= 0
+        # Guess-and-double overhead stays a small constant.
+        assert row["overhead"] <= 8.0

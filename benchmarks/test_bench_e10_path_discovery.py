@@ -1,0 +1,11 @@
+"""E10 — Appendix E: the T(k) schedule and Path Discovery."""
+
+
+def test_bench_e10_path_discovery(run_experiment):
+    table = run_experiment("E10")
+    assert all(table.column("T(k)_covers"))
+    # The ruler schedule beats the naive O(D² log² n) baseline, and the
+    # advantage grows with D.
+    speedups = table.column("speedup_vs_naive")
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] >= speedups[0]

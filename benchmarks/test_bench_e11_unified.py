@@ -1,0 +1,10 @@
+"""E11 — Theorem 20: the unified min() bound flips between regimes."""
+
+
+def test_bench_e11_unified(run_experiment):
+    table = run_experiment("E11")
+    assert all(table.column("analytic_matches"))
+    for row in table.rows:
+        # The composition pays exactly 2x its faster component.
+        winner_rounds = min(row["measured_pushpull"], row["measured_spanner"])
+        assert row["unified_rounds"] == 2 * winner_rounds

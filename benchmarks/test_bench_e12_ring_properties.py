@@ -1,0 +1,12 @@
+"""E12 — Lemmas 9-11 / Observation 23: Theorem 8 ring structural audit."""
+
+
+def test_bench_e12_ring_properties(run_experiment):
+    table = run_experiment("E12")
+    assert all(table.column("regular(3s-1)"))
+    assert all(table.column("ell*_is_ell"))
+    # phi_ell(C) within constants of alpha (rounding perturbs the exact
+    # equality of the paper's continuous parametrization).
+    assert all(0.3 <= v <= 3.0 for v in table.column("phi_cut/alpha"))
+    # Weighted diameter ~ k/2 layer hops.
+    assert all(1.0 <= v <= 4.0 for v in table.column("D/hops"))

@@ -1,0 +1,12 @@
+"""E13 — Appendix C / Figures 4-5: ℓ-DTG iteration and round scaling."""
+
+
+def test_bench_e13_dtg(run_experiment):
+    table = run_experiment("E13")
+    assert all(table.column("complete"))
+    # One DTG step is charged exactly ell rounds: scaling ratio near 3.
+    assert all(2.0 <= v <= 3.5 for v in table.column("ℓ-scaling"))
+    # Iterations grow (weakly) with n and stay O(log n).
+    iterations = table.column("iterations")
+    assert iterations[-1] >= iterations[0]
+    assert all(v <= 3.0 for v in table.column("iters/log n"))

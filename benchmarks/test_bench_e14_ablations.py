@@ -1,0 +1,17 @@
+"""E14 — ablations: pull, snapshot semantics, spanner k, RR budget."""
+
+
+def test_bench_e14_ablations(run_experiment):
+    table = run_experiment("E14")
+    rows = {row["ablation"]: row for row in table.rows}
+    push_only = next(v for k, v in rows.items() if "push-only" in k)
+    push_pull = next(v for k, v in rows.items() if "push-pull flood" in k)
+    # Footnote 2's separation: push-only pays ~n, push--pull O(1).
+    assert push_only["value"] >= 10 * push_pull["value"]
+    # Spanner stretch never exceeds its 2k-1 budget.
+    for key, row in rows.items():
+        if key.startswith("spanner k="):
+            assert row["value"] <= row["reference"]
+    # RR completes inside the Lemma 15 budget.
+    rr = rows["RR broadcast completion"]
+    assert rr["value"] <= rr["reference"]

@@ -1,0 +1,15 @@
+"""E15 — conclusion: fault tolerance of push--pull vs the spanner route."""
+
+
+def test_bench_e15_failures(run_experiment):
+    table = run_experiment("E15")
+    # Push--pull keeps full reachable-survivor coverage in every regime.
+    assert all(v == 1.0 for v in table.column("pushpull_coverage"))
+    # The spanner route has single points of failure: the adversarial
+    # spanner-cut crash drops its coverage below 1.
+    cut_rows = [r for r in table.rows if "spanner-cut" in r["failure"]]
+    assert cut_rows
+    assert all(r["spanner_coverage"] < 1.0 for r in cut_rows)
+    # Loss slows push--pull down but does not break it.
+    loss_rows = [r for r in table.rows if r["failure"].startswith("loss")]
+    assert loss_rows[-1]["pushpull_rounds"] >= loss_rows[0]["pushpull_rounds"]

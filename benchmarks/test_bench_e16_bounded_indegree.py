@@ -1,0 +1,16 @@
+"""E16 — conclusion: O(1) accepted connections per round (bounded in-degree)."""
+
+
+def test_bench_e16_bounded_indegree(run_experiment):
+    table = run_experiment("E16")
+    rows = {(r["cap"], r["graph"].split()[0]): r for r in table.rows}
+    n = int(table.rows[0]["graph"].split("=")[1])
+    star_unbounded = rows[("unbounded", "star")]["rounds"]
+    star_capped = rows[(1, "star")]["rounds"]
+    expander_unbounded = rows[("unbounded", "expander")]["rounds"]
+    expander_capped = rows[(1, "expander")]["rounds"]
+    # The star collapses to ~n rounds under cap=1...
+    assert star_capped >= 0.5 * n
+    assert star_capped > 3 * star_unbounded
+    # ...while the expander's slowdown is comparatively mild.
+    assert expander_capped < 3 * expander_unbounded

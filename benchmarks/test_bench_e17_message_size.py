@@ -1,0 +1,12 @@
+"""E17 — conclusion: message sizes (push--pull small, DTG ships rumor sets)."""
+
+
+def test_bench_e17_message_size(run_experiment):
+    table = run_experiment("E17")
+    # Push--pull one-to-all payloads are O(1) rumors at every n.
+    assert all(v <= 2 for v in table.column("pushpull_max_payload"))
+    # DTG payloads grow with n (whole rumor sets).
+    dtg_max = table.column("dtg_max_payload")
+    ns = table.column("n")
+    assert all(m >= 0.5 * n for m, n in zip(dtg_max, ns))
+    assert dtg_max[-1] > dtg_max[0]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Database replication across racks: protocol choice under latency skew.
+
+Scenario from the paper's introduction: distributed database replication.
+A write lands on one server and must reach every replica.  Inside a rack,
+links are fast (latency 1); between racks, links are slow.  We sweep the
+inter-rack latency and compare:
+
+* **push--pull** — oblivious to latencies; pays the weighted-conductance
+  price ``(ℓ*/φ*)·log n`` (Theorem 12);
+* **push-only flooding** — the strawman that cannot pull;
+* **EID** — exploits known latencies via the spanner route (Theorem 14).
+
+The interesting read-out is how each protocol's completion time scales as
+the WAN gets slower: push--pull scales with ``ℓ*`` (it keeps gossiping over
+whatever cut edges exist), while the flood wastes rounds on slow links.
+
+Run with: ``python examples/datacenter_replication.py``
+"""
+
+from repro import compute_bounds, generators, run_flooding, run_push_pull
+from repro.protocols.base import PhaseRunner
+from repro.protocols.eid import run_eid
+
+
+def replicate(num_racks: int, rack_size: int, wan_latency: int) -> dict:
+    graph = generators.two_tier_datacenter(
+        num_racks, rack_size, inter_rack_latency=wan_latency
+    )
+    bounds = compute_bounds(graph, conductance_method="sweep")
+
+    push_pull = run_push_pull(graph, source=0, seed=1)
+    flood = run_flooding(graph, source=0, push_only=True)
+
+    # EID solves all-to-all; measure when the write (node 0's rumor) has
+    # reached everyone.
+    everyone = set(graph.nodes())
+    runner = PhaseRunner(
+        graph, watch=lambda s: all(s.knows(v, 0) for v in everyone)
+    )
+    run_eid(graph, bounds.diameter, seed=1, runner=runner)
+    eid_rounds = runner.first_complete_round
+
+    return {
+        "wan_latency": wan_latency,
+        "ell_star": bounds.conductance.critical_latency,
+        "phi_star": bounds.conductance.phi_star,
+        "push_pull": push_pull.rounds,
+        "push_only_flood": flood.rounds,
+        "eid_complete": eid_rounds,
+    }
+
+
+def main() -> None:
+    print("replicating one write to 8 racks x 6 servers, sweeping WAN latency")
+    header = (
+        f"{'WAN lat':>8} {'ell*':>5} {'phi*':>7} "
+        f"{'push-pull':>10} {'push-only':>10} {'EID':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for wan_latency in (2, 8, 32, 128):
+        row = replicate(num_racks=8, rack_size=6, wan_latency=wan_latency)
+        print(
+            f"{row['wan_latency']:>8} {row['ell_star']:>5} "
+            f"{row['phi_star']:>7.3f} {row['push_pull']:>10} "
+            f"{row['push_only_flood']:>10} {row['eid_complete']:>6}"
+        )
+    print()
+    print(
+        "All three scale linearly in the WAN latency (every route crosses\n"
+        "the core), matching the ℓ* term of Theorem 12. Push--pull is the\n"
+        "cheapest despite knowing nothing; the push-only flood pays extra\n"
+        "rounds before the leaders are reached; EID is correct and self-\n"
+        "terminating but carries the D·log³n constants the paper predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Failure drill: how robust is each dissemination strategy?
+
+The paper's conclusion conjectures that "push--pull is relatively robust to
+failures, while our other approaches are not."  This drill makes the
+comparison concrete on a ring-of-cliques network:
+
+1. **message loss** — drop every exchange with probability p: both
+   protocols retry and complete, push--pull degrading least;
+2. **random crashes** — kill random nodes: both survive (the spanner has
+   Ω(n log n) edges of redundancy);
+3. **the adversarial crash** — kill exactly the spanner neighborhood of
+   one victim node: push--pull still reaches it through the dense graph,
+   the spanner pipeline cannot — a single point of failure the paper's
+   robustness remark is really about.
+
+Run with: ``python examples/failure_drill.py``
+"""
+
+import random
+
+from repro.graphs import generators
+from repro.protocols.robustness import (
+    run_push_pull_under_failures,
+    run_spanner_pipeline_under_failures,
+    spanner_cut_crashes,
+)
+from repro.sim.failures import CrashSchedule, MessageLoss
+
+
+def report(label: str, push_pull, spanner) -> None:
+    print(
+        f"{label:<28} push-pull: {push_pull.rounds:>5} rounds, "
+        f"coverage {push_pull.coverage:.2f} | spanner+RR: "
+        f"{spanner.rounds:>5} rounds, coverage {spanner.coverage:.2f}"
+    )
+
+
+def main() -> None:
+    graph = generators.ring_of_cliques(
+        5, 8, inter_latency=4, rng=random.Random(0)
+    )
+    source = graph.nodes()[0]
+    print(f"network: {graph.num_nodes} nodes in 5 cliques, WAN latency 4")
+    print()
+
+    print("drill 1 — message loss")
+    for p in (0.0, 0.3, 0.6):
+        push_pull = run_push_pull_under_failures(
+            graph, MessageLoss(p, seed=1), source=source, seed=1
+        )
+        spanner = run_spanner_pipeline_under_failures(
+            graph, MessageLoss(p, seed=2), source=source, seed=1
+        )
+        report(f"  loss p={p}", push_pull, spanner)
+    print()
+
+    print("drill 2 — random crashes")
+    for count in (3, 6):
+        crashes = CrashSchedule.random_crashes(
+            graph.nodes(), count, by_round=3, rng=random.Random(4),
+            protect=[source],
+        )
+        push_pull = run_push_pull_under_failures(
+            graph, crashes, source=source, seed=2, max_rounds=5000
+        )
+        spanner = run_spanner_pipeline_under_failures(
+            graph, crashes, source=source, seed=2
+        )
+        report(f"  crash {count} random nodes", push_pull, spanner)
+    print()
+
+    print("drill 3 — the adversarial crash (sever one spanner neighborhood)")
+    crashes, victim, crash_count = spanner_cut_crashes(graph, seed=3, source=source)
+    push_pull = run_push_pull_under_failures(
+        graph, crashes, source=source, seed=3, max_rounds=5000
+    )
+    spanner = run_spanner_pipeline_under_failures(
+        graph, crashes, source=source, seed=3
+    )
+    report(f"  cut node {victim} ({crash_count} crashes)", push_pull, spanner)
+    print()
+    print(
+        "Push--pull keeps covering every reachable survivor in all three\n"
+        "drills; the spanner pipeline survives loss and random crashes but\n"
+        "fails the targeted one — exactly the paper's robustness remark."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Print text reproductions of all five figures in the paper.
+
+* Figure 1 — the guessing-game gadgets ``G(P)`` and ``Gsym(P)``;
+* Figure 2 — the Theorem 8 ring of gadgets;
+* Figure 3 — the RR-broadcast delay decomposition of Lemma 15;
+* Figures 4-5 — the binomial i-trees of the DTG analysis, with the
+  connection-round edge labels.
+
+Run with: ``python examples/paper_figures.py``
+"""
+
+import random
+
+from repro.experiments.figures import (
+    ITree,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+)
+from repro.graphs.gadgets import (
+    guessing_gadget,
+    random_target,
+    theorem8_ring,
+)
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    print(render_figure1(guessing_gadget(5, random_target(5, 0.15, rng))))
+    print()
+    print(
+        render_figure1(
+            guessing_gadget(5, random_target(5, 0.15, rng), symmetric=True)
+        )
+    )
+    print()
+
+    ring = theorem8_ring(4, 6, slow_latency=12, rng=rng)
+    print(render_figure2(ring))
+    print()
+
+    print(render_figure3(hop_latencies=[3, 1, 4, 2], max_out_degree=5))
+    print()
+
+    print(render_figure4(3))
+    print()
+    print("Figure 5 — a 5-tree with connection-round edge labels")
+    tree = ITree.build(5)
+    print(f"({tree.size} nodes, depth {tree.depth})")
+    print(tree.render())
+
+
+if __name__ == "__main__":
+    main()

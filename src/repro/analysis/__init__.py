@@ -1,0 +1,26 @@
+"""Analysis helpers: statistics, scaling fits, and analytic bound calculators."""
+
+from repro.analysis.bounds import GraphBounds, compute_bounds
+from repro.analysis.curves import (
+    growth_phases,
+    max_growth_factor,
+    sparkline,
+    time_to_fraction,
+)
+from repro.analysis.scaling import correlation, linear_fit, loglog_slope
+from repro.analysis.stats import Summary, repeat, summarize
+
+__all__ = [
+    "GraphBounds",
+    "Summary",
+    "compute_bounds",
+    "correlation",
+    "growth_phases",
+    "linear_fit",
+    "loglog_slope",
+    "max_growth_factor",
+    "repeat",
+    "sparkline",
+    "summarize",
+    "time_to_fraction",
+]

@@ -1,0 +1,98 @@
+"""Analytic bound calculators: the paper's predicted running times.
+
+For a concrete graph these compute the quantities appearing in the paper's
+theorem statements so experiments can compare measured times against them:
+
+* ``D`` — weighted diameter, ``Δ`` — max degree;
+* ``ℓ*/φ*`` — the weighted-conductance term (Theorem 12);
+* the lower-bound envelope ``min(D + Δ, ℓ*/φ*)`` (Theorems 6-8);
+* the upper-bound envelopes of Theorem 20.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Optional
+
+from repro.conductance.weighted import WeightedConductance, weighted_conductance
+from repro.graphs.latency_graph import LatencyGraph
+
+__all__ = ["GraphBounds", "compute_bounds"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphBounds:
+    """Every quantity from the paper's bound statements, for one graph.
+
+    Attributes
+    ----------
+    n, diameter, max_degree:
+        Basic graph parameters (``diameter`` is latency-weighted).
+    conductance:
+        The weighted-conductance computation (``φ*``, ``ℓ*``, profile).
+    """
+
+    n: int
+    diameter: int
+    max_degree: int
+    conductance: WeightedConductance
+
+    @property
+    def log_n(self) -> float:
+        """``log₂ n`` (at least 1)."""
+        return max(1.0, math.log2(self.n))
+
+    @property
+    def connectivity_term(self) -> float:
+        """``ℓ*/φ*`` — the weighted-conductance dissemination term."""
+        return self.conductance.dissemination_bound
+
+    @property
+    def lower_bound_envelope(self) -> float:
+        """``min(D + Δ, ℓ*/φ*)`` — the paper's lower bound (up to constants)."""
+        return min(self.diameter + self.max_degree, self.connectivity_term)
+
+    @property
+    def push_pull_bound(self) -> float:
+        """``(ℓ*/φ*)·log n`` — Theorem 12's push--pull upper bound."""
+        return self.connectivity_term * self.log_n
+
+    @property
+    def known_latency_bound(self) -> float:
+        """``min(D log³ n, (ℓ*/φ*) log n)`` — Theorem 20, known latencies."""
+        return min(self.diameter * self.log_n**3, self.push_pull_bound)
+
+    @property
+    def unknown_latency_bound(self) -> float:
+        """``min((D + Δ) log³ n, (ℓ*/φ*) log n)`` — Theorem 20, unknown."""
+        return min(
+            (self.diameter + self.max_degree) * self.log_n**3, self.push_pull_bound
+        )
+
+
+def compute_bounds(
+    graph: LatencyGraph,
+    conductance_method: str = "auto",
+    diameter_samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> GraphBounds:
+    """Compute :class:`GraphBounds` for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        A connected latency graph.
+    conductance_method:
+        Passed to :func:`~repro.conductance.weighted.weighted_conductance`.
+    diameter_samples:
+        If given, the diameter is estimated from this many Dijkstra sources
+        (needed for large graphs); ``rng`` must then be provided.
+    """
+    return GraphBounds(
+        n=graph.num_nodes,
+        diameter=graph.weighted_diameter(sample_sources=diameter_samples, rng=rng),
+        max_degree=graph.max_degree(),
+        conductance=weighted_conductance(graph, method=conductance_method, rng=rng),
+    )

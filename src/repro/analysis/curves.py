@@ -1,0 +1,100 @@
+"""Informed-curve analysis: how a rumor's reach grows round by round.
+
+Push--pull's classical behaviour has three phases — slow start, exponential
+growth while the informed set is small, and a coupon-collector tail — and
+the conductance bounds are really statements about the growth phase.  These
+helpers turn a recorded ``informed_history`` (see
+:func:`repro.protocols.push_pull.run_push_pull` with ``track_progress``)
+into the quantities experiments and examples report:
+
+* times to reach fixed fractions of the network,
+* the maximum per-round growth factor (the "spread rate"),
+* a terminal-friendly sparkline for quick inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "time_to_fraction",
+    "growth_phases",
+    "max_growth_factor",
+    "sparkline",
+]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def _validate(history: Sequence[int], total: int) -> None:
+    if not history:
+        raise ExperimentError("empty informed history")
+    if total < 1:
+        raise ExperimentError(f"total must be >= 1, got {total}")
+    if any(b < a for a, b in zip(history, history[1:])):
+        raise ExperimentError("informed history must be non-decreasing")
+    if history[-1] > total:
+        raise ExperimentError(
+            f"history exceeds the network size: {history[-1]} > {total}"
+        )
+
+
+def time_to_fraction(
+    history: Sequence[int], total: int, fraction: float
+) -> Optional[int]:
+    """First round at which at least ``fraction`` of ``total`` nodes know.
+
+    Returns ``None`` if the history never reaches the fraction.
+    """
+    _validate(history, total)
+    if not 0.0 < fraction <= 1.0:
+        raise ExperimentError(f"fraction must be in (0, 1], got {fraction}")
+    threshold = fraction * total
+    for round_number, informed in enumerate(history):
+        if informed >= threshold:
+            return round_number
+    return None
+
+
+def growth_phases(history: Sequence[int], total: int) -> dict[str, Optional[int]]:
+    """Round indices for the classic 10% / 50% / 90% / 100% milestones."""
+    _validate(history, total)
+    return {
+        "t10": time_to_fraction(history, total, 0.10),
+        "t50": time_to_fraction(history, total, 0.50),
+        "t90": time_to_fraction(history, total, 0.90),
+        "t100": time_to_fraction(history, total, 1.0),
+    }
+
+
+def max_growth_factor(history: Sequence[int], total: int) -> float:
+    """The largest per-round multiplicative growth of the informed set.
+
+    For well-connected graphs this approaches 2 (every informed node
+    recruits another); low conductance caps it near 1.
+    """
+    _validate(history, total)
+    best = 1.0
+    for before, after in zip(history, history[1:]):
+        if before > 0:
+            best = max(best, after / before)
+    return best
+
+
+def sparkline(history: Sequence[int], total: int, width: int = 40) -> str:
+    """A one-line unicode sparkline of the informed fraction over time."""
+    _validate(history, total)
+    if width < 1:
+        raise ExperimentError(f"width must be >= 1, got {width}")
+    if len(history) <= width:
+        samples = list(history)
+    else:
+        step = (len(history) - 1) / (width - 1) if width > 1 else 0
+        samples = [history[round(i * step)] for i in range(width)]
+    chars = []
+    for value in samples:
+        level = min(len(_BARS) - 1, int(value / total * (len(_BARS) - 1) + 1e-9))
+        chars.append(_BARS[level])
+    return "".join(chars)

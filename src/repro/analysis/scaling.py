@@ -1,0 +1,62 @@
+"""Scaling-law fits for validating asymptotic bounds empirically.
+
+The paper's results are asymptotic (``Ω``/``O``); our experiments validate
+their *shape* on finite size ladders.  Two fits cover every case:
+
+* :func:`loglog_slope` — ordinary least squares on ``log y`` vs ``log x``;
+  a bound of the form ``y = Θ(x^α)`` shows up as slope ``≈ α``.
+* :func:`correlation` — Pearson correlation between a measured series and a
+  predicted series (e.g. measured time vs ``(ℓ*/φ*)·log n``); a bound that
+  tracks the predictor gives a correlation near 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["loglog_slope", "linear_fit", "correlation"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares ``(slope, intercept)`` of ``ys`` against ``xs``."""
+    if len(xs) != len(ys):
+        raise ExperimentError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ExperimentError("need at least two points to fit a line")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ExperimentError("degenerate fit: all x values identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The exponent ``α`` in the best power-law fit ``y ≈ c · x^α``."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ExperimentError("log-log fit requires strictly positive data")
+    slope, _ = linear_fit([math.log(x) for x in xs], [math.log(y) for y in ys])
+    return slope
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two series."""
+    if len(xs) != len(ys):
+        raise ExperimentError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ExperimentError("need at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        raise ExperimentError("degenerate correlation: a series is constant")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)

@@ -1,0 +1,125 @@
+"""Repetition statistics for randomized runs.
+
+Every experiment in this library repeats a randomized measurement over a
+seed ladder and summarizes it.  :class:`Summary` keeps the usual robust
+statistics; :func:`repeat` runs a measurement callable over seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+from typing import Callable, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["Summary", "summarize", "repeat", "bootstrap_ci"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a repeated measurement.
+
+    Attributes
+    ----------
+    values:
+        The raw per-seed observations.
+    mean, median, stdev, minimum, maximum:
+        The obvious statistics (``stdev`` is 0 for a single observation).
+    ci95_half_width:
+        Half-width of the normal-approximation 95% confidence interval of
+        the mean.
+    """
+
+    values: tuple[float, ...]
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95_half_width: float
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci95_half_width:.1f} (median {self.median:.1f}, n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from raw observations."""
+    if not values:
+        raise ExperimentError("cannot summarize zero observations")
+    data = tuple(float(v) for v in values)
+    stdev = statistics.stdev(data) if len(data) > 1 else 0.0
+    return Summary(
+        values=data,
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        stdev=stdev,
+        minimum=min(data),
+        maximum=max(data),
+        ci95_half_width=1.96 * stdev / math.sqrt(len(data)) if len(data) > 1 else 0.0,
+    )
+
+
+def repeat(measure: Callable[[int], float], seeds: Sequence[int]) -> Summary:
+    """Run ``measure(seed)`` for each seed and summarize the results."""
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    return summarize([measure(seed) for seed in seeds])
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = statistics.fmean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for any statistic.
+
+    The normal approximation in :class:`Summary` is fine for means of many
+    repetitions; scaling-fit slopes and medians of few, skewed round counts
+    want a distribution-free interval.
+
+    Parameters
+    ----------
+    values:
+        The observations (at least 2).
+    statistic:
+        Callable mapping a sample to a number (default: mean).
+    confidence:
+        Interval mass, e.g. ``0.95``.
+    resamples:
+        Bootstrap resamples.
+    seed:
+        Resampling randomness.
+
+    Returns
+    -------
+    (low, high):
+        The percentile interval.
+    """
+    import random as _random
+
+    if len(values) < 2:
+        raise ExperimentError("bootstrap needs at least 2 observations")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise ExperimentError(f"resamples must be >= 10, got {resamples}")
+    rng = _random.Random(seed)
+    data = list(values)
+    n = len(data)
+    replicates = sorted(
+        statistic([data[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = int(tail * (resamples - 1))
+    high_index = int((1.0 - tail) * (resamples - 1))
+    return replicates[low_index], replicates[high_index]

@@ -1,0 +1,373 @@
+"""Command-line interface: build networks, run protocols, run experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-experiments
+    python -m repro run-experiment E5 --profile quick
+    python -m repro analyze --topology ring-of-cliques --cliques 6 \\
+        --clique-size 8 --inter-latency 12
+    python -m repro simulate --protocol push-pull --topology clique --n 32
+    python -m repro game --m 32 --predicate random --p 0.2 --strategy oblivious
+
+Every command is a thin shim over the library API; the CLI exists so the
+reproduction can be poked at without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.bounds import compute_bounds
+from repro.errors import ReproError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.graphs.latency_models import bimodal_latency, constant_latency, uniform_latency
+
+__all__ = ["main", "build_topology"]
+
+
+def build_topology(args: argparse.Namespace) -> LatencyGraph:
+    """Build (or load) the graph described by the shared topology arguments."""
+    if getattr(args, "load_graph", None):
+        from repro.graphs import io as graph_io
+
+        path = args.load_graph
+        if str(path).endswith(".json"):
+            graph, _metadata = graph_io.load_json(path)
+        else:
+            graph = graph_io.load_edge_list(path)
+        return graph
+    rng = random.Random(args.seed)
+    latency_model = None
+    if args.latency_range is not None:
+        low, high = args.latency_range
+        latency_model = uniform_latency(low, high)
+    elif args.latency is not None:
+        latency_model = constant_latency(args.latency)
+    elif args.bimodal is not None:
+        fast, slow, p_fast = args.bimodal
+        latency_model = bimodal_latency(int(fast), int(slow), float(p_fast))
+
+    name = args.topology
+    if name == "clique":
+        return generators.clique(args.n, latency_model, rng)
+    if name == "star":
+        return generators.star(args.n, latency_model, rng)
+    if name == "path":
+        return generators.path(args.n, latency_model, rng)
+    if name == "cycle":
+        return generators.cycle(args.n, latency_model, rng)
+    if name == "grid":
+        return generators.grid(args.rows, args.cols, latency_model, rng)
+    if name == "torus":
+        return generators.torus(args.rows, args.cols, latency_model, rng)
+    if name == "hypercube":
+        return generators.hypercube(args.dimension, latency_model, rng)
+    if name == "random-regular":
+        return generators.random_regular(args.n, args.degree, latency_model, rng)
+    if name == "erdos-renyi":
+        return generators.erdos_renyi(args.n, args.p, latency_model, rng)
+    if name == "watts-strogatz":
+        return generators.watts_strogatz(
+            args.n, args.degree, args.p, latency_model, rng
+        )
+    if name == "barabasi-albert":
+        return generators.barabasi_albert(
+            args.n, args.attachments, latency_model, rng
+        )
+    if name == "geometric":
+        return generators.random_geometric(
+            args.n, radius=args.radius, latency_scale=args.latency_scale, rng=rng
+        )
+    if name == "ring-of-cliques":
+        return generators.ring_of_cliques(
+            args.cliques,
+            args.clique_size,
+            inter_latency=args.inter_latency,
+            links_per_pair=args.links_per_pair,
+            rng=rng,
+        )
+    if name == "datacenter":
+        return generators.two_tier_datacenter(
+            args.racks, args.rack_size, inter_rack_latency=args.inter_latency
+        )
+    if name == "dumbbell":
+        return generators.dumbbell(
+            args.clique_size, bridge_length=args.bridge_length,
+            bridge_latency=args.latency or 1,
+        )
+    raise ReproError(f"unknown topology {name!r}")
+
+
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        default="ring-of-cliques",
+        choices=[
+            "clique", "star", "path", "cycle", "grid", "torus", "hypercube",
+            "random-regular", "erdos-renyi", "geometric", "watts-strogatz",
+            "barabasi-albert", "ring-of-cliques", "datacenter", "dumbbell",
+        ],
+    )
+    parser.add_argument("--n", type=int, default=32, help="node count")
+    parser.add_argument("--attachments", type=int, default=2)
+    parser.add_argument("--rows", type=int, default=5)
+    parser.add_argument("--cols", type=int, default=5)
+    parser.add_argument("--dimension", type=int, default=4)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--p", type=float, default=0.1, help="edge probability")
+    parser.add_argument("--radius", type=float, default=0.3)
+    parser.add_argument("--latency-scale", type=float, default=10.0)
+    parser.add_argument("--cliques", type=int, default=6)
+    parser.add_argument("--clique-size", type=int, default=8)
+    parser.add_argument("--inter-latency", type=int, default=10)
+    parser.add_argument("--links-per-pair", type=int, default=1)
+    parser.add_argument("--racks", type=int, default=6)
+    parser.add_argument("--rack-size", type=int, default=6)
+    parser.add_argument("--bridge-length", type=int, default=1)
+    parser.add_argument("--latency", type=int, default=None, help="constant latency")
+    parser.add_argument(
+        "--latency-range", type=int, nargs=2, metavar=("LOW", "HIGH"), default=None
+    )
+    parser.add_argument(
+        "--bimodal", type=float, nargs=3, metavar=("FAST", "SLOW", "P_FAST"),
+        default=None,
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--load-graph", default=None, metavar="PATH",
+        help="load the graph from a .json or edge-list file instead of generating",
+    )
+    parser.add_argument(
+        "--save-graph", default=None, metavar="PATH",
+        help="save the (generated or loaded) graph to a .json or edge-list file",
+    )
+
+
+def _maybe_save(graph: LatencyGraph, args: argparse.Namespace) -> None:
+    if getattr(args, "save_graph", None):
+        from repro.graphs import io as graph_io
+
+        path = args.save_graph
+        if str(path).endswith(".json"):
+            graph_io.save_json(graph, path, metadata={"source": "repro-cli"})
+        else:
+            graph_io.save_edge_list(graph, path)
+        print(f"saved graph to {path}")
+
+
+def _cmd_list_experiments(_args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments
+
+    for experiment_id, fn in sorted(
+        all_experiments().items(), key=lambda kv: (len(kv[0]), kv[0])
+    ):
+        doc = (fn.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{experiment_id:>4}  {summary}")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments, get_experiment
+
+    if args.experiment_id == "all":
+        for experiment_id in sorted(
+            all_experiments(), key=lambda eid: (len(eid), eid)
+        ):
+            print(get_experiment(experiment_id)(args.profile))
+            print()
+        return 0
+    table = get_experiment(args.experiment_id)(args.profile)
+    print(table)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    graph = build_topology(args)
+    _maybe_save(graph, args)
+    bounds = compute_bounds(graph, conductance_method=args.method)
+    wc = bounds.conductance
+    print(f"nodes                 : {bounds.n}")
+    print(f"edges                 : {graph.num_edges}")
+    print(f"weighted diameter D   : {bounds.diameter}")
+    print(f"max degree Δ          : {bounds.max_degree}")
+    print(f"distinct latencies    : {graph.distinct_latencies()}")
+    print(f"conductance method    : {wc.method}")
+    print(f"profile φ_ℓ           : " + ", ".join(
+        f"φ_{ell}={phi:.4f}" for ell, phi in sorted(wc.profile.items())
+    ))
+    print(f"weighted conductance  : φ* = {wc.phi_star:.4f} at ℓ* = {wc.critical_latency}")
+    print(f"ℓ*/φ*                 : {wc.dissemination_bound:.1f}")
+    print(f"lower-bound envelope  : min(D+Δ, ℓ*/φ*) = {bounds.lower_bound_envelope:.1f}")
+    print(f"push--pull budget     : (ℓ*/φ*)·log n = {bounds.push_pull_bound:.1f}")
+    print(f"known-latency budget  : {bounds.known_latency_bound:.1f}")
+    print(f"unknown-latency budget: {bounds.unknown_latency_bound:.1f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.protocols import (
+        run_flooding,
+        run_general_eid,
+        run_general_eid_unknown_latencies,
+        run_path_discovery,
+        run_push_pull,
+        run_unified,
+    )
+
+    graph = build_topology(args)
+    _maybe_save(graph, args)
+    protocol = args.protocol
+    if protocol == "push-pull":
+        result = run_push_pull(
+            graph, mode=args.mode, seed=args.seed, track_progress=args.curve
+        )
+        print(result)
+        if args.curve and result.informed_history:
+            from repro.analysis.curves import growth_phases, sparkline
+
+            history = result.informed_history
+            print("informed:", sparkline(history, graph.num_nodes))
+            print("phases  :", growth_phases(history, graph.num_nodes))
+    elif protocol == "flooding":
+        print(run_flooding(graph, push_only=args.push_only))
+    elif protocol == "general-eid":
+        report = run_general_eid(graph, seed=args.seed)
+        print(
+            f"general-eid: complete at {report.first_complete_round}, "
+            f"terminated at {report.rounds} "
+            f"(k={report.final_estimate}, {report.exchanges} exchanges)"
+        )
+    elif protocol == "eid-unknown-latencies":
+        report = run_general_eid_unknown_latencies(graph, seed=args.seed)
+        print(
+            f"eid-unknown-latencies: complete at {report.first_complete_round}, "
+            f"terminated at {report.rounds} (k={report.final_estimate})"
+        )
+    elif protocol == "path-discovery":
+        report = run_path_discovery(graph)
+        print(
+            f"path-discovery: complete at {report.first_complete_round}, "
+            f"terminated at {report.rounds} (k={report.final_estimate})"
+        )
+    elif protocol == "unified":
+        report = run_unified(graph, latencies_known=not args.unknown_latencies,
+                             seed=args.seed)
+        print(
+            f"unified: {report.rounds} rounds, winner {report.winner} "
+            f"(push-pull {report.push_pull_rounds}, spanner {report.spanner_rounds})"
+        )
+    else:
+        raise ReproError(f"unknown protocol {protocol!r}")
+    return 0
+
+
+def _cmd_game(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import summarize
+    from repro.lowerbounds.game import GuessingGame
+    from repro.lowerbounds.predicates import random_predicate, singleton_predicate
+    from repro.lowerbounds.strategies import (
+        fresh_pair_strategy,
+        play_game,
+        random_guessing_strategy,
+        systematic_sweep_strategy,
+    )
+
+    predicate = (
+        singleton_predicate()
+        if args.predicate == "singleton"
+        else random_predicate(args.p)
+    )
+    strategy = {
+        "adaptive": fresh_pair_strategy,
+        "oblivious": random_guessing_strategy,
+        "sweep": systematic_sweep_strategy,
+    }[args.strategy]
+    rounds = []
+    for seed in range(args.seeds):
+        rng = random.Random(seed)
+        game = GuessingGame(args.m, predicate(args.m, rng))
+        rounds.append(play_game(game, strategy, rng))
+    summary = summarize(rounds)
+    print(
+        f"Guessing(2·{args.m}, {args.predicate}"
+        + (f", p={args.p}" if args.predicate == "random" else "")
+        + f") with {args.strategy}: {summary}"
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gossiping with Latencies — reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list-experiments", help="list the experiment registry"
+    ).set_defaults(handler=_cmd_list_experiments)
+
+    run_exp = commands.add_parser(
+        "run-experiment", help="run one experiment (or 'all')"
+    )
+    run_exp.add_argument("experiment_id")
+    run_exp.add_argument("--profile", default="quick", choices=["quick", "full"])
+    run_exp.set_defaults(handler=_cmd_run_experiment)
+
+    analyze = commands.add_parser(
+        "analyze", help="compute the paper's parameters for a topology"
+    )
+    _add_topology_arguments(analyze)
+    analyze.add_argument("--method", default="auto", choices=["auto", "exact", "sweep"])
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    simulate = commands.add_parser("simulate", help="run one protocol")
+    _add_topology_arguments(simulate)
+    simulate.add_argument(
+        "--protocol",
+        default="push-pull",
+        choices=[
+            "push-pull", "flooding", "general-eid",
+            "eid-unknown-latencies", "path-discovery", "unified",
+        ],
+    )
+    simulate.add_argument(
+        "--mode", default="broadcast", choices=["broadcast", "all_to_all", "local"]
+    )
+    simulate.add_argument("--push-only", action="store_true")
+    simulate.add_argument("--unknown-latencies", action="store_true")
+    simulate.add_argument("--curve", action="store_true",
+                          help="print the informed-node sparkline")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    game = commands.add_parser("game", help="play the guessing game")
+    game.add_argument("--m", type=int, default=32)
+    game.add_argument("--predicate", default="singleton", choices=["singleton", "random"])
+    game.add_argument("--p", type=float, default=0.2)
+    game.add_argument(
+        "--strategy", default="adaptive", choices=["adaptive", "oblivious", "sweep"]
+    )
+    game.add_argument("--seeds", type=int, default=10)
+    game.set_defaults(handler=_cmd_game)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

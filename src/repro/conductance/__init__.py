@@ -1,0 +1,26 @@
+"""Weighted conductance machinery (Definitions 1-2 and Eq. 3 of the paper)."""
+
+from repro.conductance.edge_induced import StronglyEdgeInducedGraph
+from repro.conductance.exact import (
+    DEFAULT_EXACT_LIMIT,
+    cut_conductance,
+    exact_conductance_profile,
+)
+from repro.conductance.sweep import sweep_conductance, sweep_conductance_profile
+from repro.conductance.weighted import (
+    WeightedConductance,
+    conductance_profile,
+    weighted_conductance,
+)
+
+__all__ = [
+    "DEFAULT_EXACT_LIMIT",
+    "StronglyEdgeInducedGraph",
+    "WeightedConductance",
+    "conductance_profile",
+    "cut_conductance",
+    "exact_conductance_profile",
+    "sweep_conductance",
+    "sweep_conductance_profile",
+    "weighted_conductance",
+]

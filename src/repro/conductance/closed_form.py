@@ -1,0 +1,125 @@
+"""Closed-form conductance values for the library's canonical topologies.
+
+For the graph families with known extremal cuts, the weight-ℓ conductance
+has a short closed form; these serve as independent ground truth for the
+exact enumerator and the sweep approximation (the cross-checks live in the
+test suite), and let experiments use exact ``φ*`` values on instances far
+beyond the enumeration limit.
+
+All formulas assume the *generator defaults* of :mod:`repro.graphs`
+(e.g. a clique has all ``n(n-1)/2`` edges; a dumbbell has two equal
+cliques and a unit bridge path).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConductanceError
+
+__all__ = [
+    "clique_conductance",
+    "star_conductance",
+    "path_conductance",
+    "cycle_conductance",
+    "dumbbell_conductance",
+    "ring_of_cliques_conductance",
+    "theorem8_ring_conductance",
+]
+
+
+def clique_conductance(n: int) -> float:
+    """``φ(K_n)``: the half split minimizes — ``⌈n/2⌉·⌊n/2⌋ / (⌊n/2⌋·(n-1))``.
+
+    For unit latencies this is also ``φ*`` with ``ℓ* = 1``.
+    """
+    _check(n, 2)
+    small = n // 2
+    large = n - small
+    return small * large / (small * (n - 1))
+
+
+def star_conductance(n: int) -> float:
+    """``φ(S_n)`` (center + ``n-1`` leaves): any leaf set ``U`` has φ = 1.
+
+    Every cut either isolates leaves (crossing = |U| = Vol(U)) or separates
+    the center with ``k`` leaves from the rest (crossing = n-1-k, smaller
+    volume side also n-1-k), so the conductance is exactly 1.
+    """
+    _check(n, 2)
+    return 1.0
+
+
+def path_conductance(n: int) -> float:
+    """``φ(P_n)``: the middle cut — ``1 / (2·⌊n/2⌋ - 1)``.
+
+    Splitting at the midpoint gives one crossing edge over the smaller
+    volume ``2·⌊n/2⌋ - 1`` (the half with ⌊n/2⌋ nodes has that many edge
+    endpoints).
+    """
+    _check(n, 2)
+    return 1.0 / (2 * (n // 2) - 1)
+
+
+def cycle_conductance(n: int) -> float:
+    """``φ(C_n)``: a half arc — ``2 / (2·⌊n/2⌋) = 1/⌊n/2⌋``."""
+    _check(n, 3)
+    return 2.0 / (2 * (n // 2))
+
+
+def dumbbell_conductance(clique_size: int, bridge_length: int = 1) -> float:
+    """``φ`` of two ``s``-cliques joined by a ``bridge_length``-edge path.
+
+    The extremal cut slices the bridge at its midpoint: one crossing edge
+    over the smaller side's volume ``s(s-1) + 1 + 2·⌊(bridge_length-1)/2⌋``
+    (the clique's internal endpoints, its boundary node's bridge endpoint,
+    and two endpoints per bridge node kept on this side).
+    """
+    _check(clique_size, 2)
+    if bridge_length < 1:
+        raise ConductanceError(f"bridge_length must be >= 1, got {bridge_length}")
+    s = clique_size
+    return 1.0 / (s * (s - 1) + 1 + 2 * ((bridge_length - 1) // 2))
+
+
+def ring_of_cliques_conductance(
+    num_cliques: int, clique_size: int, links_per_pair: int = 1
+) -> float:
+    """``φ_ℓmax`` of a ring of ``k`` ``s``-cliques with ``c`` links per pair.
+
+    The extremal cut takes ``⌊k/2⌋`` consecutive cliques: ``2c`` crossing
+    links over a volume of ``⌊k/2⌋·(s(s-1) + 2c)`` edge endpoints (each
+    clique contributes its internal endpoints plus its share of inter-
+    clique endpoints; boundary asymmetries shift this by O(c), which we
+    ignore — the formula is exact when the cut's cliques carry exactly
+    ``2c`` external endpoints each, i.e. for the generator's layout).
+    """
+    if num_cliques < 3:
+        raise ConductanceError(f"need >= 3 cliques, got {num_cliques}")
+    _check(clique_size, 2)
+    if links_per_pair < 1:
+        raise ConductanceError(f"links_per_pair must be >= 1, got {links_per_pair}")
+    k, s, c = num_cliques, clique_size, links_per_pair
+    half = k // 2
+    volume = half * (s * (s - 1) + 2 * c)
+    return 2 * c / volume
+
+
+def theorem8_ring_conductance(layer_size: int, num_layers: int) -> float:
+    """``φ_ℓ`` of the Theorem 8 ring: the Lemma 9 half cut.
+
+    With ``s``-node layers the graph is ``(3s-1)``-regular (Observation
+    23); the half cut crosses ``2s²`` edges over a volume of
+    ``⌊k/2⌋·s·(3s-1)``.
+    """
+    _check(layer_size, 2)
+    if num_layers < 3:
+        raise ConductanceError(f"need >= 3 layers, got {num_layers}")
+    s, k = layer_size, num_layers
+    half = k // 2
+    return 2 * s * s / (half * s * (3 * s - 1))
+
+
+def _check(n: int, minimum: int) -> None:
+    if n < minimum:
+        raise ConductanceError(f"need n >= {minimum}, got {n}")

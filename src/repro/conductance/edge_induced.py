@@ -1,0 +1,114 @@
+"""The strongly edge-induced graph ``G_ℓ`` of Theorem 12 (Eq. 3 / Eq. 10).
+
+Given ``G`` and a latency threshold ``ℓ``, the strongly edge-induced graph
+``G_ℓ`` keeps the vertex set of ``G`` and has edge multiplicities
+
+    µ(u, v) = 1                      if (u, v) ∈ E_ℓ
+    µ(u, u) = |E_u| - |E_{u,ℓ}|      (self loops preserving full-graph degree)
+    µ(u, v) = 0                      otherwise.
+
+Its (unweighted, multigraph) conductance equals ``φ_ℓ(G)`` — the identity the
+push--pull upper-bound proof rests on — and a push--pull step in ``G_ℓ``
+picks each neighbor with exactly the probability the latency-restricted walk
+in ``G`` does.  This module materializes ``G_ℓ`` so tests can check that
+identity numerically and so the Markov-domination argument can be simulated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ConductanceError
+from repro.graphs.latency_graph import LatencyGraph, Node
+
+__all__ = ["StronglyEdgeInducedGraph"]
+
+
+class StronglyEdgeInducedGraph:
+    """Materialized ``G_ℓ`` with the multiplicity function of Eq. 3.
+
+    Parameters
+    ----------
+    graph:
+        The underlying latency graph ``G``.
+    max_latency:
+        The threshold ``ℓ``.
+    """
+
+    def __init__(self, graph: LatencyGraph, max_latency: int) -> None:
+        if max_latency < 1:
+            raise ConductanceError(f"max_latency must be >= 1, got {max_latency}")
+        self._graph = graph
+        self._max_latency = max_latency
+        self._real_neighbors: dict[Node, list[Node]] = {}
+        self._loops: dict[Node, int] = {}
+        for node in graph.nodes():
+            fast = [
+                neighbor
+                for neighbor, latency in graph.neighbor_latencies(node).items()
+                if latency <= max_latency
+            ]
+            self._real_neighbors[node] = fast
+            self._loops[node] = graph.degree(node) - len(fast)
+
+    @property
+    def max_latency(self) -> int:
+        """The threshold ``ℓ`` used to build this graph."""
+        return self._max_latency
+
+    def multiplicity(self, u: Node, v: Node) -> int:
+        """The multiplicity ``µ(u, v)`` of Eq. 3."""
+        if u == v:
+            return self._loops.get(u, 0)
+        if self._graph.has_edge(u, v) and self._graph.latency(u, v) <= self._max_latency:
+            return 1
+        return 0
+
+    def degree(self, node: Node) -> int:
+        """Multigraph degree (real fast edges plus self-loop multiplicity).
+
+        By construction this equals the node's degree in the full graph
+        ``G``, which is exactly why ``φ(G_ℓ) = φ_ℓ(G)``.
+        """
+        return len(self._real_neighbors[node]) + self._loops[node]
+
+    def sample_contact(self, node: Node, rng: random.Random) -> Optional[Node]:
+        """One push--pull contact draw in ``G_ℓ``.
+
+        Returns a fast neighbor with probability ``|E_{u,ℓ}| / |E_u|`` and
+        ``None`` (a self loop, i.e. a wasted round) otherwise — the exact
+        distribution the domination argument of Theorem 12 compares against.
+        """
+        degree = self.degree(node)
+        if degree == 0:
+            return None
+        pick = rng.randrange(degree)
+        fast = self._real_neighbors[node]
+        return fast[pick] if pick < len(fast) else None
+
+    def volume(self, subset: Sequence[Node]) -> int:
+        """Multigraph volume of ``U`` (self loops counted with multiplicity)."""
+        return sum(self.degree(node) for node in set(subset))
+
+    def conductance(self, subset: Sequence[Node]) -> float:
+        """Multigraph cut conductance of ``U`` in ``G_ℓ``.
+
+        Self loops never cross a cut, so the numerator counts only the real
+        fast edges across ``(U, V \\ U)`` — hence this equals ``φ_ℓ(U)`` in
+        ``G`` (Definition 1).
+        """
+        inside = set(subset)
+        all_nodes = set(self._graph.nodes())
+        if not inside or inside == all_nodes:
+            raise ConductanceError("cut must be a proper nonempty subset of V")
+        denom = min(self.volume(inside), self.volume(all_nodes - inside))
+        if denom == 0:
+            raise ConductanceError("cut has zero volume on one side")
+        crossing = sum(
+            1
+            for node in inside
+            for neighbor in self._real_neighbors[node]
+            if neighbor not in inside
+        )
+        return crossing / denom

@@ -1,0 +1,133 @@
+"""Weighted conductance ``φ*`` and critical latency ``ℓ*`` (Definition 2).
+
+Given the conductance profile ``Φ(G) = {φ_1, ..., φ_{ℓmax}}``, the paper
+defines the weighted conductance as the ``φ_ℓ`` maximizing ``φ_ℓ / ℓ`` and
+calls the maximizing ``ℓ`` the *critical latency* ``ℓ*``.  The quantity that
+bounds dissemination time is the ratio ``ℓ*/φ*``.
+
+Two facts make the computation finite:
+
+* ``φ_ℓ`` is a step function of ``ℓ`` that only changes at latencies present
+  in the graph (adding no edges cannot change any cut), and
+* on an interval where ``φ_ℓ`` is constant, ``φ_ℓ / ℓ`` is maximized at the
+  left endpoint — which is a latency present in the graph.
+
+So it suffices to evaluate ``φ_ℓ`` at the distinct latencies of ``G``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional, Sequence
+
+from repro.conductance.exact import DEFAULT_EXACT_LIMIT, exact_conductance_profile
+from repro.conductance.sweep import sweep_conductance_profile
+from repro.errors import ConductanceError
+from repro.graphs.latency_graph import LatencyGraph
+
+__all__ = ["WeightedConductance", "conductance_profile", "weighted_conductance"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedConductance:
+    """The result of a weighted-conductance computation.
+
+    Attributes
+    ----------
+    phi_star:
+        The weighted conductance ``φ*`` (a conductance value, not a ratio).
+    critical_latency:
+        The critical latency ``ℓ*`` realizing ``φ* = φ_{ℓ*}``.
+    profile:
+        The full profile ``{ℓ: φ_ℓ}`` over the distinct latencies evaluated.
+    method:
+        ``"exact"`` or ``"sweep"``.
+    """
+
+    phi_star: float
+    critical_latency: int
+    profile: dict[int, float]
+    method: str
+
+    @property
+    def dissemination_bound(self) -> float:
+        """The paper's connectivity term ``ℓ*/φ*`` (``inf`` if ``φ* = 0``)."""
+        if self.phi_star == 0:
+            return float("inf")
+        return self.critical_latency / self.phi_star
+
+
+def conductance_profile(
+    graph: LatencyGraph,
+    method: str = "auto",
+    latencies: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> dict[int, float]:
+    """The profile ``{ℓ: φ_ℓ(G)}`` over the distinct latencies of ``G``.
+
+    Parameters
+    ----------
+    graph:
+        A graph with at least one edge.
+    method:
+        ``"exact"`` (cut enumeration, small ``n`` only), ``"sweep"``
+        (spectral approximation), or ``"auto"`` (exact when
+        ``n <= exact_limit``, sweep otherwise).
+    latencies:
+        Optional explicit thresholds; defaults to the distinct latencies.
+    rng:
+        Randomness for the sweep's extra candidate cuts.
+    exact_limit:
+        The ``n`` cutoff used by ``"auto"``.
+    """
+    if method not in ("auto", "exact", "sweep"):
+        raise ConductanceError(f"unknown method {method!r}")
+    if method == "auto":
+        method = "exact" if graph.num_nodes <= exact_limit else "sweep"
+    if method == "exact":
+        return exact_conductance_profile(graph, latencies=latencies, node_limit=max(
+            exact_limit, graph.num_nodes))
+    return sweep_conductance_profile(graph, latencies=latencies, rng=rng)
+
+
+def weighted_conductance(
+    graph: LatencyGraph,
+    method: str = "auto",
+    rng: Optional[random.Random] = None,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> WeightedConductance:
+    """Compute ``φ*(G)`` and the critical latency ``ℓ*`` (Definition 2).
+
+    Ties in ``φ_ℓ / ℓ`` are broken toward the smaller latency, which gives
+    the smaller (hence stronger) ``ℓ*/φ*`` bound.
+
+    Examples
+    --------
+    >>> from repro.graphs import generators
+    >>> result = weighted_conductance(generators.clique(6))
+    >>> result.critical_latency
+    1
+    """
+    resolved = "exact" if method == "auto" and graph.num_nodes <= exact_limit else (
+        "sweep" if method == "auto" else method
+    )
+    profile = conductance_profile(
+        graph, method=resolved, rng=rng, exact_limit=exact_limit
+    )
+    best_ell = None
+    best_ratio = -1.0
+    for ell in sorted(profile):
+        ratio = profile[ell] / ell
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_ell = ell
+    if best_ell is None:
+        raise ConductanceError("empty conductance profile")
+    return WeightedConductance(
+        phi_star=profile[best_ell],
+        critical_latency=best_ell,
+        profile=dict(profile),
+        method=resolved,
+    )

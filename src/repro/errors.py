@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph operation was invalid (missing node, bad latency, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires connectivity was run on a disconnected graph."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated the engine contract."""
+
+
+class ConductanceError(ReproError):
+    """Weighted-conductance computation failed or was misconfigured."""
+
+
+class GameError(ReproError):
+    """The guessing game was used incorrectly (e.g. oversized guess set)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or harness invocation was invalid."""

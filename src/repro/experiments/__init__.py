@@ -1,0 +1,24 @@
+"""Experiment registry: one runnable experiment per theorem/lemma/figure.
+
+See DESIGN.md for the full index.  Usage::
+
+    from repro.experiments import get_experiment
+    table = get_experiment("E5")("quick")
+    print(table)
+"""
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "Profile",
+    "all_experiments",
+    "get_experiment",
+    "register",
+]

@@ -1,0 +1,116 @@
+"""E11: the unified upper bound and latency discovery (Theorem 20, Sec. 4.2).
+
+Theorem 20 composes push--pull with the spanner pipeline so the system
+always lands within polylogs of ``min((D+Δ) log³ n, (ℓ*/φ*) log n)``.  Two
+things are checked, carefully separated:
+
+* **the analytic crossover** — we build one graph per regime and evaluate
+  both branch *bounds*: on the low-conductance family the spanner branch
+  ``(D+Δ) log³ n`` is smaller, on the well-connected family the push--pull
+  branch ``(ℓ*/φ*) log n`` is smaller.  This is the min() the theorem is
+  about, and it must flip between regimes.
+* **measured behaviour** — we also run both components.  At laptop scale
+  (n of a few hundred) the spanner pipeline's log³ n constant is hundreds
+  of rounds, so push--pull usually finishes first in *raw measured rounds*
+  even where its asymptotic bound is worse; the composition still tracks
+  whichever component actually finished first (within its 2x interleaving
+  cost).  The table reports both so the constant-versus-asymptotic gap is
+  visible rather than hidden.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.bounds import compute_bounds
+from repro.graphs import generators
+from repro.graphs.latency_models import bimodal_latency
+from repro.protocols.unified import run_unified
+from repro.experiments.harness import ExperimentTable, Profile, register
+
+__all__ = ["run_e11"]
+
+
+def _regimes(profile: Profile):
+    clique = 48 if profile == "quick" else 96
+    expander_n = 48 if profile == "quick" else 128
+    # Low weighted conductance: two big cliques over one direct edge.
+    # ℓ*/φ* = Θ(n²) while D = 3 and Δ = Θ(n): the spanner branch's
+    # (D+Δ)·log³n is smaller once the clique side beats log²n.
+    yield (
+        "dumbbell of big cliques (low φ*)",
+        "spanner",
+        generators.dumbbell(clique, bridge_length=1),
+    )
+    # Constant conductance over the fast backbone: push--pull branch smaller.
+    yield (
+        "bimodal expander (high φ*)",
+        "push-pull",
+        generators.random_regular(
+            expander_n,
+            6,
+            latency_model=bimodal_latency(1, 40, 0.5),
+            rng=random.Random(2),
+        ),
+    )
+
+
+@register("E11")
+def run_e11(profile: Profile = "quick") -> ExperimentTable:
+    """Theorem 20: the min() branch flips between regimes."""
+    rows = []
+    for label, expected_branch, graph in _regimes(profile):
+        bounds = compute_bounds(graph, conductance_method="sweep")
+        spanner_bound = (bounds.diameter + bounds.max_degree) * bounds.log_n**3
+        pushpull_bound = bounds.push_pull_bound
+        analytic_winner = "spanner" if spanner_bound < pushpull_bound else "push-pull"
+        for known in (True, False):
+            report = run_unified(graph, latencies_known=known, seed=0)
+            rows.append(
+                {
+                    "regime": label,
+                    "latencies_known": known,
+                    "bound_spanner": spanner_bound
+                    if not known
+                    else bounds.diameter * bounds.log_n**3,
+                    "bound_pushpull": pushpull_bound,
+                    "analytic_winner": analytic_winner,
+                    "expected": expected_branch,
+                    "analytic_matches": analytic_winner == expected_branch,
+                    "measured_pushpull": report.push_pull_rounds,
+                    "measured_spanner": report.spanner_rounds,
+                    "measured_winner": report.winner,
+                    "unified_rounds": report.rounds,
+                }
+            )
+    flips = all(r["analytic_matches"] for r in rows)
+    return ExperimentTable(
+        experiment_id="E11",
+        title="Theorem 20 — unified bound: min((D+Δ)log³n, (ℓ*/φ*)log n) flips by regime",
+        columns=[
+            "regime",
+            "latencies_known",
+            "bound_spanner",
+            "bound_pushpull",
+            "analytic_winner",
+            "expected",
+            "analytic_matches",
+            "measured_pushpull",
+            "measured_spanner",
+            "measured_winner",
+            "unified_rounds",
+        ],
+        rows=rows,
+        expectation=(
+            "the analytic min() branch flips between the low-φ* and high-φ* "
+            "regimes; measured times show the composition tracking its "
+            "faster component (push--pull's small constants usually win raw "
+            "rounds at these n — the spanner branch's advantage is "
+            "asymptotic, kicking in once ℓ*/φ* ≳ D·log² n)"
+        ),
+        conclusion=(
+            "analytic crossover flipped between regimes as predicted"
+            if flips
+            else "ANALYTIC CROSSOVER DID NOT FLIP"
+        ),
+    )

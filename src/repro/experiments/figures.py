@@ -1,0 +1,167 @@
+"""Text reproductions of the paper's figures.
+
+The paper's five figures are structural diagrams, not data plots; this
+module regenerates each as an inspectable artifact:
+
+* **Figure 1** — the guessing-game gadgets ``G(P)`` / ``Gsym(P)``: an ASCII
+  rendering showing both sides, the cliques, and the fast (target) cross
+  edges.
+* **Figure 2** — the Theorem 8 ring: layers, sizes, and the fast edge of
+  each boundary.
+* **Figure 3** — the RR-broadcast worst-case path: the per-hop
+  ``Δ_out + k_i`` delay decomposition of Lemma 15.
+* **Figures 4-5** — the binomial *i-trees* of the DTG analysis: an
+  :class:`ITree` with the recursive join structure, sizes ``2^i``, and the
+  connection-round edge labels of Figure 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.graphs.gadgets import GadgetNetwork, RingNetwork
+
+__all__ = [
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "ITree",
+    "render_figure4",
+]
+
+
+def render_figure1(gadget: GadgetNetwork, symmetric: Optional[bool] = None) -> str:
+    """ASCII rendering of a guessing-game gadget (Figure 1).
+
+    Left nodes are listed with their clique marker; each fast (target)
+    cross edge is drawn explicitly; slow edges are summarized by count.
+    """
+    graph = gadget.graph
+    m = len(gadget.left)
+    if symmetric is None:
+        symmetric = (
+            m > 1 and graph.has_edge(gadget.right[0], gadget.right[1])
+        )
+    title = "Gsym(P)" if symmetric else "G(P)"
+    lines = [
+        f"Figure 1 — gadget {title}, m = {m}",
+        f"  L = {{v1..v{m}}} (clique, latency 1)"
+        + ("    R = {u1..u%d} (clique, latency 1)" % m if symmetric else f"    R = {{u1..u{m}}} (no clique)"),
+        f"  cross edges: {m * m} total, "
+        f"{len(gadget.target)} fast (latency {gadget.fast_latency}), "
+        f"{m * m - len(gadget.target)} slow (latency {gadget.slow_latency})",
+        "  fast edges:",
+    ]
+    if gadget.target:
+        for i, j in sorted(gadget.target):
+            lines.append(f"    v{i + 1} ══════ u{j + 1}")
+    else:
+        lines.append("    (none)")
+    return "\n".join(lines)
+
+
+def render_figure2(ring: RingNetwork) -> str:
+    """ASCII rendering of the Theorem 8 ring of gadgets (Figure 2)."""
+    lines = [
+        f"Figure 2 — ring of {ring.num_layers} layers x {ring.layer_size} nodes "
+        f"(alpha = {ring.alpha:.3f})",
+        f"  intra-layer: cliques of latency 1; cross: complete bipartite, "
+        f"latency {ring.slow_latency} except one fast edge per boundary",
+    ]
+    for i in range(ring.num_layers):
+        u, v = ring.fast_edges[i]
+        nxt = (i + 1) % ring.num_layers
+        lines.append(
+            f"  V{i + 1}[{ring.layers[i][0]}..{ring.layers[i][-1]}] "
+            f"══({u}-{v})══> V{nxt + 1}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure3(hop_latencies: list[int], max_out_degree: int) -> str:
+    """The Lemma 15 delay decomposition along one path (Figure 3).
+
+    Each hop waits at most ``Δ_out`` rounds for its edge's round-robin turn
+    plus the hop's latency ``k_i``; the rendering shows the running total
+    reaching ``h·Δ_out + Σ k_i``.
+    """
+    if not hop_latencies:
+        raise ExperimentError("need at least one hop")
+    if any(k < 1 for k in hop_latencies):
+        raise ExperimentError("hop latencies must be >= 1")
+    lines = [
+        f"Figure 3 — worst-case RR delay, Δ_out = {max_out_degree}",
+        f"  {'hop':>4} {'latency k_i':>12} {'hop delay <=':>13} {'cumulative':>11}",
+    ]
+    total = 0
+    for index, latency in enumerate(hop_latencies, start=1):
+        delay = max_out_degree + latency
+        total += delay
+        lines.append(f"  {index:>4} {latency:>12} {delay:>13} {total:>11}")
+    h = len(hop_latencies)
+    bound = h * max_out_degree + sum(hop_latencies)
+    lines.append(f"  total = h·Δ_out + Σk_i = {h}·{max_out_degree} + "
+                 f"{sum(hop_latencies)} = {bound}")
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class ITree:
+    """A binomial i-tree: the witness structure of the DTG analysis.
+
+    An i-tree is two (i-1)-trees whose roots are joined; it has exactly
+    ``2^i`` nodes and depth ``i``.  Figure 5's edge labels (the round at
+    which the child was contacted, as seen from the root) fall out of the
+    construction: the subtree joined at step ``j`` hangs off an edge
+    labelled ``j``.
+    """
+
+    order: int
+    children: tuple["ITree", ...]
+
+    @classmethod
+    def build(cls, order: int) -> "ITree":
+        """Build the i-tree of the given order recursively."""
+        if order < 0:
+            raise ExperimentError(f"order must be >= 0, got {order}")
+        if order == 0:
+            return cls(order=0, children=())
+        smaller = cls.build(order - 1)
+        # Joining two (i-1)-trees at the root == root gains one more child
+        # subtree of each order 0..i-1 (the classic binomial-tree identity).
+        return cls(order=order, children=smaller.children + (smaller,))
+
+    @property
+    def size(self) -> int:
+        """Number of nodes; ``2^order`` by the doubling construction."""
+        return 1 + sum(child.size for child in self.children)
+
+    @property
+    def depth(self) -> int:
+        """Longest root-to-leaf path."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth for child in self.children)
+
+    def render(self, label: int = 0, indent: str = "") -> str:
+        """Indented rendering with Figure 5's connection-round edge labels."""
+        lines = [f"{indent}{'root' if not indent else f'({label})'}"]
+        for round_label, child in enumerate(reversed(self.children), start=1):
+            lines.append(child.render(label=round_label, indent=indent + "  "))
+        return "\n".join(lines)
+
+
+def render_figure4(max_order: int = 3) -> str:
+    """The i-tree family for ``i = 0..max_order`` (Figure 4)."""
+    if max_order < 0:
+        raise ExperimentError(f"max_order must be >= 0, got {max_order}")
+    blocks = []
+    for order in range(max_order + 1):
+        tree = ITree.build(order)
+        blocks.append(
+            f"{order}-tree: {tree.size} nodes, depth {tree.depth}\n"
+            + tree.render()
+        )
+    return ("\nFigure 4 — binomial i-trees\n\n") + "\n\n".join(blocks)

@@ -1,0 +1,148 @@
+"""Experiment harness: result tables, profiles, and the registry.
+
+Every experiment in the index of DESIGN.md is a function
+``run(profile) -> ExperimentTable``.  The ``profile`` selects parameter
+scales:
+
+* ``"quick"`` — seconds; used by the test suite and default benchmarks;
+* ``"full"`` — minutes; larger ladders for tighter scaling fits.
+
+Benchmarks print the returned tables, which is the library's analogue of
+the rows/series a systems paper's evaluation section reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentTable", "Profile", "register", "get_experiment", "all_experiments"]
+
+PROFILES = ("quick", "full")
+Profile = str
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """One reproduced table/series with provenance.
+
+    Attributes
+    ----------
+    experiment_id:
+        Index id from DESIGN.md (e.g. ``"E5"``).
+    title:
+        Human-readable description with the paper reference.
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; keys must cover ``columns``.
+    expectation:
+        What the paper predicts this table should show.
+    conclusion:
+        Free-text verdict filled by the experiment (e.g. fitted slope).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    expectation: str = ""
+    conclusion: str = ""
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r} in {self.experiment_id}")
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if isinstance(value, float):
+                return f"{value:.3g}"
+            return str(value)
+
+        header = [self.columns]
+        body = [[fmt(row.get(col, "")) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.expectation:
+            lines.append(f"expectation: {self.expectation}")
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+        if self.conclusion:
+            lines.append(f"conclusion: {self.conclusion}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+_REGISTRY: dict[str, Callable[[Profile], ExperimentTable]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Decorator registering an experiment function under its index id."""
+
+    def wrap(fn: Callable[[Profile], ExperimentTable]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[[Profile], ExperimentTable]:
+    """Look up an experiment by index id (importing the experiment modules)."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def all_experiments() -> dict[str, Callable[[Profile], ExperimentTable]]:
+    """All registered experiments by id."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def seeds_for(profile: Profile, quick: int = 3, full: int = 10) -> Sequence[int]:
+    """The seed ladder for a profile."""
+    if profile == "quick":
+        return range(quick)
+    if profile == "full":
+        return range(full)
+    raise ExperimentError(f"unknown profile {profile!r}; use one of {PROFILES}")
+
+
+def _ensure_loaded() -> None:
+    # Import experiment modules for their registration side effects.
+    from repro.experiments import (  # noqa: F401
+        e01_guessing,
+        e03_theorem6,
+        e04_theorem7,
+        e05_theorem8,
+        e06_pushpull,
+        e07_spanner,
+        e08_eid,
+        e10_path_discovery,
+        e11_unified,
+        e12_ring,
+        e13_dtg,
+        e14_ablations,
+        e15_failures,
+        e16_restricted,
+    )

@@ -1,0 +1,28 @@
+"""Graph substrate: latency graphs, topology generators, and lower-bound gadgets."""
+
+from repro.graphs.latency_graph import Edge, LatencyGraph, Node, edge_key
+from repro.graphs.latency_models import (
+    LatencyModel,
+    bimodal_latency,
+    constant_latency,
+    geometric_distance_latency,
+    uniform_latency,
+    zipf_latency,
+)
+from repro.graphs import gadgets, generators, io
+
+__all__ = [
+    "io",
+    "Edge",
+    "LatencyGraph",
+    "Node",
+    "edge_key",
+    "LatencyModel",
+    "bimodal_latency",
+    "constant_latency",
+    "geometric_distance_latency",
+    "uniform_latency",
+    "zipf_latency",
+    "gadgets",
+    "generators",
+]

@@ -1,0 +1,340 @@
+"""Lower-bound constructions from Section 3 of the paper.
+
+This module builds, as concrete :class:`~repro.graphs.latency_graph.LatencyGraph`
+instances:
+
+* the **guessing-game gadgets** ``G(P)`` and ``Gsym(P)`` of Figure 1 — a
+  complete bipartite graph between sides ``L`` and ``R`` with a latency-1
+  clique on ``L`` (and on ``R`` for the symmetric variant); cross edges in
+  the hidden *target set* are fast, all others slow;
+* the **Theorem 6** network (a ``G(2Δ, |T| = 1)`` gadget glued to a clique),
+  which forces ``Ω(Δ)`` rounds despite ``D = O(1)``;
+* the **Theorem 7** network ``G(Random_φ)`` whose conductance is ``Θ(φ)``;
+* the **Theorem 8** ring of symmetric gadgets (Figure 2), which exhibits the
+  ``min(Δ + D, ℓ/φ_ℓ)`` trade-off.
+
+Targets are plain sets of index pairs ``(i, j)`` with ``i, j in range(m)``,
+interpreted as the cross edge between the ``i``-th node of ``L`` and the
+``j``-th node of ``R``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Optional
+
+from repro.errors import GraphError
+from repro.graphs.latency_graph import LatencyGraph
+
+__all__ = [
+    "GadgetNetwork",
+    "RingNetwork",
+    "singleton_target",
+    "random_target",
+    "guessing_gadget",
+    "theorem6_network",
+    "theorem7_network",
+    "theorem8_parameters",
+    "theorem8_ring",
+    "half_ring_cut",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GadgetNetwork:
+    """A built gadget graph plus the metadata experiments need.
+
+    Attributes
+    ----------
+    graph:
+        The constructed network.
+    left, right:
+        Node lists for the two bipartition sides ``L`` and ``R``.
+    target:
+        The hidden target set as ``(i, j)`` index pairs into ``left``/``right``.
+    fast_latency, slow_latency:
+        Latencies assigned to target and non-target cross edges.
+    extra:
+        Nodes outside the gadget (e.g. the Theorem 6 clique), possibly empty.
+    """
+
+    graph: LatencyGraph
+    left: list[int]
+    right: list[int]
+    target: frozenset[tuple[int, int]]
+    fast_latency: int
+    slow_latency: int
+    extra: tuple[int, ...] = ()
+
+    def fast_cross_edges(self) -> list[tuple[int, int]]:
+        """The fast cross edges as node pairs ``(left_node, right_node)``."""
+        return [(self.left[i], self.right[j]) for i, j in sorted(self.target)]
+
+
+@dataclasses.dataclass(frozen=True)
+class RingNetwork:
+    """The Theorem 8 ring of symmetric gadgets (Figure 2).
+
+    Attributes
+    ----------
+    graph:
+        The constructed network.
+    layers:
+        ``layers[i]`` is the node list of layer ``V_i``.
+    fast_edges:
+        One fast (latency-1) cross edge per adjacent layer pair, indexed by
+        the lower layer index.
+    slow_latency:
+        The latency ``ℓ`` of all other cross edges.
+    alpha:
+        The conductance parameter ``α`` this ring realizes (``s / (c n)``).
+    """
+
+    graph: LatencyGraph
+    layers: list[list[int]]
+    fast_edges: dict[int, tuple[int, int]]
+    slow_latency: int
+    alpha: float
+
+    @property
+    def layer_size(self) -> int:
+        """Nodes per layer, ``s``."""
+        return len(self.layers[0])
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers, ``k``."""
+        return len(self.layers)
+
+
+def singleton_target(m: int, rng: random.Random) -> frozenset[tuple[int, int]]:
+    """A single target pair chosen uniformly from ``[m] x [m]`` (Lemma 4's predicate)."""
+    _check_m(m)
+    return frozenset({(rng.randrange(m), rng.randrange(m))})
+
+
+def random_target(m: int, p: float, rng: random.Random) -> frozenset[tuple[int, int]]:
+    """Each of the ``m²`` pairs joins the target independently with probability ``p``.
+
+    This is the paper's ``Random_p`` predicate (Lemma 5 / Theorem 7).
+    """
+    _check_m(m)
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    return frozenset(
+        (i, j) for i in range(m) for j in range(m) if rng.random() < p
+    )
+
+
+def guessing_gadget(
+    m: int,
+    target: frozenset[tuple[int, int]],
+    symmetric: bool = False,
+    fast_latency: int = 1,
+    slow_latency: Optional[int] = None,
+) -> GadgetNetwork:
+    """Build the gadget ``G(P)`` (or ``Gsym(P)``) of Section 3.2 / Figure 1.
+
+    Parameters
+    ----------
+    m:
+        Size of each bipartition side; the gadget has ``2m`` nodes.
+    target:
+        The hidden target set of cross-edge index pairs.  Target edges get
+        ``fast_latency``; all other cross edges get ``slow_latency``.
+    symmetric:
+        If ``True`` build ``Gsym(P)`` (latency-1 cliques on both sides),
+        otherwise ``G(P)`` (clique on ``L`` only).
+    fast_latency:
+        Latency of target cross edges (the paper uses 1 or ``ℓ``).
+    slow_latency:
+        Latency of non-target cross edges; defaults to ``2m`` (the paper's
+        ``n``).  Must exceed ``fast_latency``.
+    """
+    _check_m(m)
+    slow = 2 * m if slow_latency is None else slow_latency
+    if fast_latency < 1 or slow <= fast_latency:
+        raise GraphError(
+            f"need 1 <= fast_latency < slow_latency, got {fast_latency}, {slow}"
+        )
+    for i, j in target:
+        if not (0 <= i < m and 0 <= j < m):
+            raise GraphError(f"target pair {(i, j)} out of range for m={m}")
+    left = list(range(m))
+    right = list(range(m, 2 * m))
+    graph = LatencyGraph(nodes=left + right)
+    for a in range(m):
+        for b in range(a + 1, m):
+            graph.add_edge(left[a], left[b], 1)
+            if symmetric:
+                graph.add_edge(right[a], right[b], 1)
+    for i in range(m):
+        for j in range(m):
+            latency = fast_latency if (i, j) in target else slow
+            graph.add_edge(left[i], right[j], latency)
+    return GadgetNetwork(
+        graph=graph,
+        left=left,
+        right=right,
+        target=frozenset(target),
+        fast_latency=fast_latency,
+        slow_latency=slow,
+    )
+
+
+def theorem6_network(
+    n: int,
+    delta: int,
+    rng: random.Random,
+) -> GadgetNetwork:
+    """The Theorem 6 network: ``G(2Δ, |T| = 1)`` glued to an ``(n - 2Δ)``-clique.
+
+    The resulting ``n``-node graph has weighted diameter ``O(1)`` w.r.t. its
+    fast edges, constant unweighted conductance, and max degree ``Θ(Δ)``, yet
+    local broadcast needs ``Ω(Δ)`` rounds because the single fast cross edge
+    must be found by guessing.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes; must satisfy ``n >= 2 * delta``.
+    delta:
+        The ``Δ`` parameter (half the gadget size).
+    rng:
+        Source of randomness for the hidden target edge.
+    """
+    if delta < 1:
+        raise GraphError(f"delta must be >= 1, got {delta}")
+    if n < 2 * delta:
+        raise GraphError(f"need n >= 2*delta, got n={n}, delta={delta}")
+    gadget = guessing_gadget(delta, singleton_target(delta, rng), slow_latency=n)
+    graph = gadget.graph
+    extra = list(range(2 * delta, n))
+    for node in extra:
+        graph.add_node(node)
+    for a_idx in range(len(extra)):
+        for b_idx in range(a_idx + 1, len(extra)):
+            graph.add_edge(extra[a_idx], extra[b_idx], 1)
+    if extra:
+        # One latency-1 attachment edge from the clique into the gadget.
+        graph.add_edge(extra[0], gadget.left[0], 1)
+    return dataclasses.replace(gadget, extra=tuple(extra))
+
+
+def theorem7_network(
+    n: int,
+    phi: float,
+    ell: int,
+    rng: random.Random,
+    slow_latency: Optional[int] = None,
+) -> GadgetNetwork:
+    """The Theorem 7 network ``G(Random_φ)`` on ``2n`` nodes.
+
+    Each cross edge gets latency ``ell`` independently with probability
+    ``phi`` (these form the target set) and ``slow_latency`` (default ``2n``)
+    otherwise.  For ``phi = Ω(log n / n)`` the result has weighted diameter
+    ``O(ell)`` and weighted conductance ``Θ(phi)`` w.h.p.
+    """
+    _check_m(n)
+    if ell < 1:
+        raise GraphError(f"ell must be >= 1, got {ell}")
+    target = random_target(n, phi, rng)
+    return guessing_gadget(
+        n,
+        target,
+        symmetric=False,
+        fast_latency=ell,
+        slow_latency=2 * n if slow_latency is None else slow_latency,
+    )
+
+
+def theorem8_parameters(n: int, alpha: float) -> tuple[int, int, float]:
+    """Compute the Theorem 8 ring parameters ``(layer_size s, num_layers k, c)``.
+
+    The paper sets ``c = 3/4 + (1/4)·sqrt(9 - 8/(n α))``, layer size
+    ``s = c·n·α`` and ``k = 2/(c·α)`` layers so the ring has ``2n`` nodes.
+    We round ``s`` and ``k`` to integers (``k`` at least 3 so the ring is a
+    ring) which perturbs sizes by at most one node per layer — irrelevant to
+    the asymptotics the experiments measure.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if not 0 < alpha <= 1:
+        raise GraphError(f"alpha must be in (0, 1], got {alpha}")
+    discriminant = 9.0 - 8.0 / (n * alpha)
+    if discriminant < 0:
+        raise GraphError(f"alpha too small for n: n*alpha must be >= 8/9, got {n * alpha}")
+    c = 0.75 + 0.25 * math.sqrt(discriminant)
+    layer_size = max(2, round(c * n * alpha))
+    num_layers = max(3, round(2.0 / (c * alpha)))
+    return layer_size, num_layers, c
+
+
+def theorem8_ring(
+    layer_size: int,
+    num_layers: int,
+    slow_latency: int,
+    rng: random.Random,
+) -> RingNetwork:
+    """Build the Theorem 8 ring of symmetric gadgets (Figure 2) directly.
+
+    ``num_layers`` layers of ``layer_size`` nodes are wired in a ring: each
+    layer is a latency-1 clique; each adjacent pair of layers is a complete
+    bipartite graph whose cross edges all have latency ``slow_latency``
+    except a single uniformly random fast (latency-1) edge — the hidden
+    target of that pair's guessing-game gadget.
+
+    Use :func:`theorem8_parameters` to derive ``layer_size``/``num_layers``
+    from the paper's ``(n, α)`` parametrization.
+    """
+    if layer_size < 2:
+        raise GraphError(f"layer_size must be >= 2, got {layer_size}")
+    if num_layers < 3:
+        raise GraphError(f"num_layers must be >= 3, got {num_layers}")
+    if slow_latency < 2:
+        raise GraphError(f"slow_latency must be >= 2, got {slow_latency}")
+    layers = [
+        list(range(i * layer_size, (i + 1) * layer_size)) for i in range(num_layers)
+    ]
+    graph = LatencyGraph(nodes=range(num_layers * layer_size))
+    for members in layers:
+        for a_idx in range(layer_size):
+            for b_idx in range(a_idx + 1, layer_size):
+                graph.add_edge(members[a_idx], members[b_idx], 1)
+    fast_edges: dict[int, tuple[int, int]] = {}
+    for i in range(num_layers):
+        a, b = layers[i], layers[(i + 1) % num_layers]
+        fast = (rng.choice(a), rng.choice(b))
+        fast_edges[i] = fast
+        for u in a:
+            for v in b:
+                graph.add_edge(u, v, 1 if (u, v) == fast else slow_latency)
+    # The ring realizes alpha = s / (c n) with 2n = k s; report s*k/2 as n.
+    alpha = 2.0 * layer_size / (layer_size * num_layers)
+    return RingNetwork(
+        graph=graph,
+        layers=layers,
+        fast_edges=fast_edges,
+        slow_latency=slow_latency,
+        alpha=alpha,
+    )
+
+
+def half_ring_cut(ring: RingNetwork) -> set[int]:
+    """The cut ``C`` of Lemma 9: half the layers, cutting no intra-clique edge.
+
+    Returns the node set of ``⌊k/2⌋`` consecutive layers.  For even ``k``
+    this is exactly the paper's half-ring cut with ``φ_ℓ(C) = α``.
+    """
+    half = ring.num_layers // 2
+    nodes: set[int] = set()
+    for i in range(half):
+        nodes.update(ring.layers[i])
+    return nodes
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise GraphError(f"need side size >= 1, got {m}")

@@ -1,0 +1,145 @@
+"""Graph serialization: JSON and edge-list formats.
+
+Experiments sometimes need to pin an exact worst-case instance (a gadget
+whose hidden target produced an interesting run) or move graphs between
+the CLI and notebooks.  Two formats:
+
+* **JSON** — nodes, edges and latencies plus an optional metadata dict;
+  round-trips arbitrary hashable-as-string node ids losslessly for the
+  common case of int/str ids.
+* **edge list** — ``u v latency`` per line, ``#`` comments; the lingua
+  franca of graph tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Optional, Union
+
+from repro.errors import GraphError
+from repro.graphs.latency_graph import LatencyGraph
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_edge_list",
+    "from_edge_list",
+    "save_edge_list",
+    "load_edge_list",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def to_json(graph: LatencyGraph, metadata: Optional[dict[str, Any]] = None) -> str:
+    """Serialize to a JSON document string."""
+    payload = {
+        "format": "repro-latency-graph",
+        "version": 1,
+        "nodes": graph.nodes(),
+        "edges": [[u, v, latency] for u, v, latency in graph.edges()],
+        "metadata": metadata or {},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+def from_json(document: str) -> tuple[LatencyGraph, dict[str, Any]]:
+    """Parse a JSON document produced by :func:`to_json`.
+
+    Returns ``(graph, metadata)``.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise GraphError(f"invalid graph JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != "repro-latency-graph":
+        raise GraphError("not a repro latency-graph document")
+    graph = LatencyGraph()
+    for node in payload.get("nodes", []):
+        graph.add_node(_freeze(node))
+    for entry in payload.get("edges", []):
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise GraphError(f"malformed edge entry: {entry!r}")
+        u, v, latency = entry
+        graph.add_edge(_freeze(u), _freeze(v), int(latency))
+    return graph, payload.get("metadata", {})
+
+
+def save_json(
+    graph: LatencyGraph,
+    path: PathLike,
+    metadata: Optional[dict[str, Any]] = None,
+) -> None:
+    """Write the JSON serialization to ``path``."""
+    pathlib.Path(path).write_text(to_json(graph, metadata))
+
+
+def load_json(path: PathLike) -> tuple[LatencyGraph, dict[str, Any]]:
+    """Read a graph (and its metadata) from a JSON file."""
+    return from_json(pathlib.Path(path).read_text())
+
+
+def to_edge_list(graph: LatencyGraph) -> str:
+    """Serialize as ``u v latency`` lines (isolated nodes as ``u`` lines)."""
+    lines = ["# repro latency graph edge list: u v latency"]
+    connected = set()
+    for u, v, latency in graph.edges():
+        lines.append(f"{u} {v} {latency}")
+        connected.add(u)
+        connected.add(v)
+    for node in graph.nodes():
+        if node not in connected:
+            lines.append(f"{node}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str) -> LatencyGraph:
+    """Parse an edge list; node ids become ints when they look like ints."""
+    graph = LatencyGraph()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            graph.add_node(_parse_node(parts[0]))
+        elif len(parts) == 3:
+            u, v, latency = parts
+            try:
+                graph.add_edge(_parse_node(u), _parse_node(v), int(latency))
+            except ValueError as error:
+                raise GraphError(
+                    f"line {line_number}: bad latency {latency!r}"
+                ) from error
+        else:
+            raise GraphError(
+                f"line {line_number}: expected 'u v latency' or 'u', got {raw!r}"
+            )
+    return graph
+
+
+def save_edge_list(graph: LatencyGraph, path: PathLike) -> None:
+    """Write the edge-list serialization to ``path``."""
+    pathlib.Path(path).write_text(to_edge_list(graph))
+
+
+def load_edge_list(path: PathLike) -> LatencyGraph:
+    """Read a graph from an edge-list file."""
+    return from_edge_list(pathlib.Path(path).read_text())
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _freeze(node):
+    # JSON keys/values arrive as str/int/float/...; lists are not hashable.
+    if isinstance(node, list):
+        return tuple(_freeze(item) for item in node)
+    return node

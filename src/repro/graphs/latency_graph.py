@@ -1,0 +1,393 @@
+"""The core network substrate: an undirected graph with integer edge latencies.
+
+The paper models the network as a connected, undirected graph ``G = (V, E)``
+where each edge carries a positive integer *latency*: the number of
+synchronous rounds a bidirectional exchange over that edge takes.  This module
+provides :class:`LatencyGraph`, the data structure every other part of the
+library builds on.
+
+Design notes
+------------
+* Node identifiers are arbitrary hashable objects, but generators in this
+  library use consecutive integers.
+* The graph is simple (no self loops, no parallel edges).  The strongly
+  edge-induced *multigraph* used in the push--pull analysis (Eq. 3 of the
+  paper) lives in :mod:`repro.conductance.edge_induced`, not here.
+* All shortest-path quantities are *weighted* by latency unless the name says
+  ``hop``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+from repro.errors import DisconnectedGraphError, GraphError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["LatencyGraph", "Node", "Edge", "edge_key"]
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Return a canonical (sorted) representation of the undirected edge ``{u, v}``.
+
+    Sorting is done on ``repr`` when the nodes are not mutually orderable, so
+    mixed node types still get a stable canonical form.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class LatencyGraph:
+    """An undirected graph whose edges carry positive integer latencies.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes.
+    edges:
+        Optional iterable of ``(u, v, latency)`` triples.
+
+    Examples
+    --------
+    >>> g = LatencyGraph()
+    >>> g.add_edge("a", "b", 3)
+    >>> g.latency("b", "a")
+    3
+    >>> g.weighted_distance("a", "b")
+    3
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Node]] = None,
+        edges: Optional[Iterable[tuple[Node, Node, int]]] = None,
+    ) -> None:
+        self._adj: dict[Node, dict[Node, int]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v, latency in edges:
+                self.add_edge(u, v, latency)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (a no-op if already present)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, latency: int) -> None:
+        """Add the undirected edge ``{u, v}`` with the given latency.
+
+        Latencies must be positive integers (the paper scales and rounds any
+        real-valued latencies, Section 1).  Re-adding an existing edge
+        overwrites its latency.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self loop) or the latency is not a positive int.
+        """
+        if u == v:
+            raise GraphError(f"self loops are not allowed (node {u!r})")
+        if not isinstance(latency, int) or isinstance(latency, bool):
+            raise GraphError(
+                f"latency must be an int, got {type(latency).__name__} for edge ({u!r}, {v!r})"
+            )
+        if latency < 1:
+            raise GraphError(f"latency must be >= 1, got {latency} for edge ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = latency
+        self._adj[v][u] = latency
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge ({u!r}, {v!r}) to remove")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n = |V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node, int]]:
+        """Iterate over ``(u, v, latency)`` with each undirected edge once."""
+        seen: set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v, latency in nbrs.items():
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield u, v, latency
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Neighbors of ``node`` in insertion order."""
+        self._require_node(node)
+        return list(self._adj[node])
+
+    def neighbor_latencies(self, node: Node) -> dict[Node, int]:
+        """Mapping ``neighbor -> latency`` for edges adjacent to ``node``."""
+        self._require_node(node)
+        return dict(self._adj[node])
+
+    def latency(self, u: Node, v: Node) -> int:
+        """Latency of edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge ({u!r}, {v!r})")
+        return self._adj[u][v]
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node``."""
+        self._require_node(node)
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        """Maximum degree ``Δ`` over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return min(len(nbrs) for nbrs in self._adj.values())
+
+    def distinct_latencies(self) -> list[int]:
+        """Sorted list of distinct edge latencies present in the graph."""
+        return sorted({latency for _, _, latency in self.edges()})
+
+    def max_latency(self) -> int:
+        """The maximum edge latency ``ℓ_max`` (0 for an edgeless graph)."""
+        latencies = self.distinct_latencies()
+        return latencies[-1] if latencies else 0
+
+    # ------------------------------------------------------------------
+    # Volumes and cuts (Definitions 1--2 bookkeeping)
+    # ------------------------------------------------------------------
+    def volume(self, subset: Iterable[Node]) -> int:
+        """``Vol(U)``: the number of edge endpoints in ``U`` (sum of degrees).
+
+        This matches the paper's definition ``Vol(U) = |{(u, v) : u in U, v in V}|``.
+        """
+        return sum(self.degree(u) for u in set(subset))
+
+    def cut_edges(
+        self, subset: Iterable[Node], max_latency: Optional[int] = None
+    ) -> list[tuple[Node, Node, int]]:
+        """Edges crossing the cut ``(U, V \\ U)``, optionally filtered by latency.
+
+        Parameters
+        ----------
+        subset:
+            The node set ``U``.
+        max_latency:
+            If given, only edges with latency ``<= max_latency`` are returned
+            (the paper's ``E_ℓ(U, V \\ U)``).
+        """
+        inside = set(subset)
+        crossing = []
+        for u in inside:
+            for v, latency in self._adj[u].items():
+                if v not in inside and (max_latency is None or latency <= max_latency):
+                    crossing.append((u, v, latency))
+        return crossing
+
+    # ------------------------------------------------------------------
+    # Latency-filtered subgraphs
+    # ------------------------------------------------------------------
+    def subgraph_leq(self, max_latency: int) -> "LatencyGraph":
+        """The subgraph ``G_ℓ`` keeping all nodes and only edges of latency ``<= ℓ``."""
+        sub = LatencyGraph(nodes=self.nodes())
+        for u, v, latency in self.edges():
+            if latency <= max_latency:
+                sub.add_edge(u, v, latency)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def weighted_distances(self, source: Node) -> dict[Node, int]:
+        """Single-source shortest-path distances weighted by latency (Dijkstra).
+
+        Unreachable nodes are absent from the returned mapping.
+        """
+        self._require_node(source)
+        dist: dict[Node, int] = {source: 0}
+        counter = 0  # tie-breaker so heap never compares nodes
+        heap: list[tuple[int, int, Node]] = [(0, counter, source)]
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if d > dist.get(u, math.inf):
+                continue
+            for v, latency in self._adj[u].items():
+                nd = d + latency
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, v))
+        return dist
+
+    def weighted_distance(self, u: Node, v: Node) -> int:
+        """Shortest latency-weighted distance between ``u`` and ``v``.
+
+        Raises
+        ------
+        DisconnectedGraphError
+            If ``v`` is unreachable from ``u``.
+        """
+        dist = self.weighted_distances(u)
+        if v not in dist:
+            raise DisconnectedGraphError(f"{v!r} is unreachable from {u!r}")
+        return dist[v]
+
+    def weighted_eccentricity(self, source: Node) -> int:
+        """Max weighted distance from ``source`` to any node (graph must be connected)."""
+        dist = self.weighted_distances(source)
+        if len(dist) != self.num_nodes:
+            raise DisconnectedGraphError("graph is not connected")
+        return max(dist.values())
+
+    def weighted_diameter(self, sample_sources: Optional[int] = None, rng=None) -> int:
+        """The latency-weighted diameter ``D``.
+
+        Parameters
+        ----------
+        sample_sources:
+            If ``None``, compute exactly with one Dijkstra per node.  If an
+            int ``s``, run Dijkstra from ``s`` random sources and return the
+            max eccentricity seen — a lower bound on ``D`` that is within 2x
+            of the truth (and exact on vertex-transitive graphs), cheap
+            enough for benchmark sweeps.
+        rng:
+            ``random.Random`` used to pick sample sources.
+
+        Raises
+        ------
+        DisconnectedGraphError
+            If the graph is not connected.
+        """
+        nodes = self.nodes()
+        if not nodes:
+            return 0
+        if sample_sources is None or sample_sources >= len(nodes):
+            sources = nodes
+        else:
+            if rng is None:
+                raise GraphError("sampled diameter requires an rng")
+            sources = rng.sample(nodes, sample_sources)
+        return max(self.weighted_eccentricity(s) for s in sources)
+
+    def hop_distances(self, source: Node) -> dict[Node, int]:
+        """Single-source hop (unweighted) distances via BFS."""
+        self._require_node(source)
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def hop_diameter(self) -> int:
+        """The hop (unweighted) diameter; exact BFS from every node."""
+        nodes = self.nodes()
+        if not nodes:
+            return 0
+        diameter = 0
+        for source in nodes:
+            dist = self.hop_distances(source)
+            if len(dist) != self.num_nodes:
+                raise DisconnectedGraphError("graph is not connected")
+            diameter = max(diameter, max(dist.values()))
+        return diameter
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph counts as connected)."""
+        nodes = self.nodes()
+        if not nodes:
+            return True
+        return len(self.hop_distances(nodes[0])) == self.num_nodes
+
+    # ------------------------------------------------------------------
+    # Conversions and utilities
+    # ------------------------------------------------------------------
+    def copy(self) -> "LatencyGraph":
+        """A deep copy of the graph."""
+        clone = LatencyGraph(nodes=self.nodes())
+        for u, v, latency in self.edges():
+            clone.add_edge(u, v, latency)
+        return clone
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "LatencyGraph":
+        """Return a copy with node ids replaced via ``mapping`` (must be injective)."""
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("relabel mapping is not injective")
+        out = LatencyGraph(nodes=(mapping.get(v, v) for v in self.nodes()))
+        for u, v, latency in self.edges():
+            out.add_edge(mapping.get(u, u), mapping.get(v, v), latency)
+        return out
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with a ``latency`` edge attribute."""
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(self.nodes())
+        nxg.add_weighted_edges_from(self.edges(), weight="latency")
+        return nxg
+
+    @classmethod
+    def from_networkx(cls, nxg, latency_attr: str = "latency", default: int = 1) -> "LatencyGraph":
+        """Build from a ``networkx.Graph``; missing latency attributes get ``default``."""
+        graph = cls(nodes=nxg.nodes())
+        for u, v, data in nxg.edges(data=True):
+            graph.add_edge(u, v, int(data.get(latency_attr, default)))
+        return graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"LatencyGraph(n={self.num_nodes}, m={self.num_edges})"
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")

@@ -1,0 +1,34 @@
+"""Lower-bound machinery: the guessing game, Alice strategies, and Lemma 3."""
+
+from repro.lowerbounds.game import GuessingGame, Pair, target_from_gadget
+from repro.lowerbounds.predicates import (
+    Predicate,
+    fixed_predicate,
+    random_predicate,
+    singleton_predicate,
+)
+from repro.lowerbounds.reduction import ReductionOutcome, simulate_gossip_as_guessing
+from repro.lowerbounds.strategies import (
+    Strategy,
+    fresh_pair_strategy,
+    play_game,
+    random_guessing_strategy,
+    systematic_sweep_strategy,
+)
+
+__all__ = [
+    "GuessingGame",
+    "Pair",
+    "Predicate",
+    "ReductionOutcome",
+    "Strategy",
+    "fixed_predicate",
+    "fresh_pair_strategy",
+    "play_game",
+    "random_guessing_strategy",
+    "random_predicate",
+    "simulate_gossip_as_guessing",
+    "singleton_predicate",
+    "systematic_sweep_strategy",
+    "target_from_gadget",
+]

@@ -1,0 +1,105 @@
+"""The combinatorial guessing game of Section 3.1.
+
+Alice plays against an oracle on the complete bipartite pair set ``A x B``
+with ``|A| = |B| = m``.  The oracle fixes a hidden *target set*
+``T ⊆ A x B`` drawn from a predicate.  Each round Alice submits at most
+``2m`` guesses; the oracle reveals the hits, and every target pair sharing a
+B-component with a *hit* is removed from the target.  The game ends when the
+target is empty — i.e. when every ``b ∈ T^B`` has been hit at least once.
+
+Note on Eq. (2): read literally, the paper's update rule removes pairs whose
+B-component was merely *guessed* (``X_r^B``); the surrounding prose ("if any
+edge (u, v) in the target set is guessed ... all adjacent edges (x, v) in
+the target set are removed") and the winning condition ("for every
+``b ∈ T_1^B`` there was some ``(a', b) ∈ X_r ∩ T_r``") make clear that only
+B-components of actual **hits** eliminate — otherwise Alice could clear the
+whole game in one round by guessing one pair per column.  We implement the
+prose semantics.
+
+Concretely ``A = {0, ..., m-1}`` and ``B = {m, ..., 2m-1}``; a *pair* is a
+tuple ``(a, b)`` with ``a ∈ A`` and ``b ∈ B``.  Predicates in
+:mod:`repro.lowerbounds.predicates` produce targets in this coordinate
+system (note: :mod:`repro.graphs.gadgets` indexes both sides from 0; use
+:func:`target_from_gadget` to convert).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import GameError
+
+__all__ = ["Pair", "GuessingGame", "target_from_gadget"]
+
+Pair = tuple[int, int]
+
+
+def target_from_gadget(m: int, gadget_target: Iterable[tuple[int, int]]) -> frozenset[Pair]:
+    """Convert a gadget target (both sides 0-indexed) to game coordinates.
+
+    The gadget modules use ``(i, j)`` with ``i, j ∈ [0, m)``; the game uses
+    ``(i, m + j)``.
+    """
+    return frozenset((i, m + j) for i, j in gadget_target)
+
+
+class GuessingGame:
+    """One playable instance of ``Guessing(2m, P)``.
+
+    Parameters
+    ----------
+    m:
+        Side size; Alice may guess at most ``2m`` pairs per round.
+    target:
+        The oracle's initial target set ``T_1`` in game coordinates
+        (``a ∈ [0, m)``, ``b ∈ [m, 2m)``).
+    """
+
+    def __init__(self, m: int, target: frozenset[Pair]) -> None:
+        if m < 1:
+            raise GameError(f"m must be >= 1, got {m}")
+        self.m = m
+        for a, b in target:
+            if not (0 <= a < m and m <= b < 2 * m):
+                raise GameError(f"target pair {(a, b)} outside A x B for m={m}")
+        self.initial_target = frozenset(target)
+        self._target = set(target)
+        self.rounds = 0
+        self.total_guesses = 0
+        self.hits: set[Pair] = set()
+
+    @property
+    def remaining_target(self) -> frozenset[Pair]:
+        """The current target set ``T_r`` (the oracle's private state)."""
+        return frozenset(self._target)
+
+    @property
+    def done(self) -> bool:
+        """Whether the target set is empty (the oracle would answer *halt*)."""
+        return not self._target
+
+    def guess(self, guesses: Iterable[Pair]) -> frozenset[Pair]:
+        """Submit one round of guesses; returns the hits ``X_r ∩ T_r``.
+
+        Raises
+        ------
+        GameError
+            If more than ``2m`` distinct guesses are submitted or a guess
+            lies outside ``A x B``.
+        """
+        guess_set = set(guesses)
+        if len(guess_set) > 2 * self.m:
+            raise GameError(
+                f"at most {2 * self.m} guesses per round, got {len(guess_set)}"
+            )
+        for a, b in guess_set:
+            if not (0 <= a < self.m and self.m <= b < 2 * self.m):
+                raise GameError(f"guess {(a, b)} outside A x B for m={self.m}")
+        self.rounds += 1
+        self.total_guesses += len(guess_set)
+        round_hits = frozenset(guess_set & self._target)
+        hit_b = {b for _, b in round_hits}
+        if hit_b:
+            self._target = {(a, b) for a, b in self._target if b not in hit_b}
+        self.hits |= round_hits
+        return round_hits

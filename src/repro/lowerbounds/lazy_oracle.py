@@ -1,0 +1,134 @@
+"""The deferred-decision oracle behind Lemma 5's analysis.
+
+The proof of Lemma 5 observes that for the ``Random_p`` predicate, "we can
+assume that the target membership of an edge e is determined only at the
+point when Alice submits e as a guess."  This module implements that
+*lazy* oracle: each pair's membership coin is flipped the first time
+anyone needs it — usually when Alice guesses the pair, or when the oracle
+must answer whether the game is over (it then resolves the still-unflipped
+coins of unhit columns).  Because the coins are independent, flipping them
+earlier or later never changes the joint distribution, so a lazy game with
+the same coin stream is *behaviourally equivalent* to an eager game whose
+target was sampled up front — a property the test suite verifies by
+coupling.
+
+What the lazy form buys:
+
+* the geometric structure of the proof is directly visible —
+  :attr:`LazyGuessingGame.fresh_pair_guesses` counts exactly the trials of
+  the proof's ``Z_j`` variables, each succeeding with probability ``p``;
+* huge ``m`` becomes cheap: the eager oracle materializes ``m²`` coins,
+  the lazy one only those actually touched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.errors import GameError
+from repro.lowerbounds.game import Pair
+
+__all__ = ["LazyGuessingGame"]
+
+
+class LazyGuessingGame:
+    """``Guessing(2m, Random_p)`` with membership decided on demand.
+
+    Parameters
+    ----------
+    m:
+        Side size; Alice may guess at most ``2m`` pairs per round.
+    p:
+        The ``Random_p`` membership probability.
+    seed:
+        The oracle's private randomness.  Each pair's coin is derived from
+        ``(seed, pair)`` independently, so the membership function does not
+        depend on the order coins are flipped — :meth:`eager_target` can
+        materialize the exact same target an eager oracle would see, which
+        is how the coupling test verifies equivalence.
+    """
+
+    def __init__(self, m: int, p: float, seed: int) -> None:
+        if m < 1:
+            raise GameError(f"m must be >= 1, got {m}")
+        if not 0.0 <= p <= 1.0:
+            raise GameError(f"p must be in [0, 1], got {p}")
+        self.m = m
+        self.p = p
+        self._seed = seed
+        self._membership: dict[Pair, bool] = {}
+        self._guessed: set[Pair] = set()
+        self._hit_columns: set[int] = set()
+        self.rounds = 0
+        self.total_guesses = 0
+        self.fresh_pair_guesses = 0
+        self.coins_flipped = 0
+
+    # ------------------------------------------------------------------
+    def _flip(self, pair: Pair) -> bool:
+        if pair not in self._membership:
+            coin = random.Random(f"{self._seed}:{pair[0]}:{pair[1]}").random()
+            self._membership[pair] = coin < self.p
+            self.coins_flipped += 1
+        return self._membership[pair]
+
+    def eager_target(self) -> frozenset[Pair]:
+        """The full target an eager oracle with the same seed would sample.
+
+        Flips every remaining coin; exists for the coupling equivalence
+        test and for post-hoc analysis.
+        """
+        for a in range(self.m):
+            for b in range(self.m, 2 * self.m):
+                self._flip((a, b))
+        return self.revealed_target()
+
+    def _column_has_unhit_target(self, b: int) -> bool:
+        if b in self._hit_columns:
+            return False
+        return any(self._flip((a, b)) for a in range(self.m))
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the (lazily resolved) target set has emptied.
+
+        Querying this may flip remaining coins of unhit columns — which is
+        distribution-preserving, since the coins are independent.
+        """
+        return not any(
+            self._column_has_unhit_target(b) for b in range(self.m, 2 * self.m)
+        )
+
+    def revealed_target(self) -> frozenset[Pair]:
+        """Pairs whose membership coin has come up 'target' so far."""
+        return frozenset(pair for pair, member in self._membership.items() if member)
+
+    # ------------------------------------------------------------------
+    def guess(self, guesses: Iterable[Pair]) -> frozenset[Pair]:
+        """Submit one round of guesses; returns the hits.
+
+        A guess hits when its membership coin is 'target' and its column
+        has not already been eliminated by an earlier hit.
+        """
+        guess_set = set(guesses)
+        if len(guess_set) > 2 * self.m:
+            raise GameError(
+                f"at most {2 * self.m} guesses per round, got {len(guess_set)}"
+            )
+        self.rounds += 1
+        self.total_guesses += len(guess_set)
+        hits = set()
+        for pair in sorted(guess_set):
+            a, b = pair
+            if not (0 <= a < self.m and self.m <= b < 2 * self.m):
+                raise GameError(f"guess {pair} outside A x B for m={self.m}")
+            if pair not in self._guessed:
+                self._guessed.add(pair)
+                self.fresh_pair_guesses += 1
+            if self._flip(pair) and b not in self._hit_columns:
+                hits.add(pair)
+        for _, b in hits:
+            self._hit_columns.add(b)
+        return frozenset(hits)

@@ -1,0 +1,57 @@
+"""Target-set predicates for the guessing game.
+
+A predicate is a callable ``(m, rng) -> frozenset[Pair]`` producing the
+oracle's initial target in game coordinates (``a ∈ [0, m)``,
+``b ∈ [m, 2m)``).  The two predicates the paper's lower bounds use:
+
+* :func:`singleton_predicate` — ``|T| = 1``, one uniformly random pair
+  (Lemma 4 / Theorem 6);
+* :func:`random_predicate` — each pair joins independently with
+  probability ``p`` (``Random_p``, Lemma 5 / Theorem 7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import GameError
+from repro.lowerbounds.game import Pair
+
+__all__ = ["Predicate", "singleton_predicate", "random_predicate", "fixed_predicate"]
+
+Predicate = Callable[[int, random.Random], frozenset]
+
+
+def singleton_predicate() -> Predicate:
+    """``|T| = 1``: a single pair chosen uniformly at random."""
+
+    def predicate(m: int, rng: random.Random) -> frozenset:
+        return frozenset({(rng.randrange(m), m + rng.randrange(m))})
+
+    return predicate
+
+
+def random_predicate(p: float) -> Predicate:
+    """``Random_p``: each of the ``m²`` pairs joins independently w.p. ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise GameError(f"p must be in [0, 1], got {p}")
+
+    def predicate(m: int, rng: random.Random) -> frozenset:
+        return frozenset(
+            (a, m + b)
+            for a in range(m)
+            for b in range(m)
+            if rng.random() < p
+        )
+
+    return predicate
+
+
+def fixed_predicate(target: frozenset) -> Predicate:
+    """A predicate returning a pre-chosen target (for deterministic tests)."""
+
+    def predicate(_m: int, _rng: random.Random) -> frozenset:
+        return target
+
+    return predicate

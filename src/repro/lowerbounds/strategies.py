@@ -1,0 +1,124 @@
+"""Alice strategies for the guessing game (Lemmas 4-5).
+
+Three strategies, matching the cases the paper analyzes:
+
+* :func:`random_guessing_strategy` — the *oblivious* strategy of Lemma 5's
+  second part: every round, one uniformly random ``b`` for each ``a ∈ A``
+  and one uniformly random ``a`` for each ``b ∈ B`` (2m guesses).  This is
+  exactly what push--pull gossip induces under the Lemma 3 reduction, and
+  it needs ``Ω(log(m)/p)`` rounds in expectation — a ``log m`` factor worse
+  than adaptive play (the coupon-collector tail over the columns of ``B``).
+* :func:`fresh_pair_strategy` — the adaptive strategy behind Lemma 5's
+  general ``Ω(1/p)`` bound: never repeat a guess, never guess an already
+  eliminated column.  Each guess hits with probability ``p`` fresh.
+* :func:`systematic_sweep_strategy` — deterministic row-major sweep; the
+  natural deterministic baseline for Lemma 4's ``Ω(m)`` singleton bound.
+
+A strategy is a callable ``(game, rng) -> None`` that submits one round of
+guesses; :func:`play_game` drives one to completion and returns the round
+count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import GameError
+from repro.lowerbounds.game import GuessingGame, Pair
+
+__all__ = [
+    "Strategy",
+    "random_guessing_strategy",
+    "fresh_pair_strategy",
+    "systematic_sweep_strategy",
+    "play_game",
+]
+
+Strategy = Callable[[GuessingGame, random.Random], None]
+
+
+def random_guessing_strategy() -> Strategy:
+    """Oblivious random guessing (the push--pull analogue)."""
+
+    def step(game: GuessingGame, rng: random.Random) -> None:
+        m = game.m
+        guesses = set()
+        for a in range(m):
+            guesses.add((a, m + rng.randrange(m)))
+        for b in range(m, 2 * m):
+            guesses.add((rng.randrange(m), b))
+        game.guess(guesses)
+
+    return step
+
+
+def fresh_pair_strategy() -> Strategy:
+    """Adaptive: guess fresh pairs in random order, skipping cleared columns.
+
+    Columns are *cleared* when some pair in them was hit (the oracle's
+    update removes them from the target); Alice observes her hits, so she
+    never wastes guesses there.
+    """
+    state: dict[int, object] = {}
+
+    def step(game: GuessingGame, rng: random.Random) -> None:
+        if "order" not in state:
+            m = game.m
+            order = [(a, m + b) for a in range(m) for b in range(m)]
+            rng.shuffle(order)
+            state["order"] = iter(order)
+            state["cleared"] = set()
+            state["budget"] = 2 * m
+        cleared: set = state["cleared"]  # type: ignore[assignment]
+        guesses: list[Pair] = []
+        for pair in state["order"]:  # type: ignore[union-attr]
+            if pair[1] in cleared:
+                continue
+            guesses.append(pair)
+            if len(guesses) >= state["budget"]:  # type: ignore[operator]
+                break
+        if not guesses:
+            # Every pair has been guessed, so every target pair was hit and
+            # the game must already be over.
+            raise GameError("fresh-pair strategy exhausted with a nonempty target")
+        hits = game.guess(guesses)
+        cleared.update(b for _, b in hits)
+
+    return step
+
+
+def systematic_sweep_strategy() -> Strategy:
+    """Deterministic row-major sweep over all ``m²`` pairs, 2m per round."""
+    state = {"position": 0}
+
+    def step(game: GuessingGame, rng: random.Random) -> None:
+        m = game.m
+        total = m * m
+        guesses = []
+        while len(guesses) < 2 * m and state["position"] < total:
+            a, b = divmod(state["position"], m)
+            guesses.append((a, m + b))
+            state["position"] += 1
+        if not guesses:
+            # Sweep exhausted without emptying the target — should be
+            # impossible, since sweeping everything hits every target pair.
+            raise GameError("systematic sweep exhausted with a nonempty target")
+        game.guess(guesses)
+
+    return step
+
+
+def play_game(
+    game: GuessingGame,
+    strategy_factory: Callable[[], Strategy],
+    rng: random.Random,
+    max_rounds: int = 1_000_000,
+) -> int:
+    """Drive ``strategy`` until the target empties; returns rounds used."""
+    strategy = strategy_factory()
+    while not game.done:
+        if game.rounds >= max_rounds:
+            raise GameError(f"game exceeded max_rounds={max_rounds}")
+        strategy(game, rng)
+    return game.rounds

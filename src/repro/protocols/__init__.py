@@ -1,0 +1,80 @@
+"""All dissemination protocols from the paper (Sections 4-5, Appendices B-E)."""
+
+from repro.protocols.aggregation import AGGREGATE_OPS, AggregateReport, run_aggregate
+from repro.protocols.base import PhaseRunner, per_node_rng_factory
+from repro.protocols.discovery import (
+    LatencyDiscoveryProtocol,
+    UnknownLatencyReport,
+    run_general_eid_unknown_latencies,
+    run_latency_discovery,
+)
+from repro.protocols.dtg import LDTGProtocol, ldtg_factory, run_ldtg
+from repro.protocols.eid import (
+    EIDReport,
+    GeneralEIDReport,
+    TerminationCheckReport,
+    run_eid,
+    run_general_eid,
+    run_termination_check,
+)
+from repro.protocols.flooding import FloodingProtocol, run_flooding
+from repro.protocols.path_discovery import (
+    PathDiscoveryReport,
+    run_path_discovery,
+    run_t_sequence,
+    t_sequence,
+)
+from repro.protocols.push_pull import PushPullProtocol, run_push_pull
+from repro.protocols.robustness import (
+    RobustnessResult,
+    run_push_pull_under_failures,
+    run_spanner_pipeline_under_failures,
+    spanner_cut_crashes,
+)
+from repro.protocols.rr_broadcast import (
+    RRBroadcastProtocol,
+    rr_broadcast_duration,
+    rr_broadcast_factory,
+)
+from repro.protocols.spanner import DirectedSpanner, baswana_sen_spanner
+from repro.protocols.unified import UnifiedReport, run_unified
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "AggregateReport",
+    "DirectedSpanner",
+    "EIDReport",
+    "FloodingProtocol",
+    "GeneralEIDReport",
+    "LDTGProtocol",
+    "LatencyDiscoveryProtocol",
+    "PathDiscoveryReport",
+    "PhaseRunner",
+    "PushPullProtocol",
+    "RRBroadcastProtocol",
+    "RobustnessResult",
+    "TerminationCheckReport",
+    "UnifiedReport",
+    "UnknownLatencyReport",
+    "baswana_sen_spanner",
+    "ldtg_factory",
+    "per_node_rng_factory",
+    "rr_broadcast_duration",
+    "rr_broadcast_factory",
+    "run_aggregate",
+    "run_eid",
+    "run_flooding",
+    "run_general_eid",
+    "run_general_eid_unknown_latencies",
+    "run_latency_discovery",
+    "run_ldtg",
+    "run_path_discovery",
+    "run_push_pull",
+    "run_push_pull_under_failures",
+    "run_spanner_pipeline_under_failures",
+    "run_t_sequence",
+    "run_termination_check",
+    "run_unified",
+    "spanner_cut_crashes",
+    "t_sequence",
+]

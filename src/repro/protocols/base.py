@@ -1,0 +1,105 @@
+"""Shared protocol plumbing: per-node RNG streams and multi-phase execution.
+
+Composite algorithms (EID, General EID, Path Discovery) run several protocol
+*phases* back to back over the same :class:`~repro.sim.state.NetworkState` —
+for example "log n rounds of D-DTG, then RR Broadcast on the spanner".
+:class:`PhaseRunner` owns that state, accumulates the total round count
+across phases, and (optionally) watches for the first round at which a
+completion predicate holds so benchmarks can report *time to completion*
+separately from *time to protocol termination*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.sim.engine import Engine, NodeProtocol
+from repro.sim.state import NetworkState
+
+__all__ = ["per_node_rng_factory", "PhaseRunner"]
+
+
+def per_node_rng_factory(seed: int) -> Callable[[Node], random.Random]:
+    """Deterministic independent RNG streams, one per node.
+
+    Each node's stream is seeded from ``(seed, repr(node))`` so results do
+    not depend on node iteration order.
+    """
+
+    def make(node: Node) -> random.Random:
+        return random.Random(f"{seed}:{node!r}")
+
+    return make
+
+
+class PhaseRunner:
+    """Runs protocol phases sequentially over one shared network state.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    state:
+        Shared knowledge; a fresh one is created (and self-rumors seeded)
+        when omitted.
+    watch:
+        Optional predicate over the state; :attr:`first_complete_round` is
+        the cumulative round count when it first held.
+    """
+
+    def __init__(
+        self,
+        graph: LatencyGraph,
+        state: Optional[NetworkState] = None,
+        watch: Optional[Callable[[NetworkState], bool]] = None,
+    ) -> None:
+        self.graph = graph
+        if state is None:
+            state = NetworkState(graph.nodes())
+            state.seed_self_rumors()
+        self.state = state
+        self.total_rounds = 0
+        self.total_exchanges = 0
+        self.total_messages = 0
+        self.first_complete_round: Optional[int] = None
+        self._watch = watch
+        if watch is not None and watch(self.state):
+            self.first_complete_round = 0
+
+    def run_phase(
+        self,
+        protocol_factory: Callable[[Node], NodeProtocol],
+        latencies_known: bool = True,
+        max_rounds: int = 1_000_000,
+        name: str = "phase",
+    ) -> Engine:
+        """Run one phase until every node's protocol is done.
+
+        Returns the finished engine so callers can inspect protocol
+        instances (e.g. collect measured latencies after discovery).
+        """
+        engine = Engine(
+            self.graph,
+            protocol_factory,
+            state=self.state,
+            latencies_known=latencies_known,
+        )
+        while not engine.all_done():
+            if engine.round >= max_rounds:
+                raise SimulationError(
+                    f"{name} exceeded max_rounds={max_rounds} within one phase"
+                )
+            engine.step()
+            self.total_rounds += 1
+            if (
+                self._watch is not None
+                and self.first_complete_round is None
+                and self._watch(self.state)
+            ):
+                self.first_complete_round = self.total_rounds
+        self.total_exchanges += engine.metrics.exchanges
+        self.total_messages += engine.metrics.messages
+        return engine

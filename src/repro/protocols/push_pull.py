@@ -1,0 +1,122 @@
+"""Classical push--pull gossip (the random phone call protocol).
+
+In every round every node initiates an exchange with a uniformly random
+neighbor; the exchange is bidirectional, so information both pushes to and
+pulls from the contacted node.  Theorem 12 of the paper shows that on a
+latency graph this completes one-to-all broadcast w.h.p. within
+``O((ℓ*/φ*) · log n)`` rounds, where ``φ*`` is the weighted conductance and
+``ℓ*`` the critical latency.
+
+The protocol needs no knowledge of latencies, the diameter, or ``n`` — it is
+the "unknown everything" workhorse of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.sim.engine import Engine, NodeContext, NodeProtocol
+from repro.sim.metrics import DisseminationResult
+from repro.sim.runner import (
+    all_to_all_complete,
+    broadcast_complete,
+    local_broadcast_complete,
+    run_until_complete,
+)
+from repro.sim.state import NetworkState
+from repro.protocols.base import per_node_rng_factory
+
+__all__ = ["PushPullProtocol", "run_push_pull"]
+
+
+class PushPullProtocol(NodeProtocol):
+    """One node's push--pull behaviour: contact a uniform random neighbor."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._neighbors: list[Node] = []
+
+    def setup(self, ctx: NodeContext) -> None:
+        self._neighbors = sorted(ctx.neighbors(), key=repr)
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        if not self._neighbors:
+            return None
+        return self._rng.choice(self._neighbors)
+
+
+def run_push_pull(
+    graph: LatencyGraph,
+    source: Optional[Node] = None,
+    mode: str = "broadcast",
+    seed: int = 0,
+    max_rounds: int = 1_000_000,
+    max_latency: Optional[int] = None,
+    track_progress: bool = False,
+    allow_incomplete: bool = False,
+    fresh_snapshots: bool = False,
+) -> DisseminationResult:
+    """Run push--pull to completion and report the time.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    source:
+        Source node for ``mode="broadcast"`` (defaults to the first node).
+    mode:
+        ``"broadcast"`` (one-to-all), ``"all_to_all"``, or ``"local"``
+        (every node's rumor reaches its (ℓ-)neighbors).
+    seed:
+        Seed for the per-node random contact choices.
+    max_rounds:
+        Round budget (generous by default; the bound is ``O((ℓ*/φ*) log n)``).
+    max_latency:
+        For ``mode="local"``: only neighbors over edges of latency
+        ``<= max_latency`` must be reached.
+    track_progress:
+        Record the informed-node count per round (broadcast mode only).
+    allow_incomplete:
+        Return an incomplete result instead of raising when the budget runs
+        out.
+    fresh_snapshots:
+        Snapshot-semantics ablation flag (see :class:`~repro.sim.Engine`).
+    """
+    state = NetworkState(graph.nodes())
+    progress = None
+    if mode == "broadcast":
+        if source is None:
+            source = graph.nodes()[0]
+        rumor = ("rumor", source)
+        state.add_rumor(source, rumor)
+        predicate = broadcast_complete(rumor)
+        if track_progress:
+            def progress(engine: Engine) -> int:
+                return engine.state.count_knowing(rumor)
+    elif mode == "all_to_all":
+        state.seed_self_rumors()
+        predicate = all_to_all_complete()
+    elif mode == "local":
+        state.seed_self_rumors()
+        predicate = local_broadcast_complete(max_latency)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    make_rng = per_node_rng_factory(seed)
+    engine = Engine(
+        graph,
+        lambda node: PushPullProtocol(make_rng(node)),
+        state=state,
+        latencies_known=False,
+        fresh_snapshots=fresh_snapshots,
+    )
+    return run_until_complete(
+        engine,
+        predicate,
+        protocol_name=f"push-pull[{mode}]",
+        max_rounds=max_rounds,
+        track_progress=progress,
+        allow_incomplete=allow_incomplete,
+    )

@@ -1,0 +1,78 @@
+"""RR Broadcast: round-robin dissemination over a directed spanner (Algorithm 2).
+
+Given the directed spanner and a distance parameter ``k``, every node cycles
+through its out-edges of latency ``<= k``, initiating one (non-blocking)
+exchange per round, for ``k·Δ_out + k`` rounds.  Lemma 15 shows that any two
+nodes at weighted distance ``<= k`` in ``G`` have then exchanged rumors:
+along a shortest path, each hop waits at most ``Δ_out`` rounds for its edge's
+turn plus the hop latency, and the hop count and latency sum are both
+``<= k``.
+
+On the ``O(log n)``-stretch spanner with ``Δ_out = O(log n)`` this gives the
+``O(D log² n)`` broadcast step of Corollary 16.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.graphs.latency_graph import Node
+from repro.sim.engine import NodeContext, NodeProtocol
+from repro.protocols.spanner import DirectedSpanner
+
+__all__ = ["RRBroadcastProtocol", "rr_broadcast_factory", "rr_broadcast_duration"]
+
+
+def rr_broadcast_duration(k: int, max_out_degree: int) -> int:
+    """The Lemma 15 round budget ``k·Δ_out + k``."""
+    return k * max_out_degree + k
+
+
+class RRBroadcastProtocol(NodeProtocol):
+    """One node's RR Broadcast behaviour: cycle out-edges for a fixed budget."""
+
+    def __init__(self, out_neighbors: list[Node], duration: int) -> None:
+        if duration < 0:
+            raise ProtocolError(f"duration must be >= 0, got {duration}")
+        self._out_neighbors = out_neighbors
+        self._duration = duration
+        self._next = 0
+        self._rounds_run = 0
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        self._rounds_run += 1
+        if not self._out_neighbors:
+            return None
+        target = self._out_neighbors[self._next % len(self._out_neighbors)]
+        self._next += 1
+        return target
+
+    def is_done(self, ctx: NodeContext) -> bool:
+        return self._rounds_run >= self._duration
+
+
+def rr_broadcast_factory(
+    spanner: DirectedSpanner,
+    k: int,
+    duration: Optional[int] = None,
+) -> Callable[[Node], RRBroadcastProtocol]:
+    """Factory for one RR Broadcast phase with parameter ``k``.
+
+    Out-edges are restricted to latency ``<= k`` (the ``G_k`` view of the
+    spanner); the default duration is Lemma 15's ``k·Δ_out + k`` computed
+    from the restricted spanner's max out-degree.
+    """
+    if k < 1:
+        raise ProtocolError(f"k must be >= 1, got {k}")
+    restricted = spanner.restrict(k)
+    budget = (
+        duration
+        if duration is not None
+        else rr_broadcast_duration(k, restricted.max_out_degree())
+    )
+
+    def make(node: Node) -> RRBroadcastProtocol:
+        return RRBroadcastProtocol(list(restricted.out_edges.get(node, [])), budget)
+
+    return make

@@ -1,0 +1,246 @@
+"""Directed Baswana--Sen spanner construction (Appendix D, Lemma 13).
+
+The known-latency algorithm of Section 5 routes all communication over a
+sparse **(2k-1)-spanner** computed by the randomized clustering algorithm of
+Baswana and Sen, modified as in the paper:
+
+* every edge a node adds to the spanner is **oriented away** from that node,
+  and the out-degree of every node is ``O(n^{1/k} log n)`` w.h.p.
+  (``O(n^{c/k} log n)`` when only an estimate ``n̂ <= n^c`` is known,
+  Lemma 13);
+* edge weights are made distinct by breaking latency ties with node ids.
+
+In the paper the algorithm runs in the LOCAL model after each node gathers
+its ``k``-hop neighborhood via repeated D-DTG (Theorem 14); the decisions of
+each node depend only on that neighborhood.  We implement the per-node rules
+exactly but execute them centrally — the message-passing *cost* of gathering
+the neighborhoods is charged separately by the EID protocol, mirroring the
+paper's "all computations are done locally" accounting.
+
+The construction is over the latency-weighted graph: cluster joins follow
+least-*latency* edges, so the spanner approximates weighted distances
+(stretch ``2k - 1`` on every edge, hence on every path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.graphs.latency_graph import LatencyGraph, Node, edge_key
+
+__all__ = ["DirectedSpanner", "baswana_sen_spanner"]
+
+_WeightKey = tuple[int, str, str]
+
+
+def _weight(graph: LatencyGraph, u: Node, v: Node) -> _WeightKey:
+    """Distinct total order on edges: latency first, node-id tiebreak."""
+    a, b = edge_key(u, v)
+    return (graph.latency(u, v), repr(a), repr(b))
+
+
+@dataclasses.dataclass
+class DirectedSpanner:
+    """A spanner subgraph with an orientation bounding out-degrees.
+
+    Attributes
+    ----------
+    graph:
+        The underlying network the spanner was built from.
+    out_edges:
+        ``out_edges[v]`` is the list of heads of ``v``'s outgoing spanner
+        edges (sorted for determinism).
+    k:
+        The Baswana--Sen parameter; the undirected stretch is ``2k - 1``.
+    """
+
+    graph: LatencyGraph
+    out_edges: dict[Node, list[Node]]
+    k: int
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) spanner edges."""
+        return len(self.undirected_edges())
+
+    def undirected_edges(self) -> set[tuple[Node, Node]]:
+        """The spanner's edge set, canonically ordered."""
+        return {
+            edge_key(tail, head)
+            for tail, heads in self.out_edges.items()
+            for head in heads
+        }
+
+    def max_out_degree(self) -> int:
+        """The maximum out-degree Δ_out over all nodes."""
+        if not self.out_edges:
+            return 0
+        return max(len(heads) for heads in self.out_edges.values())
+
+    def to_latency_graph(self) -> LatencyGraph:
+        """The undirected spanner as a :class:`LatencyGraph` (latencies copied)."""
+        spanner = LatencyGraph(nodes=self.graph.nodes())
+        for u, v in self.undirected_edges():
+            spanner.add_edge(u, v, self.graph.latency(u, v))
+        return spanner
+
+    def restrict(self, max_latency: int) -> "DirectedSpanner":
+        """Keep only spanner edges of latency ``<= max_latency`` (the ``G_k`` view)."""
+        restricted = {
+            tail: [h for h in heads if self.graph.latency(tail, h) <= max_latency]
+            for tail, heads in self.out_edges.items()
+        }
+        return DirectedSpanner(graph=self.graph, out_edges=restricted, k=self.k)
+
+    def measured_stretch(
+        self, num_pairs: int = 50, rng: Optional[random.Random] = None
+    ) -> float:
+        """Empirical stretch: max over sampled pairs of d_spanner / d_G.
+
+        Exact over all pairs when ``num_pairs`` exceeds ``n``; otherwise
+        sampled from ``num_pairs`` random sources.
+        """
+        rng = rng or random.Random(0)
+        spanner_graph = self.to_latency_graph()
+        nodes = self.graph.nodes()
+        sources = nodes if num_pairs >= len(nodes) else rng.sample(nodes, num_pairs)
+        worst = 1.0
+        for source in sources:
+            original = self.graph.weighted_distances(source)
+            routed = spanner_graph.weighted_distances(source)
+            for target, d in original.items():
+                if target == source or d == 0:
+                    continue
+                if target not in routed:
+                    return math.inf
+                worst = max(worst, routed[target] / d)
+        return worst
+
+
+def baswana_sen_spanner(
+    graph: LatencyGraph,
+    k: int,
+    rng: random.Random,
+    n_hat: Optional[int] = None,
+) -> DirectedSpanner:
+    """Compute a directed ``(2k-1)``-spanner by Baswana--Sen clustering.
+
+    Parameters
+    ----------
+    graph:
+        A connected latency graph.
+    k:
+        Number of clustering iterations; stretch is ``2k - 1`` and expected
+        size ``O(k · n^{1 + 1/k})``.  ``k = ceil(log2 n)`` gives the paper's
+        ``O(log n)``-spanner with ``O(n log n)`` edges.
+    rng:
+        Randomness for cluster sampling.
+    n_hat:
+        The (polynomial) upper bound on ``n`` the nodes actually know; the
+        sampling probability is ``n̂^{-1/k}``.  Defaults to the true ``n``.
+
+    Returns
+    -------
+    DirectedSpanner
+        Spanner with per-node out-edge lists.
+    """
+    if k < 1:
+        raise ProtocolError(f"k must be >= 1, got {k}")
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n_hat is None:
+        n_hat = n
+    if n_hat < n:
+        raise ProtocolError(f"n_hat must be >= n, got n_hat={n_hat}, n={n}")
+    sample_probability = n_hat ** (-1.0 / k) if n_hat > 1 else 1.0
+
+    out_edges: dict[Node, set[Node]] = {node: set() for node in nodes}
+    # Clustering state: center of each still-clustered node.
+    center: dict[Node, Node] = {node: node for node in nodes}
+    # Unresolved edges, per node: neighbor -> weight key.
+    unresolved: dict[Node, dict[Node, _WeightKey]] = {
+        node: {
+            neighbor: _weight(graph, node, neighbor)
+            for neighbor in graph.neighbors(node)
+        }
+        for node in nodes
+    }
+
+    def discard(u: Node, v: Node) -> None:
+        unresolved[u].pop(v, None)
+        unresolved[v].pop(u, None)
+
+    def add_out(tail: Node, head: Node) -> None:
+        out_edges[tail].add(head)
+
+    for _iteration in range(1, k):
+        current_centers = sorted(set(center.values()), key=repr)
+        sampled = {c for c in current_centers if rng.random() < sample_probability}
+        new_center: dict[Node, Node] = {
+            node: c for node, c in center.items() if c in sampled
+        }
+        for node in nodes:
+            if node not in center or center[node] in sampled:
+                continue  # unclustered already settled; sampled members stay put
+            # Group this node's unresolved edges by the neighbor's cluster.
+            by_cluster: dict[Node, tuple[_WeightKey, Node]] = {}
+            members: dict[Node, list[Node]] = {}
+            for neighbor, weight in list(unresolved[node].items()):
+                neighbor_center = center.get(neighbor)
+                if neighbor_center is None or neighbor_center == center[node]:
+                    continue  # intra-cluster or settled: never joins the spanner
+                members.setdefault(neighbor_center, []).append(neighbor)
+                best = by_cluster.get(neighbor_center)
+                if best is None or (weight, repr(neighbor)) < (best[0], repr(best[1])):
+                    by_cluster[neighbor_center] = (weight, neighbor)
+            sampled_adjacent = [c for c in by_cluster if c in sampled]
+            if not sampled_adjacent:
+                # Rule 1: settle — one least-weight edge per adjacent cluster.
+                for cluster, (_, best_neighbor) in by_cluster.items():
+                    add_out(node, best_neighbor)
+                    for neighbor in members[cluster]:
+                        discard(node, neighbor)
+                # Also drop intra-cluster and settled-neighbor edges.
+                for neighbor in list(unresolved[node]):
+                    discard(node, neighbor)
+            else:
+                # Rule 2: join the sampled cluster with the lightest edge.
+                join_cluster = min(
+                    sampled_adjacent, key=lambda c: (by_cluster[c][0], repr(c))
+                )
+                join_weight, join_neighbor = by_cluster[join_cluster]
+                add_out(node, join_neighbor)
+                new_center[node] = join_cluster
+                for neighbor in members[join_cluster]:
+                    discard(node, neighbor)
+                for cluster, (weight, best_neighbor) in by_cluster.items():
+                    if cluster == join_cluster:
+                        continue
+                    if weight < join_weight:
+                        add_out(node, best_neighbor)
+                        for neighbor in members[cluster]:
+                            discard(node, neighbor)
+        center = new_center
+
+    # Phase 2 (iteration k): one least-weight edge to every adjacent cluster.
+    for node in nodes:
+        by_cluster: dict[Node, tuple[_WeightKey, Node]] = {}
+        for neighbor, weight in unresolved[node].items():
+            neighbor_center = center.get(neighbor)
+            if neighbor_center is None or neighbor_center == center.get(node):
+                continue
+            best = by_cluster.get(neighbor_center)
+            if best is None or (weight, repr(neighbor)) < (best[0], repr(best[1])):
+                by_cluster[neighbor_center] = (weight, neighbor)
+        for _, best_neighbor in by_cluster.values():
+            add_out(node, best_neighbor)
+
+    return DirectedSpanner(
+        graph=graph,
+        out_edges={node: sorted(heads, key=repr) for node, heads in out_edges.items()},
+        k=k,
+    )

@@ -1,0 +1,51 @@
+"""Synchronous non-blocking gossip simulation engine (the paper's model)."""
+
+from repro.sim.engine import Delivery, Engine, NodeContext, NodeProtocol
+from repro.sim.failures import (
+    CompositeFailure,
+    CrashSchedule,
+    EdgeOutage,
+    FailureModel,
+    MessageLoss,
+    NoFailures,
+)
+from repro.sim.metrics import DisseminationResult, EngineMetrics
+from repro.sim.programs import Command, ProgramProtocol, contact, contact_and_wait, wait
+from repro.sim.runner import (
+    all_to_all_complete,
+    broadcast_complete,
+    local_broadcast_complete,
+    run_until_complete,
+)
+from repro.sim.state import NetworkState, Note, Payload
+from repro.sim.trace import TraceEvent, TraceRecorder, render_timeline
+
+__all__ = [
+    "Command",
+    "CompositeFailure",
+    "CrashSchedule",
+    "Delivery",
+    "DisseminationResult",
+    "EdgeOutage",
+    "Engine",
+    "EngineMetrics",
+    "FailureModel",
+    "MessageLoss",
+    "NoFailures",
+    "NetworkState",
+    "NodeContext",
+    "NodeProtocol",
+    "Note",
+    "Payload",
+    "ProgramProtocol",
+    "TraceEvent",
+    "TraceRecorder",
+    "all_to_all_complete",
+    "broadcast_complete",
+    "contact",
+    "contact_and_wait",
+    "local_broadcast_complete",
+    "render_timeline",
+    "run_until_complete",
+    "wait",
+]

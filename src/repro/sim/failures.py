@@ -1,0 +1,159 @@
+"""Failure injection: node crashes, message loss, edge outages.
+
+The paper's conclusion flags fault tolerance as an open direction and
+conjectures that "push--pull is relatively robust to failures, while our
+other approaches are not."  This module makes that claim testable: a
+:class:`FailureModel` plugs into the engine and decides, deterministically
+from its own seeded RNG,
+
+* whether a node has **crashed** by a given round (crashed nodes neither
+  initiate nor respond; exchanges they would answer are void), and
+* whether a given exchange is **lost** (it silently never delivers — the
+  initiator just never hears back, indistinguishable from a very slow
+  edge).
+
+Semantics at delivery time, chosen to mirror a real request/response pair:
+
+* responder crashed by the delivery round → the whole exchange is void
+  (the request may have arrived, but no response was produced; we
+  conservatively void both directions);
+* initiator crashed by the delivery round → the responder still merges the
+  initiator's payload (the request was already in flight) but the response
+  goes nowhere.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.graphs.latency_graph import Node, edge_key
+
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "MessageLoss",
+    "CrashSchedule",
+    "EdgeOutage",
+    "CompositeFailure",
+]
+
+
+class FailureModel:
+    """Base failure model: nothing fails."""
+
+    def node_crashed(self, node: Node, round_number: int) -> bool:
+        """Whether ``node`` has crashed at or before ``round_number``."""
+        return False
+
+    def exchange_lost(self, u: Node, v: Node, round_number: int) -> bool:
+        """Whether an exchange initiated on ``{u, v}`` this round is lost."""
+        return False
+
+
+class NoFailures(FailureModel):
+    """Explicit no-op model (the default behaviour, made nameable)."""
+
+
+class MessageLoss(FailureModel):
+    """Every exchange is independently lost with probability ``p``.
+
+    Deterministic given the seed: the loss draw depends only on the model's
+    own RNG stream, consumed once per initiated exchange.
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"loss probability must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def exchange_lost(self, u: Node, v: Node, round_number: int) -> bool:
+        return self._rng.random() < self.p
+
+
+class CrashSchedule(FailureModel):
+    """Nodes crash permanently at scheduled rounds.
+
+    Parameters
+    ----------
+    crash_rounds:
+        ``{node: round}`` — the node is considered crashed from that round
+        on (inclusive).
+    """
+
+    def __init__(self, crash_rounds: dict[Node, int]) -> None:
+        for node, when in crash_rounds.items():
+            if when < 0:
+                raise SimulationError(
+                    f"crash round must be >= 0, got {when} for node {node!r}"
+                )
+        self._crash_rounds = dict(crash_rounds)
+
+    def node_crashed(self, node: Node, round_number: int) -> bool:
+        when = self._crash_rounds.get(node)
+        return when is not None and round_number >= when
+
+    @classmethod
+    def random_crashes(
+        cls,
+        nodes: Iterable[Node],
+        count: int,
+        by_round: int,
+        rng: random.Random,
+        protect: Iterable[Node] = (),
+    ) -> "CrashSchedule":
+        """Crash ``count`` random nodes (outside ``protect``) by ``by_round``."""
+        candidates = [n for n in nodes if n not in set(protect)]
+        if count > len(candidates):
+            raise SimulationError(
+                f"cannot crash {count} of {len(candidates)} candidate nodes"
+            )
+        chosen = rng.sample(candidates, count)
+        return cls({node: rng.randint(0, by_round) for node in chosen})
+
+
+class EdgeOutage(FailureModel):
+    """Specific edges are down during given round intervals.
+
+    Parameters
+    ----------
+    outages:
+        ``{(u, v): [(start, end), ...]}`` — exchanges initiated on the edge
+        while ``start <= round < end`` are lost.  Edge keys are canonical
+        (unordered).
+    """
+
+    def __init__(self, outages: dict[tuple, list[tuple[int, int]]]) -> None:
+        self._outages: dict[tuple, list[tuple[int, int]]] = {}
+        for (u, v), intervals in outages.items():
+            for start, end in intervals:
+                if start < 0 or end <= start:
+                    raise SimulationError(
+                        f"bad outage interval ({start}, {end}) for edge ({u!r}, {v!r})"
+                    )
+            self._outages[edge_key(u, v)] = sorted(intervals)
+
+    def exchange_lost(self, u: Node, v: Node, round_number: int) -> bool:
+        for start, end in self._outages.get(edge_key(u, v), ()):
+            if start <= round_number < end:
+                return True
+        return False
+
+
+class CompositeFailure(FailureModel):
+    """Combine several failure models: anything any of them fails, fails."""
+
+    def __init__(self, models: Iterable[FailureModel]) -> None:
+        self._models = list(models)
+
+    def node_crashed(self, node: Node, round_number: int) -> bool:
+        return any(m.node_crashed(node, round_number) for m in self._models)
+
+    def exchange_lost(self, u: Node, v: Node, round_number: int) -> bool:
+        # Deliberately not short-circuited: every sub-model consumes its
+        # randomness for every exchange, so adding a model never perturbs
+        # another model's stream.
+        results = [m.exchange_lost(u, v, round_number) for m in self._models]
+        return any(results)

@@ -1,0 +1,85 @@
+"""Simulation metrics and result records."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.graphs.latency_graph import Edge
+
+__all__ = ["EngineMetrics", "DisseminationResult"]
+
+
+@dataclasses.dataclass
+class EngineMetrics:
+    """Raw counters accumulated by the engine.
+
+    Attributes
+    ----------
+    rounds:
+        Rounds executed so far.
+    exchanges:
+        Exchanges initiated (each is one bidirectional round trip).
+    messages:
+        Point-to-point messages: two per exchange (request + response).
+    activated_edges:
+        The set of distinct edges activated at least once — the quantity the
+        lower-bound reduction turns into guessing-game guesses.
+    rumor_tokens_sent:
+        Total rumors shipped over the wire (both directions of every
+        exchange) — the message-size measure the paper's conclusion
+        discusses: push--pull works with small messages, the spanner
+        pipeline does not.
+    max_payload_rumors:
+        Largest single payload (in rumors) shipped by any exchange.
+    lost_exchanges:
+        Exchanges voided by the failure model (message loss or a crashed
+        responder).
+    rejected_initiations:
+        Initiations refused under the bounded-in-degree model.
+    """
+
+    rounds: int = 0
+    exchanges: int = 0
+    messages: int = 0
+    activated_edges: set = dataclasses.field(default_factory=set)
+    rumor_tokens_sent: int = 0
+    max_payload_rumors: int = 0
+    lost_exchanges: int = 0
+    rejected_initiations: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class DisseminationResult:
+    """Outcome of one dissemination run.
+
+    Attributes
+    ----------
+    rounds:
+        Rounds until the completion predicate held (the paper's time metric).
+    complete:
+        Whether the predicate was actually reached (``False`` only for runs
+        capped by a fixed round budget).
+    exchanges, messages:
+        Communication cost counters.
+    informed_history:
+        ``informed_history[t]`` is how many nodes satisfied the progress
+        measure at round ``t`` (e.g. number of nodes knowing the source
+        rumor) — recorded only when the runner is asked to track it.
+    protocol:
+        Human-readable name of the protocol that produced this result.
+    """
+
+    rounds: int
+    complete: bool
+    exchanges: int
+    messages: int
+    protocol: str
+    informed_history: Optional[tuple[int, ...]] = None
+
+    def __str__(self) -> str:
+        status = "complete" if self.complete else "INCOMPLETE"
+        return (
+            f"{self.protocol}: {self.rounds} rounds ({status}), "
+            f"{self.exchanges} exchanges, {self.messages} messages"
+        )

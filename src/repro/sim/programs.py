@@ -1,0 +1,164 @@
+"""Write sequential per-node protocols as generators.
+
+Many of the paper's algorithms (ℓ-DTG, RR Broadcast, latency discovery) are
+naturally *sequential programs* per node — "contact u, wait ℓ rounds,
+contact v, ..." — which are awkward to express as round callbacks.
+:class:`ProgramProtocol` lets a protocol author write::
+
+    class MyProtocol(ProgramProtocol):
+        def program(self, ctx):
+            delivery = yield contact_and_wait(neighbor)      # blocks until reply
+            yield wait(3)                                     # idle 3 rounds
+            yield contact(other)                              # fire and forget
+
+Each yielded command consumes at least one round (the engine allows one
+initiation per node per round).  ``contact_and_wait`` resumes the program at
+the round its exchange delivers (or after ``rounds`` if given, which is how
+ℓ-DTG keeps lockstep: it waits exactly ``ℓ`` even on faster edges) and sends
+the :class:`~repro.sim.engine.Delivery` back into the generator.
+
+The base class also records measured latencies of every delivery it sees in
+:attr:`ProgramProtocol.measured_latencies` — the primitive behind the
+latency-discovery algorithm of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Union
+
+from repro.errors import ProtocolError
+from repro.graphs.latency_graph import Node
+from repro.sim.engine import Delivery, NodeContext, NodeProtocol
+
+__all__ = ["contact", "contact_and_wait", "wait", "Command", "ProgramProtocol"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Contact:
+    neighbor: Node
+
+
+@dataclasses.dataclass(frozen=True)
+class _ContactAndWait:
+    neighbor: Node
+    rounds: Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Wait:
+    rounds: int
+
+
+Command = Union[_Contact, _ContactAndWait, _Wait]
+
+
+def contact(neighbor: Node) -> Command:
+    """Initiate an exchange this round and continue next round (non-blocking)."""
+    return _Contact(neighbor)
+
+
+def contact_and_wait(neighbor: Node, rounds: Optional[int] = None) -> Command:
+    """Initiate an exchange and suspend until it delivers.
+
+    With ``rounds`` given, suspend for exactly that many rounds instead
+    (must be at least the edge latency for the reply to have arrived; this
+    is how ℓ-DTG charges a uniform ``ℓ`` per step to stay in lockstep).
+    The engine sends the resulting :class:`Delivery` back into the
+    generator, or ``None`` when a fixed ``rounds`` elapsed first.
+    """
+    if rounds is not None and rounds < 1:
+        raise ProtocolError(f"rounds must be >= 1, got {rounds}")
+    return _ContactAndWait(neighbor, rounds)
+
+
+def wait(rounds: int) -> Command:
+    """Stay idle for ``rounds`` rounds."""
+    if rounds < 1:
+        raise ProtocolError(f"rounds must be >= 1, got {rounds}")
+    return _Wait(rounds)
+
+
+class ProgramProtocol(NodeProtocol):
+    """A :class:`NodeProtocol` driven by a generator of commands.
+
+    Subclasses implement :meth:`program`.  The node is done when the
+    generator returns.  Incoming (passive) deliveries merge knowledge
+    automatically via the engine; this base additionally records their
+    measured latencies.
+    """
+
+    def __init__(self) -> None:
+        self.measured_latencies: dict[Node, int] = {}
+        self._generator: Optional[Iterator[Command]] = None
+        self._finished = False
+        self._wake_round: Optional[int] = None
+        self._awaiting: Optional[tuple[Node, int]] = None  # (peer, initiated_at)
+        self._awaiting_fixed: Optional[tuple[Node, int]] = None
+        self._awaited_delivery: Optional[Delivery] = None
+        self._pending_result: Optional[Delivery] = None
+
+    def program(self, ctx: NodeContext) -> Iterator[Command]:
+        """Override: yield commands; return to terminate."""
+        raise NotImplementedError
+
+    # -- NodeProtocol hooks ---------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        self._generator = self.program(ctx)
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        if self._finished:
+            return None
+        if self._wake_round is not None and ctx.round < self._wake_round:
+            return None
+        if self._awaiting is not None:
+            if self._awaited_delivery is None:
+                return None  # still waiting for the reply
+            self._pending_result = self._awaited_delivery
+            self._awaiting = None
+            self._awaited_delivery = None
+        self._wake_round = None
+        self._awaiting_fixed = None
+        command = self._advance(ctx)
+        if command is None:
+            return None
+        if isinstance(command, _Wait):
+            self._wake_round = ctx.round + command.rounds
+            return None
+        if isinstance(command, _Contact):
+            return command.neighbor
+        if isinstance(command, _ContactAndWait):
+            if command.rounds is not None:
+                self._wake_round = ctx.round + command.rounds
+                self._awaiting_fixed = (command.neighbor, ctx.round)
+            else:
+                self._awaiting = (command.neighbor, ctx.round)
+            return command.neighbor
+        raise ProtocolError(f"program yielded a non-command: {command!r}")
+
+    def on_deliver(self, ctx: NodeContext, delivery: Delivery) -> None:
+        if delivery.initiated_by_me:
+            current = self.measured_latencies.get(delivery.peer)
+            if current is None or delivery.measured_latency < current:
+                self.measured_latencies[delivery.peer] = delivery.measured_latency
+            if self._awaiting == (delivery.peer, delivery.initiated_at):
+                self._awaited_delivery = delivery
+            elif self._awaiting_fixed == (delivery.peer, delivery.initiated_at):
+                # A fixed-duration contact_and_wait: remember the reply so the
+                # program receives it when it wakes.
+                self._pending_result = delivery
+
+    def is_done(self, ctx: NodeContext) -> bool:
+        return self._finished
+
+    # -- internals -------------------------------------------------------
+    def _advance(self, ctx: NodeContext) -> Optional[Command]:
+        assert self._generator is not None, "setup() was not called"
+        result, self._pending_result = self._pending_result, None
+        try:
+            if result is not None:
+                return self._generator.send(result)
+            return next(self._generator)
+        except StopIteration:
+            self._finished = True
+            return None

@@ -1,0 +1,120 @@
+"""High-level run helpers: completion predicates and result packaging.
+
+The paper measures three flavors of dissemination:
+
+* **one-to-all broadcast** — a designated source's rumor must reach everyone;
+* **all-to-all dissemination** — every node's rumor must reach everyone;
+* **(ℓ-)local broadcast** — every node's rumor must reach all its neighbors
+  connected by edges of latency ``<= ℓ``.
+
+Each helper builds the matching completion predicate, runs the engine until
+it holds (or a round budget runs out) and returns a
+:class:`~repro.sim.metrics.DisseminationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.sim.engine import Engine
+from repro.sim.metrics import DisseminationResult
+
+__all__ = [
+    "broadcast_complete",
+    "all_to_all_complete",
+    "local_broadcast_complete",
+    "run_until_complete",
+]
+
+
+def broadcast_complete(rumor) -> Callable[[Engine], bool]:
+    """Predicate: every node knows ``rumor``."""
+
+    def predicate(engine: Engine) -> bool:
+        return all(engine.state.knows(node, rumor) for node in engine.graph.nodes())
+
+    return predicate
+
+
+def all_to_all_complete() -> Callable[[Engine], bool]:
+    """Predicate: every node knows every node's id-rumor."""
+
+    def predicate(engine: Engine) -> bool:
+        everyone = set(engine.graph.nodes())
+        return all(everyone <= engine.state.rumors(node) for node in everyone)
+
+    return predicate
+
+
+def local_broadcast_complete(max_latency: Optional[int] = None) -> Callable[[Engine], bool]:
+    """Predicate: every node knows the id-rumor of each (ℓ-)neighbor.
+
+    With ``max_latency`` given, only neighbors over edges of latency
+    ``<= max_latency`` count (the ℓ-local broadcast of Section 5.1).
+    """
+
+    def predicate(engine: Engine) -> bool:
+        for node in engine.graph.nodes():
+            known = engine.state.rumors(node)
+            for neighbor, latency in engine.graph.neighbor_latencies(node).items():
+                if max_latency is not None and latency > max_latency:
+                    continue
+                if neighbor not in known:
+                    return False
+        return True
+
+    return predicate
+
+
+def run_until_complete(
+    engine: Engine,
+    predicate: Callable[[Engine], bool],
+    protocol_name: str,
+    max_rounds: int = 1_000_000,
+    track_progress: Optional[Callable[[Engine], int]] = None,
+    allow_incomplete: bool = False,
+) -> DisseminationResult:
+    """Run ``engine`` until ``predicate`` holds; package the result.
+
+    Parameters
+    ----------
+    engine:
+        A freshly constructed (or phase-chained) engine.
+    predicate:
+        Completion condition, checked before every round.
+    protocol_name:
+        Label stored in the result.
+    max_rounds:
+        Round budget.
+    track_progress:
+        Optional per-round progress measure (e.g. informed-node count);
+        recorded into ``informed_history``.
+    allow_incomplete:
+        If ``True``, exhausting the budget returns an incomplete result
+        instead of raising :class:`~repro.errors.SimulationError`.
+    """
+    history: list[int] = []
+    complete = True
+    while not predicate(engine):
+        if engine.round >= max_rounds:
+            if allow_incomplete:
+                complete = False
+                break
+            raise SimulationError(
+                f"{protocol_name} exceeded max_rounds={max_rounds}"
+            )
+        if track_progress is not None:
+            history.append(track_progress(engine))
+        engine.step()
+    if track_progress is not None:
+        history.append(track_progress(engine))
+    return DisseminationResult(
+        rounds=engine.round,
+        complete=complete,
+        exchanges=engine.metrics.exchanges,
+        messages=engine.metrics.messages,
+        protocol=protocol_name,
+        informed_history=tuple(history) if track_progress is not None else None,
+    )

@@ -1,0 +1,128 @@
+"""Shared network state: per-node rumor sets and versioned per-origin notes.
+
+Dissemination protocols in this library all operate on the same two pieces
+of node-local knowledge:
+
+* a **rumor set** — the set of rumors the node currently knows.  Rumors are
+  arbitrary hashable tokens; for all-to-all dissemination they are node ids,
+  for one-to-all broadcast there is a single token.
+* a **note board** — a per-origin key/value record (e.g. the error flag and
+  rumor-set fingerprint used by the Termination Check of Algorithm 1).  Each
+  origin node only ever writes its *own* entry and bumps a version counter
+  when it does, so merging two boards is conflict-free: keep the higher
+  version per origin.
+
+Keeping this state in one object (rather than inside protocol instances)
+lets composite algorithms such as EID run several protocol *phases* over the
+same knowledge: the D-DTG phase fills the rumor sets, the RR-broadcast phase
+keeps spreading them, the termination check reads them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.graphs.latency_graph import Node
+
+__all__ = ["Note", "NetworkState", "Payload"]
+
+Rumor = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Note:
+    """A versioned, origin-owned record. Higher version wins on merge."""
+
+    version: int
+    data: tuple[tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, value in self.data:
+            if k == key:
+                return value
+        return default
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    """An immutable snapshot shipped in one exchange."""
+
+    rumors: frozenset
+    notes: tuple[tuple[Node, Note], ...]
+
+
+class NetworkState:
+    """Rumor sets and note boards for every node in the network."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._rumors: dict[Node, set] = {node: set() for node in nodes}
+        self._notes: dict[Node, dict[Node, Note]] = {node: {} for node in self._rumors}
+
+    # -- rumors ---------------------------------------------------------
+    def add_rumor(self, node: Node, rumor: Rumor) -> None:
+        """Give ``node`` knowledge of ``rumor``."""
+        self._rumors[node].add(rumor)
+
+    def seed_self_rumors(self) -> None:
+        """Give every node its own id as a rumor (all-to-all dissemination)."""
+        for node in self._rumors:
+            self._rumors[node].add(node)
+
+    def rumors(self, node: Node) -> frozenset:
+        """The rumors ``node`` currently knows."""
+        return frozenset(self._rumors[node])
+
+    def knows(self, node: Node, rumor: Rumor) -> bool:
+        """Whether ``node`` knows ``rumor``."""
+        return rumor in self._rumors[node]
+
+    def count_knowing(self, rumor: Rumor) -> int:
+        """How many nodes know ``rumor``."""
+        return sum(1 for rumors in self._rumors.values() if rumor in rumors)
+
+    # -- notes ----------------------------------------------------------
+    def publish_note(self, origin: Node, **data: Any) -> None:
+        """Write/overwrite ``origin``'s own note, bumping its version."""
+        old = self._notes[origin].get(origin)
+        version = (old.version + 1) if old is not None else 1
+        self._notes[origin][origin] = Note(version=version, data=tuple(sorted(data.items())))
+
+    def note_of(self, reader: Node, origin: Node) -> Optional[Note]:
+        """The note of ``origin`` as currently known by ``reader`` (or ``None``)."""
+        return self._notes[reader].get(origin)
+
+    def known_note_origins(self, reader: Node) -> list[Node]:
+        """All origins whose notes ``reader`` has seen."""
+        return list(self._notes[reader])
+
+    def clear_notes(self) -> None:
+        """Drop every note board (used between guess-and-double iterations)."""
+        for board in self._notes.values():
+            board.clear()
+
+    # -- exchange plumbing ----------------------------------------------
+    def snapshot(self, node: Node) -> Payload:
+        """An immutable snapshot of everything ``node`` knows right now."""
+        return Payload(
+            rumors=frozenset(self._rumors[node]),
+            notes=tuple(self._notes[node].items()),
+        )
+
+    def merge(self, node: Node, payload: Payload) -> bool:
+        """Merge a received snapshot into ``node``'s knowledge.
+
+        Returns ``True`` if anything new was learned.
+        """
+        changed = False
+        before = len(self._rumors[node])
+        self._rumors[node] |= payload.rumors
+        if len(self._rumors[node]) != before:
+            changed = True
+        board = self._notes[node]
+        for origin, note in payload.notes:
+            current = board.get(origin)
+            if current is None or note.version > current.version:
+                board[origin] = note
+                changed = True
+        return changed

@@ -1,0 +1,96 @@
+"""Tests for gossip-based exact aggregation."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.protocols.aggregation import AGGREGATE_OPS, run_aggregate
+
+
+def value_map(graph, seed=0):
+    rng = random.Random(seed)
+    return {node: rng.randint(0, 1000) for node in graph.nodes()}
+
+
+class TestPushPullBackend:
+    def test_min_on_clique(self):
+        g = generators.clique(10)
+        values = value_map(g)
+        report = run_aggregate(g, values, op="min", seed=1)
+        assert report.value == min(values.values())
+        assert report.consistent
+
+    def test_all_named_ops(self):
+        g = generators.grid(3, 3)
+        values = value_map(g, seed=3)
+        data = list(values.values())
+        expected = {
+            "min": min(data),
+            "max": max(data),
+            "sum": sum(data),
+            "count": len(data),
+            "mean": sum(data) / len(data),
+        }
+        for name in AGGREGATE_OPS:
+            report = run_aggregate(g, values, op=name, seed=2)
+            assert report.value == expected[name], name
+            assert report.consistent
+
+    def test_custom_operator(self):
+        g = generators.cycle(6)
+        values = {node: node + 1 for node in g.nodes()}
+        product = run_aggregate(
+            g, values, op=lambda vs: __import__("math").prod(vs), seed=0
+        )
+        assert product.value == 720
+
+    def test_latencies_respected(self):
+        g_fast = generators.ring_of_cliques(3, 4, inter_latency=1)
+        g_slow = generators.ring_of_cliques(3, 4, inter_latency=20)
+        fast = run_aggregate(g_fast, value_map(g_fast), seed=4)
+        slow = run_aggregate(g_slow, value_map(g_slow), seed=4)
+        assert slow.rounds > fast.rounds
+
+    def test_missing_values_rejected(self):
+        g = generators.clique(4)
+        with pytest.raises(ProtocolError):
+            run_aggregate(g, {0: 1}, seed=0)
+
+    def test_unknown_protocol_rejected(self):
+        g = generators.clique(4)
+        with pytest.raises(ProtocolError):
+            run_aggregate(g, value_map(g), protocol="carrier-pigeon")
+
+    def test_budget_guard(self):
+        g = generators.ring_of_cliques(3, 4, inter_latency=50)
+        with pytest.raises(ProtocolError):
+            run_aggregate(g, value_map(g), seed=0, max_rounds=3)
+
+
+class TestSelfTerminatingBackends:
+    def test_general_eid_backend(self):
+        g = generators.grid(3, 3)
+        values = value_map(g, seed=5)
+        report = run_aggregate(g, values, op="max", protocol="general-eid", seed=5)
+        assert report.value == max(values.values())
+        assert report.consistent
+
+    def test_path_discovery_backend(self):
+        g = generators.ring_of_cliques(3, 3, inter_latency=2)
+        values = value_map(g, seed=6)
+        report = run_aggregate(
+            g, values, op="sum", protocol="path-discovery", seed=6
+        )
+        assert report.value == sum(values.values())
+        assert report.consistent
+
+    def test_backends_agree(self):
+        g = generators.grid(3, 3)
+        values = value_map(g, seed=7)
+        results = {
+            backend: run_aggregate(g, values, op="mean", protocol=backend, seed=7).value
+            for backend in ("push-pull", "general-eid", "path-discovery")
+        }
+        assert len(set(results.values())) == 1

@@ -1,0 +1,169 @@
+"""Tests for the analysis helpers: stats, scaling fits, bound calculators."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.bounds import compute_bounds
+from repro.analysis.scaling import correlation, linear_fit, loglog_slope
+from repro.analysis.stats import repeat, summarize
+from repro.errors import ExperimentError
+from repro.graphs import generators
+
+
+class TestSummary:
+    def test_basic_statistics(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.n == 4
+        assert s.stdev == pytest.approx(1.29, abs=0.01)
+
+    def test_single_observation(self):
+        s = summarize([7])
+        assert s.stdev == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_repeat_runs_each_seed(self):
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return float(seed)
+
+        s = repeat(measure, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert s.mean == 2.0
+
+    def test_repeat_needs_seeds(self):
+        with pytest.raises(ExperimentError):
+            repeat(lambda s: 0.0, [])
+
+    def test_str_renders(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestScalingFits:
+    def test_linear_fit_exact(self):
+        slope, intercept = linear_fit([0, 1, 2], [5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(5.0)
+
+    def test_linear_fit_validation(self):
+        with pytest.raises(ExperimentError):
+            linear_fit([1], [1])
+        with pytest.raises(ExperimentError):
+            linear_fit([1, 2], [1])
+        with pytest.raises(ExperimentError):
+            linear_fit([3, 3], [1, 2])
+
+    def test_loglog_slope_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**1.5 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(1.5)
+
+    def test_loglog_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            loglog_slope([1, 0], [1, 2])
+
+    def test_correlation_perfect(self):
+        assert correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_correlation_rejects_constant(self):
+        with pytest.raises(ExperimentError):
+            correlation([1, 1], [2, 3])
+
+
+class TestGraphBounds:
+    def test_clique_bounds(self):
+        bounds = compute_bounds(generators.clique(8))
+        assert bounds.n == 8
+        assert bounds.diameter == 1
+        assert bounds.max_degree == 7
+        assert bounds.conductance.critical_latency == 1
+        assert bounds.log_n == 3.0
+
+    def test_connectivity_term(self):
+        bounds = compute_bounds(generators.clique(8))
+        expected = 1 / bounds.conductance.phi_star
+        assert bounds.connectivity_term == pytest.approx(expected)
+
+    def test_lower_bound_envelope_is_min(self):
+        bounds = compute_bounds(generators.clique(8))
+        assert bounds.lower_bound_envelope == min(
+            bounds.diameter + bounds.max_degree, bounds.connectivity_term
+        )
+
+    def test_upper_bound_envelopes_ordered(self):
+        g = generators.ring_of_cliques(4, 4, inter_latency=5, rng=random.Random(0))
+        bounds = compute_bounds(g)
+        # Known-latency bound is never worse than the unknown-latency one.
+        assert bounds.known_latency_bound <= bounds.unknown_latency_bound
+
+    def test_push_pull_bound_formula(self):
+        g = generators.clique(16)
+        bounds = compute_bounds(g)
+        assert bounds.push_pull_bound == pytest.approx(
+            bounds.connectivity_term * math.log2(16)
+        )
+
+    def test_sampled_diameter_path(self):
+        g = generators.path(30)
+        bounds = compute_bounds(
+            g, conductance_method="sweep", diameter_samples=5, rng=random.Random(0)
+        )
+        assert bounds.diameter >= 15  # sampled lower bound, >= D/2
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_tight_data(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        low, high = bootstrap_ci([10.0, 10.1, 9.9, 10.05, 9.95], seed=1)
+        assert low <= 10.0 <= high
+        assert high - low < 0.5
+
+    def test_widens_with_spread(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        tight = bootstrap_ci([10, 10.1, 9.9, 10, 10.05], seed=2)
+        wide = bootstrap_ci([1, 20, 5, 18, 9], seed=2)
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_custom_statistic(self):
+        import statistics
+
+        from repro.analysis.stats import bootstrap_ci
+
+        low, high = bootstrap_ci(
+            [1, 2, 3, 4, 100], statistic=statistics.median, seed=3
+        )
+        # The median is robust: the outlier must not drag the interval up.
+        assert high <= 100
+        assert low >= 1
+
+    def test_deterministic_given_seed(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        a = bootstrap_ci([1, 2, 3, 4, 5], seed=4)
+        b = bootstrap_ci([1, 2, 3, 4, 5], seed=4)
+        assert a == b
+
+    def test_validation(self):
+        from repro.analysis.stats import bootstrap_ci
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0, 2.0], resamples=3)

@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndGame:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("E1", "E8", "E17"):
+            assert eid in out
+
+    def test_game_singleton(self, capsys):
+        assert main(["game", "--m", "8", "--strategy", "sweep", "--seeds", "3"]) == 0
+        assert "Guessing" in capsys.readouterr().out
+
+    def test_game_random_predicate(self, capsys):
+        code = main(
+            ["game", "--m", "8", "--predicate", "random", "--p", "0.4",
+             "--strategy", "adaptive", "--seeds", "2"]
+        )
+        assert code == 0
+        assert "p=0.4" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_clique(self, capsys):
+        assert main(["analyze", "--topology", "clique", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted conductance" in out
+        assert "ℓ* = 1" in out
+
+    def test_analyze_with_latency_range(self, capsys):
+        code = main(
+            ["analyze", "--topology", "cycle", "--n", "8",
+             "--latency-range", "2", "5", "--method", "exact"]
+        )
+        assert code == 0
+        assert "weighted diameter" in capsys.readouterr().out
+
+    def test_analyze_datacenter(self, capsys):
+        code = main(
+            ["analyze", "--topology", "datacenter", "--racks", "3",
+             "--rack-size", "4", "--inter-latency", "7", "--method", "sweep"]
+        )
+        assert code == 0
+
+
+class TestSimulate:
+    def test_push_pull_with_curve(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "push-pull", "--topology", "clique",
+             "--n", "16", "--curve"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "push-pull[broadcast]" in out
+        assert "informed:" in out
+
+    def test_flooding_push_only(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "flooding", "--topology", "star",
+             "--n", "10", "--push-only"]
+        )
+        assert code == 0
+        assert "flooding[push-only]" in capsys.readouterr().out
+
+    def test_general_eid(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "general-eid", "--topology", "grid",
+             "--rows", "3", "--cols", "3"]
+        )
+        assert code == 0
+        assert "general-eid" in capsys.readouterr().out
+
+    def test_path_discovery(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "path-discovery", "--topology", "path",
+             "--n", "6"]
+        )
+        assert code == 0
+        assert "path-discovery" in capsys.readouterr().out
+
+    def test_unified(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "unified", "--topology", "clique",
+             "--n", "12"]
+        )
+        assert code == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_bimodal_latency_model(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "push-pull", "--topology",
+             "random-regular", "--n", "16", "--degree", "4",
+             "--bimodal", "1", "20", "0.5"]
+        )
+        assert code == 0
+
+    def test_unknown_topology_is_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--topology", "moebius"])
+
+    def test_library_error_returns_code_2(self, capsys):
+        # cycle needs n >= 3: GraphError surfaces as exit code 2.
+        code = main(["analyze", "--topology", "cycle", "--n", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGraphFiles:
+    def test_save_and_load_json(self, tmp_path, capsys):
+        path = tmp_path / "graph.json"
+        assert main(
+            ["analyze", "--topology", "clique", "--n", "6",
+             "--save-graph", str(path)]
+        ) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--load-graph", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes                 : 6" in out
+
+    def test_save_and_load_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "graph.edges"
+        assert main(
+            ["analyze", "--topology", "path", "--n", "4",
+             "--save-graph", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["simulate", "--protocol", "flooding", "--load-graph", str(path)]
+        ) == 0
+        assert "flooding" in capsys.readouterr().out
+
+    def test_load_missing_file_errors(self, capsys):
+        code = main(["analyze", "--load-graph", "/nonexistent/graph.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

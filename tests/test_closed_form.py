@@ -1,0 +1,95 @@
+"""Cross-checks: closed-form conductance vs exact cut enumeration."""
+
+import random
+
+import pytest
+
+from repro.conductance.closed_form import (
+    clique_conductance,
+    cycle_conductance,
+    dumbbell_conductance,
+    path_conductance,
+    ring_of_cliques_conductance,
+    star_conductance,
+    theorem8_ring_conductance,
+)
+from repro.conductance.exact import exact_conductance_profile
+from repro.errors import ConductanceError
+from repro.graphs import generators
+from repro.graphs.gadgets import theorem8_ring
+
+
+def exact_phi(graph, ell=None):
+    profile = exact_conductance_profile(graph)
+    return profile[max(profile) if ell is None else ell]
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9, 10])
+    def test_clique(self, n):
+        assert clique_conductance(n) == pytest.approx(
+            exact_phi(generators.clique(n))
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 11])
+    def test_star(self, n):
+        assert star_conductance(n) == pytest.approx(
+            exact_phi(generators.star(n))
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 11])
+    def test_path(self, n):
+        assert path_conductance(n) == pytest.approx(
+            exact_phi(generators.path(n))
+        )
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 11])
+    def test_cycle(self, n):
+        assert cycle_conductance(n) == pytest.approx(
+            exact_phi(generators.cycle(n))
+        )
+
+    @pytest.mark.parametrize("s,bridge", [(3, 1), (4, 1), (3, 2), (3, 3), (4, 3)])
+    def test_dumbbell(self, s, bridge):
+        graph = generators.dumbbell(s, bridge_length=bridge)
+        assert dumbbell_conductance(s, bridge) == pytest.approx(exact_phi(graph))
+
+    @pytest.mark.parametrize("k,s,c", [(3, 3, 1), (4, 3, 1), (3, 4, 2)])
+    def test_ring_of_cliques_bounds(self, k, s, c):
+        graph = generators.ring_of_cliques(
+            k, s, links_per_pair=c, rng=random.Random(0)
+        )
+        predicted = ring_of_cliques_conductance(k, s, links_per_pair=c)
+        measured = exact_phi(graph)
+        # The half-cut realizes the prediction; the global min can only be
+        # at or slightly below it (within a small constant).
+        assert measured <= predicted + 1e-12
+        assert measured >= predicted / 3
+
+    @pytest.mark.parametrize("s,k", [(3, 4), (4, 4)])
+    def test_theorem8_ring_bounds(self, s, k):
+        ring = theorem8_ring(s, k, slow_latency=6, rng=random.Random(0))
+        predicted = theorem8_ring_conductance(s, k)
+        measured = exact_phi(ring.graph, ell=6)
+        assert measured <= predicted + 1e-12
+        assert measured >= predicted / 3
+
+
+class TestValidation:
+    def test_size_checks(self):
+        with pytest.raises(ConductanceError):
+            clique_conductance(1)
+        with pytest.raises(ConductanceError):
+            cycle_conductance(2)
+        with pytest.raises(ConductanceError):
+            dumbbell_conductance(3, bridge_length=0)
+        with pytest.raises(ConductanceError):
+            ring_of_cliques_conductance(2, 3)
+        with pytest.raises(ConductanceError):
+            theorem8_ring_conductance(3, 2)
+
+    def test_monotone_in_size(self):
+        # Bigger cliques in the dumbbell -> smaller conductance.
+        assert dumbbell_conductance(8) < dumbbell_conductance(4)
+        # Longer rings -> smaller conductance.
+        assert ring_of_cliques_conductance(8, 4) < ring_of_cliques_conductance(4, 4)

@@ -1,0 +1,242 @@
+"""Tests for weighted conductance (Definitions 1-2, Eq. 3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.conductance.edge_induced import StronglyEdgeInducedGraph
+from repro.conductance.exact import cut_conductance, exact_conductance_profile
+from repro.conductance.sweep import sweep_conductance, sweep_conductance_profile
+from repro.conductance.weighted import conductance_profile, weighted_conductance
+from repro.errors import ConductanceError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+
+
+def two_triangles_bridge(bridge_latency: int = 1) -> LatencyGraph:
+    """Two triangles joined by a single bridge edge 2-3."""
+    return LatencyGraph(
+        edges=[
+            (0, 1, 1),
+            (1, 2, 1),
+            (0, 2, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (3, 5, 1),
+            (2, 3, bridge_latency),
+        ]
+    )
+
+
+class TestCutConductance:
+    def test_bridge_cut(self):
+        g = two_triangles_bridge()
+        # Cut {0,1,2}: one crossing edge, volume 7 each side.
+        assert cut_conductance(g, [0, 1, 2]) == pytest.approx(1 / 7)
+
+    def test_latency_filter_zeroes_slow_cut(self):
+        g = two_triangles_bridge(bridge_latency=5)
+        assert cut_conductance(g, [0, 1, 2], max_latency=1) == 0.0
+        assert cut_conductance(g, [0, 1, 2], max_latency=5) == pytest.approx(1 / 7)
+
+    def test_uses_smaller_volume_side(self):
+        g = generators.star(5)
+        # U = {leaf}: volume 1, crossing 1.
+        assert cut_conductance(g, [1]) == 1.0
+
+    def test_rejects_empty_and_full(self):
+        g = two_triangles_bridge()
+        with pytest.raises(ConductanceError):
+            cut_conductance(g, [])
+        with pytest.raises(ConductanceError):
+            cut_conductance(g, g.nodes())
+
+    def test_rejects_foreign_nodes(self):
+        g = two_triangles_bridge()
+        with pytest.raises(ConductanceError):
+            cut_conductance(g, [0, 99])
+
+
+class TestExactProfile:
+    def test_clique_unit_latency(self):
+        g = generators.clique(6)
+        profile = exact_conductance_profile(g)
+        # Clique conductance minimized by half split: (n/2)^2 / (n/2 * (n-1)).
+        assert profile[1] == pytest.approx(9 / 15)
+
+    def test_bridge_graph_min_cut_found(self):
+        g = two_triangles_bridge()
+        profile = exact_conductance_profile(g)
+        assert profile[1] == pytest.approx(1 / 7)
+
+    def test_profile_monotone_in_latency(self):
+        g = two_triangles_bridge(bridge_latency=4)
+        g.add_edge(0, 4, 9)
+        profile = exact_conductance_profile(g, latencies=[1, 4, 9])
+        assert profile[1] <= profile[4] <= profile[9]
+
+    def test_explicit_latency_thresholds(self):
+        g = two_triangles_bridge(bridge_latency=4)
+        profile = exact_conductance_profile(g, latencies=[2])
+        assert profile[2] == 0.0  # bridge not counted below latency 4
+
+    def test_node_limit_enforced(self):
+        g = generators.clique(6)
+        with pytest.raises(ConductanceError):
+            exact_conductance_profile(g, node_limit=4)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(ConductanceError):
+            exact_conductance_profile(LatencyGraph(nodes=[0]))
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ConductanceError):
+            exact_conductance_profile(LatencyGraph(nodes=[0, 1]))
+
+    def test_path_conductance(self):
+        g = generators.path(4)
+        profile = exact_conductance_profile(g)
+        # Cut in the middle: 1 crossing / volume 3.
+        assert profile[1] == pytest.approx(1 / 3)
+
+
+class TestSweep:
+    def test_matches_exact_on_bridge_graph(self):
+        g = two_triangles_bridge()
+        exact = exact_conductance_profile(g)[1]
+        approx = sweep_conductance(g, 1)
+        assert approx == pytest.approx(exact)
+
+    def test_upper_bounds_exact(self):
+        # Sweep cuts are real cuts, so sweep >= exact always.
+        for seed in range(3):
+            g = generators.erdos_renyi(12, 0.3, rng=random.Random(seed))
+            exact = exact_conductance_profile(g)[1]
+            approx = sweep_conductance(g, 1, rng=random.Random(seed))
+            assert approx >= exact - 1e-12
+
+    def test_detects_disconnected_g_ell(self):
+        g = two_triangles_bridge(bridge_latency=10)
+        assert sweep_conductance(g, 1) == 0.0
+
+    def test_profile_shape(self):
+        g = two_triangles_bridge(bridge_latency=10)
+        profile = sweep_conductance_profile(g)
+        assert set(profile) == {1, 10}
+        assert profile[1] == 0.0
+        assert profile[10] > 0.0
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ConductanceError):
+            sweep_conductance(LatencyGraph(nodes=[0]), 1)
+
+    def test_deterministic_by_default(self):
+        g = generators.erdos_renyi(15, 0.3, rng=random.Random(7))
+        assert sweep_conductance(g, 1) == sweep_conductance(g, 1)
+
+
+class TestWeightedConductance:
+    def test_unit_latency_matches_classical(self):
+        g = generators.clique(6)
+        result = weighted_conductance(g)
+        assert result.critical_latency == 1
+        assert result.phi_star == pytest.approx(9 / 15)
+
+    def test_critical_latency_selects_slow_but_connected(self):
+        # Two triangles + slow bridge: phi_1 = 0 (disconnected), so the
+        # critical latency must be the bridge latency.
+        g = two_triangles_bridge(bridge_latency=6)
+        result = weighted_conductance(g)
+        assert result.critical_latency == 6
+        assert result.phi_star == pytest.approx(1 / 7)
+        assert result.dissemination_bound == pytest.approx(6 * 7)
+
+    def test_critical_latency_prefers_fast_backbone(self):
+        # A clique with one super-slow extra edge: the fast clique is
+        # already well connected, so ell* = 1.
+        g = generators.clique(8)
+        g.add_edge(0, 1, 100)  # overwrite one edge as slow
+        result = weighted_conductance(g)
+        assert result.critical_latency == 1
+
+    def test_profile_and_result_consistent(self):
+        g = two_triangles_bridge(bridge_latency=3)
+        result = weighted_conductance(g)
+        profile = conductance_profile(g)
+        assert result.profile == profile
+        best = max(profile, key=lambda ell: profile[ell] / ell)
+        assert result.critical_latency == best
+
+    def test_zero_conductance_gives_infinite_bound(self):
+        g = two_triangles_bridge()
+        from repro.conductance.weighted import WeightedConductance
+
+        wc = WeightedConductance(
+            phi_star=0.0, critical_latency=1, profile={1: 0.0}, method="exact"
+        )
+        assert wc.dissemination_bound == math.inf
+
+    def test_method_auto_switches_to_sweep(self):
+        g = generators.erdos_renyi(25, 0.3, rng=random.Random(0))
+        result = weighted_conductance(g, method="auto", exact_limit=10)
+        assert result.method == "sweep"
+
+    def test_unknown_method_rejected(self):
+        g = generators.clique(4)
+        with pytest.raises(ConductanceError):
+            conductance_profile(g, method="magic")
+
+    def test_sweep_and_exact_agree_on_small_graphs(self):
+        for seed in range(3):
+            g = generators.ring_of_cliques(3, 4, inter_latency=4, rng=random.Random(seed))
+            exact = weighted_conductance(g, method="exact")
+            approx = weighted_conductance(g, method="sweep")
+            # Sweep upper-bounds; both must pick a sensible critical latency.
+            assert approx.phi_star >= exact.phi_star - 1e-12
+            assert approx.critical_latency in exact.profile
+
+
+class TestStronglyEdgeInduced:
+    def test_degree_preserved(self):
+        g = two_triangles_bridge(bridge_latency=9)
+        induced = StronglyEdgeInducedGraph(g, max_latency=1)
+        for node in g.nodes():
+            assert induced.degree(node) == g.degree(node)
+
+    def test_multiplicities(self):
+        g = two_triangles_bridge(bridge_latency=9)
+        induced = StronglyEdgeInducedGraph(g, max_latency=1)
+        assert induced.multiplicity(0, 1) == 1
+        assert induced.multiplicity(2, 3) == 0  # slow edge dropped
+        assert induced.multiplicity(2, 2) == 1  # self loop replaces it
+        assert induced.multiplicity(0, 0) == 0
+
+    def test_conductance_identity_phi_ell(self):
+        # The key identity behind Theorem 12: phi(G_ell) == phi_ell(G).
+        g = two_triangles_bridge(bridge_latency=9)
+        induced = StronglyEdgeInducedGraph(g, max_latency=1)
+        for cut in ([0, 1, 2], [0, 1], [0, 3, 4]):
+            assert induced.conductance(cut) == pytest.approx(
+                cut_conductance(g, cut, max_latency=1)
+            )
+
+    def test_sample_contact_distribution(self):
+        g = two_triangles_bridge(bridge_latency=9)
+        induced = StronglyEdgeInducedGraph(g, max_latency=1)
+        rng = random.Random(0)
+        draws = [induced.sample_contact(2, rng) for _ in range(3000)]
+        # Node 2 has 3 edges, 2 fast: None (self loop) ~ 1/3 of the time.
+        loop_fraction = draws.count(None) / len(draws)
+        assert 0.25 < loop_fraction < 0.42
+        assert set(draws) == {None, 0, 1}
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConductanceError):
+            StronglyEdgeInducedGraph(two_triangles_bridge(), max_latency=0)
+
+    def test_rejects_bad_cut(self):
+        g = two_triangles_bridge()
+        induced = StronglyEdgeInducedGraph(g, max_latency=1)
+        with pytest.raises(ConductanceError):
+            induced.conductance([])

@@ -1,0 +1,88 @@
+"""Tests for informed-curve analysis helpers."""
+
+import pytest
+
+from repro.analysis.curves import (
+    growth_phases,
+    max_growth_factor,
+    sparkline,
+    time_to_fraction,
+)
+from repro.errors import ExperimentError
+
+
+HISTORY = [1, 1, 2, 4, 8, 16, 30, 32]
+TOTAL = 32
+
+
+class TestTimeToFraction:
+    def test_milestones(self):
+        assert time_to_fraction(HISTORY, TOTAL, 0.5) == 5
+        assert time_to_fraction(HISTORY, TOTAL, 1.0) == 7
+
+    def test_unreached_fraction(self):
+        assert time_to_fraction([1, 2], 32, 0.5) is None
+
+    def test_zero_round_hit(self):
+        assert time_to_fraction([32], 32, 1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            time_to_fraction([], 10, 0.5)
+        with pytest.raises(ExperimentError):
+            time_to_fraction([3, 2], 10, 0.5)  # decreasing
+        with pytest.raises(ExperimentError):
+            time_to_fraction([11], 10, 0.5)  # exceeds total
+        with pytest.raises(ExperimentError):
+            time_to_fraction([1], 10, 0.0)  # bad fraction
+
+
+class TestGrowthPhases:
+    def test_all_milestones(self):
+        phases = growth_phases(HISTORY, TOTAL)
+        assert phases == {"t10": 3, "t50": 5, "t90": 6, "t100": 7}
+
+    def test_incomplete_history(self):
+        phases = growth_phases([1, 4], 32)
+        assert phases["t10"] == 1
+        assert phases["t100"] is None
+
+
+class TestGrowthFactor:
+    def test_doubling(self):
+        assert max_growth_factor([1, 2, 4, 8], 8) == pytest.approx(2.0)
+
+    def test_flat_history(self):
+        assert max_growth_factor([5, 5, 5], 10) == 1.0
+
+
+class TestSparkline:
+    def test_length_capped_to_width(self):
+        line = sparkline(list(range(1, 101)), 100, width=20)
+        assert len(line) == 20
+
+    def test_short_history_unsampled(self):
+        line = sparkline([1, 16, 32], 32)
+        assert len(line) == 3
+        assert line[0] < line[-1]  # bars grow
+
+    def test_full_coverage_is_full_bar(self):
+        assert sparkline([32], 32).endswith("█")
+
+    def test_bad_width(self):
+        with pytest.raises(ExperimentError):
+            sparkline([1], 2, width=0)
+
+
+class TestIntegrationWithPushPull:
+    def test_history_reaches_total(self):
+        from repro.graphs import generators
+        from repro.protocols.push_pull import run_push_pull
+
+        g = generators.clique(16)
+        result = run_push_pull(g, source=0, seed=1, track_progress=True)
+        history = result.informed_history
+        assert history[-1] == 16
+        phases = growth_phases(history, 16)
+        assert phases["t100"] == result.rounds
+        assert max_growth_factor(history, 16) > 1.2

@@ -1,0 +1,75 @@
+"""Tests for latency discovery and the unknown-latency pipeline (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.base import PhaseRunner
+from repro.protocols.discovery import (
+    LatencyDiscoveryProtocol,
+    run_general_eid_unknown_latencies,
+    run_latency_discovery,
+)
+
+
+class TestLatencyDiscovery:
+    def test_measures_all_fast_edges(self):
+        g = LatencyGraph(edges=[(0, 1, 2), (1, 2, 4), (0, 2, 1)])
+        measured = run_latency_discovery(g, window=5)
+        assert measured[0][1] == 2
+        assert measured[0][2] == 1
+        assert measured[1][2] == 4
+
+    def test_window_excludes_slow_edges(self):
+        g = LatencyGraph(edges=[(0, 1, 2), (1, 2, 50)])
+        measured = run_latency_discovery(g, window=5)
+        assert measured[0][1] == 2
+        assert 2 not in measured[1]
+
+    def test_measurements_symmetric_enough(self):
+        # Both endpoints probe, so both ends measure each fast edge.
+        g = generators.grid(3, 3, latency_model=lambda u, v, r: 3)
+        measured = run_latency_discovery(g, window=10)
+        for u, v, latency in g.edges():
+            assert measured[u][v] == latency
+            assert measured[v][u] == latency
+
+    def test_charged_rounds(self):
+        g = generators.clique(6, latency_model=lambda u, v, r: 2)
+        runner = PhaseRunner(g)
+        run_latency_discovery(g, window=4, runner=runner)
+        # Delta probe rounds + window wait.
+        assert runner.total_rounds >= 5 + 4
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ProtocolError):
+            LatencyDiscoveryProtocol(0)
+
+
+class TestUnknownLatencyPipeline:
+    def test_completes_grid(self):
+        g = generators.grid(3, 3)
+        report = run_general_eid_unknown_latencies(g, seed=0)
+        assert report.first_complete_round is not None
+        assert report.first_complete_round <= report.rounds
+
+    def test_completes_with_latencies(self):
+        g = generators.ring_of_cliques(3, 4, inter_latency=3, rng=random.Random(0))
+        report = run_general_eid_unknown_latencies(g, seed=1)
+        assert report.first_complete_round is not None
+
+    def test_deterministic(self):
+        g = generators.grid(3, 3)
+        a = run_general_eid_unknown_latencies(g, seed=3)
+        b = run_general_eid_unknown_latencies(g, seed=3)
+        assert (a.rounds, a.final_estimate) == (b.rounds, b.final_estimate)
+
+    def test_never_reads_latency_oracle(self):
+        # The pipeline must work end to end with latencies_known=False
+        # engines only; if any protocol peeked, ProtocolError would raise.
+        g = generators.ring_of_cliques(3, 3, inter_latency=2, rng=random.Random(2))
+        report = run_general_eid_unknown_latencies(g, seed=2)
+        assert report.rounds > 0

@@ -1,0 +1,93 @@
+"""Integration tests for the experiment registry and harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.harness import ExperimentTable, register, seeds_for
+
+
+class TestHarness:
+    def test_registry_covers_design_index(self):
+        expected = {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+            "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+        }
+        assert set(all_experiments()) == expected
+
+    def test_get_experiment_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+            register("E1")(lambda profile: None)
+
+    def test_seeds_for_profiles(self):
+        assert len(list(seeds_for("quick", quick=3))) == 3
+        assert len(list(seeds_for("full", full=7))) == 7
+        with pytest.raises(ExperimentError):
+            seeds_for("enormous")
+
+    def test_table_column_access(self):
+        table = ExperimentTable(
+            experiment_id="X",
+            title="t",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 2}, {"a": 3, "b": 4}],
+        )
+        assert table.column("a") == [1, 3]
+        with pytest.raises(ExperimentError):
+            table.column("missing")
+
+    def test_table_renders(self):
+        table = ExperimentTable(
+            experiment_id="X",
+            title="demo",
+            columns=["v", "ok"],
+            rows=[{"v": 1.23456, "ok": True}],
+            expectation="something",
+            conclusion="held",
+        )
+        text = table.to_text()
+        assert "demo" in text
+        assert "1.23" in text
+        assert "yes" in text
+        assert "expectation: something" in text
+        assert "conclusion: held" in text
+
+
+class TestFastExperimentsRun:
+    """Smoke-run the cheap experiments end to end (quick profile)."""
+
+    @pytest.mark.parametrize(
+        "experiment_id", ["E1", "E2", "E12", "E13", "E16", "E17"]
+    )
+    def test_runs_and_fills_table(self, experiment_id):
+        table = get_experiment(experiment_id)("quick")
+        assert table.experiment_id == experiment_id
+        assert table.rows
+        assert table.columns
+        for row in table.rows:
+            for column in table.columns:
+                assert column in row
+
+    def test_e1_linear_shape(self):
+        table = get_experiment("E1")("quick")
+        adaptive = table.column("adaptive_rounds")
+        assert adaptive[-1] > adaptive[0]
+
+    def test_e12_structure_holds(self):
+        table = get_experiment("E12")("quick")
+        assert all(table.column("regular(3s-1)"))
+        assert all(table.column("ell*_is_ell"))
+
+    def test_e16_star_congestion_shape(self):
+        table = get_experiment("E16")("quick")
+        star_rows = {r["cap"]: r for r in table.rows if "star" in r["graph"]}
+        assert star_rows[1]["rounds"] > star_rows["unbounded"]["rounds"]
+
+    def test_e17_payload_shape(self):
+        table = get_experiment("E17")("quick")
+        assert all(v <= 2 for v in table.column("pushpull_max_payload"))
+        assert all(v >= 8 for v in table.column("dtg_max_payload"))

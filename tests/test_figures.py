@@ -1,0 +1,96 @@
+"""Tests for the figure reproductions (Figures 1-5)."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    ITree,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+)
+from repro.graphs.gadgets import guessing_gadget, singleton_target, theorem8_ring
+
+
+class TestFigure1:
+    def test_asymmetric_gadget(self):
+        gadget = guessing_gadget(4, frozenset({(0, 1)}))
+        text = render_figure1(gadget)
+        assert "G(P)" in text
+        assert "v1 ══════ u2" in text
+        assert "15 slow" in text
+
+    def test_symmetric_gadget(self):
+        gadget = guessing_gadget(4, frozenset(), symmetric=True)
+        text = render_figure1(gadget)
+        assert "Gsym(P)" in text
+        assert "(none)" in text
+
+    def test_random_target_counts(self):
+        rng = random.Random(0)
+        gadget = guessing_gadget(6, singleton_target(6, rng))
+        text = render_figure1(gadget)
+        assert "1 fast" in text
+
+
+class TestFigure2:
+    def test_ring_rendering(self):
+        ring = theorem8_ring(4, 5, slow_latency=9, rng=random.Random(1))
+        text = render_figure2(ring)
+        assert "ring of 5 layers x 4 nodes" in text
+        assert text.count("══>") == 5  # one fast edge per boundary
+        assert "latency 9" in text
+
+
+class TestFigure3:
+    def test_decomposition_totals(self):
+        text = render_figure3([2, 3, 1], max_out_degree=4)
+        # h·Δ_out + Σk_i = 3·4 + 6 = 18.
+        assert "= 18" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            render_figure3([], 3)
+        with pytest.raises(ExperimentError):
+            render_figure3([0], 3)
+
+
+class TestITrees:
+    @pytest.mark.parametrize("order", range(7))
+    def test_size_doubles(self, order):
+        assert ITree.build(order).size == 2**order
+
+    @pytest.mark.parametrize("order", range(7))
+    def test_depth_equals_order(self, order):
+        assert ITree.build(order).depth == order
+
+    def test_join_identity(self):
+        # An i-tree's children are trees of orders 0..i-1 (binomial shape).
+        tree = ITree.build(4)
+        assert [child.order for child in tree.children] == [0, 1, 2, 3]
+
+    def test_zero_tree_is_leaf(self):
+        tree = ITree.build(0)
+        assert tree.size == 1
+        assert tree.children == ()
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ExperimentError):
+            ITree.build(-1)
+
+    def test_render_contains_labels(self):
+        text = ITree.build(3).render()
+        assert "root" in text
+        assert "(1)" in text and "(3)" in text
+
+    def test_figure4_family(self):
+        text = render_figure4(3)
+        assert "0-tree: 1 nodes" in text
+        assert "3-tree: 8 nodes" in text
+
+    def test_figure4_validation(self):
+        with pytest.raises(ExperimentError):
+            render_figure4(-2)

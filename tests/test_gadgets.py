@@ -1,0 +1,209 @@
+"""Unit tests for the lower-bound gadget constructions (Section 3 / Figures 1-2)."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.gadgets import (
+    guessing_gadget,
+    half_ring_cut,
+    random_target,
+    singleton_target,
+    theorem6_network,
+    theorem7_network,
+    theorem8_parameters,
+    theorem8_ring,
+)
+
+
+class TestTargets:
+    def test_singleton_target_in_range(self):
+        target = singleton_target(8, random.Random(0))
+        assert len(target) == 1
+        (i, j), = target
+        assert 0 <= i < 8 and 0 <= j < 8
+
+    def test_random_target_probability_extremes(self):
+        rng = random.Random(0)
+        assert random_target(5, 0.0, rng) == frozenset()
+        assert len(random_target(5, 1.0, rng)) == 25
+
+    def test_random_target_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            random_target(5, 2.0, random.Random(0))
+
+    def test_target_size_concentrates(self):
+        target = random_target(30, 0.2, random.Random(1))
+        assert 100 < len(target) < 260  # mean 180
+
+
+class TestGuessingGadget:
+    def test_asymmetric_structure(self):
+        m = 5
+        target = frozenset({(0, 0), (2, 3)})
+        gadget = guessing_gadget(m, target)
+        g = gadget.graph
+        assert g.num_nodes == 2 * m
+        # Left clique + complete bipartite, no right clique.
+        expected_edges = m * (m - 1) // 2 + m * m
+        assert g.num_edges == expected_edges
+        # Left nodes: clique degree m-1 plus m cross edges.
+        assert g.degree(gadget.left[0]) == (m - 1) + m
+        # Right nodes: only cross edges.
+        assert g.degree(gadget.right[0]) == m
+
+    def test_symmetric_structure(self):
+        m = 5
+        gadget = guessing_gadget(m, frozenset(), symmetric=True)
+        g = gadget.graph
+        expected_edges = 2 * (m * (m - 1) // 2) + m * m
+        assert g.num_edges == expected_edges
+        assert g.degree(gadget.right[0]) == (m - 1) + m
+
+    def test_target_edges_fast_others_slow(self):
+        m = 4
+        target = frozenset({(1, 2)})
+        gadget = guessing_gadget(m, target, slow_latency=99)
+        g = gadget.graph
+        assert g.latency(gadget.left[1], gadget.right[2]) == 1
+        assert g.latency(gadget.left[0], gadget.right[0]) == 99
+
+    def test_default_slow_latency_is_2m(self):
+        gadget = guessing_gadget(6, frozenset())
+        assert gadget.slow_latency == 12
+
+    def test_fast_cross_edges_listing(self):
+        gadget = guessing_gadget(4, frozenset({(0, 1), (3, 2)}))
+        assert gadget.fast_cross_edges() == [
+            (gadget.left[0], gadget.right[1]),
+            (gadget.left[3], gadget.right[2]),
+        ]
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(GraphError):
+            guessing_gadget(3, frozenset({(5, 0)}))
+
+    def test_rejects_slow_not_greater_than_fast(self):
+        with pytest.raises(GraphError):
+            guessing_gadget(3, frozenset(), fast_latency=5, slow_latency=5)
+
+    def test_clique_edges_unit_latency(self):
+        gadget = guessing_gadget(4, frozenset(), symmetric=True)
+        g = gadget.graph
+        assert g.latency(gadget.left[0], gadget.left[1]) == 1
+        assert g.latency(gadget.right[0], gadget.right[1]) == 1
+
+
+class TestTheorem6Network:
+    def test_structure(self):
+        rng = random.Random(0)
+        gadget = theorem6_network(30, 8, rng)
+        g = gadget.graph
+        assert g.num_nodes == 30
+        assert len(gadget.extra) == 14
+        assert g.is_connected()
+        # Exactly one fast cross edge (the hidden target).
+        left, right = set(gadget.left), set(gadget.right)
+        fast_cross = [
+            (u, v)
+            for u, v, latency in g.edges()
+            if latency == 1
+            and ((u in left and v in right) or (u in right and v in left))
+        ]
+        assert len(fast_cross) == 1
+        assert len(gadget.target) == 1
+
+    def test_max_degree_theta_delta(self):
+        gadget = theorem6_network(40, 10, random.Random(1))
+        g = gadget.graph
+        # Clique nodes: clique of 20 => degree 19 (one also touches gadget).
+        # Gadget left nodes: (delta-1) + delta = 19 (one also touches clique).
+        assert g.max_degree() <= 2 * 10 + 1
+        assert g.max_degree() >= 10
+
+    def test_exact_gadget_when_no_extra(self):
+        gadget = theorem6_network(16, 8, random.Random(2))
+        assert gadget.extra == ()
+        assert gadget.graph.num_nodes == 16
+
+    def test_rejects_n_too_small(self):
+        with pytest.raises(GraphError):
+            theorem6_network(10, 8, random.Random(0))
+
+
+class TestTheorem7Network:
+    def test_fast_edges_have_latency_ell(self):
+        gadget = theorem7_network(10, 0.3, ell=4, rng=random.Random(0))
+        g = gadget.graph
+        for left_node, right_node in gadget.fast_cross_edges():
+            assert g.latency(left_node, right_node) == 4
+
+    def test_fast_fraction_near_phi(self):
+        gadget = theorem7_network(40, 0.25, ell=1, rng=random.Random(1))
+        fraction = len(gadget.target) / (40 * 40)
+        assert 0.18 < fraction < 0.32
+
+    def test_diameter_small_when_phi_large(self):
+        gadget = theorem7_network(30, 0.4, ell=2, rng=random.Random(2))
+        # Each right node has a fast edge whp; diameter O(ell).
+        assert gadget.graph.weighted_diameter() <= 3 * 2 + 2
+
+
+class TestTheorem8Ring:
+    def test_parameters_match_paper_formulas(self):
+        s, k, c = theorem8_parameters(100, 0.25)
+        assert 1.0 <= c < 1.5
+        assert s >= 2 and k >= 3
+        # 2n nodes total, approximately.
+        assert abs(s * k - 200) / 200 < 0.2
+
+    def test_parameters_validation(self):
+        with pytest.raises(GraphError):
+            theorem8_parameters(100, 0.0)
+        with pytest.raises(GraphError):
+            theorem8_parameters(2, 0.01)
+
+    def test_ring_regularity_observation23(self):
+        ring = theorem8_ring(6, 6, slow_latency=10, rng=random.Random(0))
+        s = ring.layer_size
+        degrees = {ring.graph.degree(v) for v in ring.graph.nodes()}
+        assert degrees == {3 * s - 1}
+
+    def test_one_fast_edge_per_layer_pair(self):
+        ring = theorem8_ring(5, 4, slow_latency=8, rng=random.Random(1))
+        assert len(ring.fast_edges) == 4
+        for i, (u, v) in ring.fast_edges.items():
+            assert u in ring.layers[i]
+            assert v in ring.layers[(i + 1) % 4]
+            assert ring.graph.latency(u, v) == 1
+
+    def test_cross_edges_complete_bipartite(self):
+        ring = theorem8_ring(4, 3, slow_latency=5, rng=random.Random(2))
+        for u in ring.layers[0]:
+            for v in ring.layers[1]:
+                assert ring.graph.has_edge(u, v)
+
+    def test_intra_layer_cliques_fast(self):
+        ring = theorem8_ring(4, 3, slow_latency=5, rng=random.Random(3))
+        layer = ring.layers[2]
+        for i, u in enumerate(layer):
+            for v in layer[i + 1:]:
+                assert ring.graph.latency(u, v) == 1
+
+    def test_half_ring_cut_size(self):
+        ring = theorem8_ring(5, 6, slow_latency=9, rng=random.Random(4))
+        cut = half_ring_cut(ring)
+        assert len(cut) == 3 * 5
+        # No intra-clique edge crosses the cut: the cut is whole layers.
+        for i in range(3):
+            assert set(ring.layers[i]) <= cut
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(GraphError):
+            theorem8_ring(1, 4, slow_latency=5, rng=rng)
+        with pytest.raises(GraphError):
+            theorem8_ring(4, 2, slow_latency=5, rng=rng)
+        with pytest.raises(GraphError):
+            theorem8_ring(4, 4, slow_latency=1, rng=rng)

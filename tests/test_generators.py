@@ -1,0 +1,305 @@
+"""Unit tests for topology generators and latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators
+from repro.graphs.latency_models import (
+    bimodal_latency,
+    constant_latency,
+    geometric_distance_latency,
+    uniform_latency,
+    zipf_latency,
+)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = constant_latency(4)
+        assert model(0, 1, random.Random(0)) == 4
+
+    def test_constant_rejects_zero(self):
+        with pytest.raises(GraphError):
+            constant_latency(0)
+
+    def test_uniform_within_bounds(self):
+        model = uniform_latency(2, 9)
+        rng = random.Random(1)
+        samples = [model(0, 1, rng) for _ in range(200)]
+        assert all(2 <= s <= 9 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(GraphError):
+            uniform_latency(5, 2)
+        with pytest.raises(GraphError):
+            uniform_latency(0, 2)
+
+    def test_bimodal_values(self):
+        model = bimodal_latency(1, 50, 0.5)
+        rng = random.Random(2)
+        samples = {model(0, 1, rng) for _ in range(200)}
+        assert samples == {1, 50}
+
+    def test_bimodal_extreme_probabilities(self):
+        rng = random.Random(0)
+        always_fast = bimodal_latency(1, 50, 1.0)
+        assert all(always_fast(0, 1, rng) == 1 for _ in range(20))
+        never_fast = bimodal_latency(1, 50, 0.0)
+        assert all(never_fast(0, 1, rng) == 50 for _ in range(20))
+
+    def test_bimodal_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            bimodal_latency(1, 2, 1.5)
+
+    def test_zipf_within_bounds_and_head_heavy(self):
+        model = zipf_latency(20, exponent=2.0)
+        rng = random.Random(3)
+        samples = [model(0, 1, rng) for _ in range(500)]
+        assert all(1 <= s <= 20 for s in samples)
+        assert samples.count(1) > samples.count(10)
+
+    def test_zipf_rejects_bad_params(self):
+        with pytest.raises(GraphError):
+            zipf_latency(0)
+        with pytest.raises(GraphError):
+            zipf_latency(5, exponent=-1)
+
+    def test_geometric_distance(self):
+        positions = {0: (0.0, 0.0), 1: (0.3, 0.4)}
+        model = geometric_distance_latency(positions, scale=10)
+        assert model(0, 1, random.Random(0)) == 5
+
+    def test_geometric_missing_position_raises(self):
+        model = geometric_distance_latency({0: (0.0, 0.0)})
+        with pytest.raises(GraphError):
+            model(0, 1, random.Random(0))
+
+
+class TestBasicTopologies:
+    def test_clique(self):
+        g = generators.clique(6)
+        assert g.num_nodes == 6
+        assert g.num_edges == 15
+        assert g.max_degree() == 5
+        assert g.is_connected()
+
+    def test_star(self):
+        g = generators.star(10)
+        assert g.degree(0) == 9
+        assert all(g.degree(leaf) == 1 for leaf in range(1, 10))
+
+    def test_path(self):
+        g = generators.path(5)
+        assert g.num_edges == 4
+        assert g.weighted_diameter() == 4
+
+    def test_cycle(self):
+        g = generators.cycle(6)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        assert g.weighted_diameter() == 3
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            generators.cycle(2)
+
+    def test_grid(self):
+        g = generators.grid(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.hop_diameter() == 5
+
+    def test_hypercube(self):
+        g = generators.hypercube(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.hop_diameter() == 4
+
+    def test_binary_tree(self):
+        g = generators.binary_tree(7)
+        assert g.num_edges == 6
+        assert g.degree(0) == 2
+        assert g.is_connected()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            generators.clique(0)
+        with pytest.raises(GraphError):
+            generators.grid(0, 3)
+        with pytest.raises(GraphError):
+            generators.hypercube(0)
+
+    def test_latency_model_applied(self):
+        g = generators.clique(5, latency_model=constant_latency(7))
+        assert all(latency == 7 for _, _, latency in g.edges())
+
+
+class TestRandomTopologies:
+    def test_erdos_renyi_connected(self):
+        g = generators.erdos_renyi(30, 0.05, rng=random.Random(0))
+        assert g.is_connected()
+
+    def test_erdos_renyi_density(self):
+        dense = generators.erdos_renyi(30, 0.8, rng=random.Random(1))
+        sparse = generators.erdos_renyi(30, 0.05, rng=random.Random(1))
+        assert dense.num_edges > sparse.num_edges
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_erdos_renyi_unconnected_allowed(self):
+        g = generators.erdos_renyi(
+            20, 0.0, rng=random.Random(0), ensure_connected=False
+        )
+        assert g.num_edges == 0
+
+    def test_random_regular(self):
+        g = generators.random_regular(24, 5, rng=random.Random(0))
+        assert all(g.degree(v) == 5 for v in g.nodes())
+        assert g.is_connected()
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphError):
+            generators.random_regular(9, 5)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(GraphError):
+            generators.random_regular(5, 5)
+
+    def test_random_regular_deterministic(self):
+        a = generators.random_regular(16, 4, rng=random.Random(3))
+        b = generators.random_regular(16, 4, rng=random.Random(3))
+        assert a == b
+
+    def test_random_geometric_connected(self):
+        g = generators.random_geometric(25, radius=0.2, rng=random.Random(0))
+        assert g.is_connected()
+
+    def test_random_geometric_latencies_positive(self):
+        g = generators.random_geometric(20, radius=0.4, rng=random.Random(1))
+        assert all(latency >= 1 for _, _, latency in g.edges())
+
+    def test_random_geometric_rejects_bad_radius(self):
+        with pytest.raises(GraphError):
+            generators.random_geometric(10, radius=0.0)
+
+
+class TestCompositeTopologies:
+    def test_dumbbell_shape(self):
+        g = generators.dumbbell(5, bridge_length=3, bridge_latency=7)
+        assert g.num_nodes == 2 * 5 + 2
+        assert g.is_connected()
+        # Bridge edges have the bridge latency.
+        assert g.latency(4, 10) == 7
+
+    def test_dumbbell_single_bridge(self):
+        g = generators.dumbbell(4, bridge_length=1)
+        assert g.num_nodes == 8
+        assert g.has_edge(3, 4)
+
+    def test_ring_of_cliques(self):
+        g = generators.ring_of_cliques(4, 5, inter_latency=9, rng=random.Random(0))
+        assert g.num_nodes == 20
+        assert g.is_connected()
+        assert 9 in g.distinct_latencies()
+
+    def test_ring_of_cliques_multiple_links(self):
+        g = generators.ring_of_cliques(
+            4, 5, links_per_pair=3, rng=random.Random(0)
+        )
+        intra = 4 * 10
+        assert g.num_edges == intra + 4 * 3
+
+    def test_ring_of_cliques_validation(self):
+        with pytest.raises(GraphError):
+            generators.ring_of_cliques(2, 5)
+        with pytest.raises(GraphError):
+            generators.ring_of_cliques(4, 3, links_per_pair=100)
+
+    def test_two_tier_datacenter(self):
+        g = generators.two_tier_datacenter(4, 5, inter_rack_latency=20)
+        assert g.num_nodes == 20
+        assert g.is_connected()
+        # Rack leaders form a clique at the slow latency.
+        assert g.latency(0, 5) == 20
+        # Rack members are fast.
+        assert g.latency(0, 1) == 1
+
+    def test_two_tier_needs_two_racks(self):
+        with pytest.raises(GraphError):
+            generators.two_tier_datacenter(1, 5)
+
+
+class TestExtendedTopologies:
+    def test_torus_regular(self):
+        g = generators.torus(4, 5)
+        assert g.num_nodes == 20
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.is_connected()
+
+    def test_torus_wraparound(self):
+        g = generators.torus(3, 3)
+        assert g.has_edge(0, 2)  # row wrap
+        assert g.has_edge(0, 6)  # column wrap
+
+    def test_torus_validation(self):
+        with pytest.raises(GraphError):
+            generators.torus(2, 5)
+
+    def test_complete_bipartite(self):
+        g = generators.complete_bipartite(3, 4)
+        assert g.num_nodes == 7
+        assert g.num_edges == 12
+        assert g.degree(0) == 4
+        assert g.degree(5) == 3
+        assert not g.has_edge(0, 1)  # no intra-side edges
+
+    def test_watts_strogatz_no_rewiring_is_lattice(self):
+        g = generators.watts_strogatz(12, 4, 0.0)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.is_connected()
+
+    def test_watts_strogatz_rewired_stays_connected(self):
+        for seed in range(3):
+            g = generators.watts_strogatz(
+                20, 4, 0.3, rng=random.Random(seed)
+            )
+            assert g.is_connected()
+            assert g.num_edges == 40  # rewiring preserves edge count
+
+    def test_watts_strogatz_full_rewiring(self):
+        g = generators.watts_strogatz(16, 4, 1.0, rng=random.Random(1))
+        assert g.is_connected()
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(10, 4, 1.5)
+
+    def test_barabasi_albert_shape(self):
+        g = generators.barabasi_albert(40, 2, rng=random.Random(0))
+        assert g.num_nodes == 40
+        assert g.is_connected()
+        # Seed clique (3 edges) + 2 per subsequent node.
+        assert g.num_edges == 3 + 2 * 37
+
+    def test_barabasi_albert_has_hubs(self):
+        g = generators.barabasi_albert(100, 2, rng=random.Random(1))
+        # Preferential attachment: max degree well above the minimum.
+        assert g.max_degree() >= 4 * g.min_degree()
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(5, 5)
+
+    def test_extended_latency_models_applied(self):
+        from repro.graphs.latency_models import constant_latency
+
+        g = generators.torus(3, 3, latency_model=constant_latency(6))
+        assert all(latency == 6 for _, _, latency in g.edges())

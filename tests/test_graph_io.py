@@ -1,0 +1,105 @@
+"""Tests for graph serialization (JSON and edge list)."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators
+from repro.graphs.io import (
+    from_edge_list,
+    from_json,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    to_edge_list,
+    to_json,
+)
+from repro.graphs.latency_graph import LatencyGraph
+
+
+def sample_graph():
+    return generators.ring_of_cliques(3, 4, inter_latency=5, rng=random.Random(0))
+
+
+class TestJson:
+    def test_roundtrip(self):
+        g = sample_graph()
+        back, metadata = from_json(to_json(g))
+        assert back == g
+        assert metadata == {}
+
+    def test_metadata_roundtrip(self):
+        g = generators.clique(4)
+        back, metadata = from_json(to_json(g, metadata={"seed": 7, "family": "clique"}))
+        assert metadata == {"seed": 7, "family": "clique"}
+        assert back == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.json"
+        save_json(g, path, metadata={"note": "test"})
+        back, metadata = load_json(path)
+        assert back == g
+        assert metadata["note"] == "test"
+
+    def test_isolated_nodes_preserved(self):
+        g = LatencyGraph(nodes=[1, 2], edges=[(3, 4, 2)])
+        back, _ = from_json(to_json(g))
+        assert back == g
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError):
+            from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            from_json('{"format": "something-else"}')
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            from_json(
+                '{"format": "repro-latency-graph", "nodes": [], "edges": [[1, 2]]}'
+            )
+
+    def test_string_node_ids(self):
+        g = LatencyGraph(edges=[("a", "b", 3)])
+        back, _ = from_json(to_json(g))
+        assert back.latency("a", "b") == 3
+
+
+class TestEdgeList:
+    def test_roundtrip(self):
+        g = sample_graph()
+        assert from_edge_list(to_edge_list(g)) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.edges"
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 1 3  # inline comment\n\n2\n"
+        g = from_edge_list(text)
+        assert g.latency(0, 1) == 3
+        assert g.has_node(2)
+        assert g.num_edges == 1
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("0 1 fast")
+
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("0 1")
+
+    def test_string_ids_survive(self):
+        g = from_edge_list("alice bob 4")
+        assert g.latency("alice", "bob") == 4
+
+    def test_numeric_ids_become_ints(self):
+        g = from_edge_list("0 1 2")
+        assert g.has_node(0)
+        assert not g.has_node("0")

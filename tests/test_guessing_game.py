@@ -1,0 +1,173 @@
+"""Tests for the guessing game, predicates, and Alice strategies (Section 3.1)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import GameError
+from repro.lowerbounds.game import GuessingGame, target_from_gadget
+from repro.lowerbounds.predicates import (
+    fixed_predicate,
+    random_predicate,
+    singleton_predicate,
+)
+from repro.lowerbounds.strategies import (
+    fresh_pair_strategy,
+    play_game,
+    random_guessing_strategy,
+    systematic_sweep_strategy,
+)
+
+
+class TestGameMechanics:
+    def test_initial_state(self):
+        game = GuessingGame(3, frozenset({(0, 3), (1, 4)}))
+        assert not game.done
+        assert game.rounds == 0
+        assert game.remaining_target == {(0, 3), (1, 4)}
+
+    def test_empty_target_done_immediately(self):
+        game = GuessingGame(3, frozenset())
+        assert game.done
+
+    def test_hit_revealed(self):
+        game = GuessingGame(3, frozenset({(0, 3)}))
+        hits = game.guess({(0, 3), (1, 4)})
+        assert hits == {(0, 3)}
+        assert game.done
+
+    def test_miss_not_revealed(self):
+        game = GuessingGame(3, frozenset({(0, 3)}))
+        assert game.guess({(1, 3)}) == frozenset()
+        assert not game.done
+
+    def test_column_elimination_on_hit(self):
+        # Hitting (0, 3) removes every target pair with B-component 3.
+        target = frozenset({(0, 3), (1, 3), (2, 4)})
+        game = GuessingGame(3, target)
+        game.guess({(0, 3)})
+        assert game.remaining_target == {(2, 4)}
+
+    def test_miss_does_not_eliminate_column(self):
+        # Guessing (2, 3) (a non-target pair) must NOT clear column 3 —
+        # this is the prose semantics vs the literal Eq. (2) reading.
+        target = frozenset({(0, 3), (1, 3)})
+        game = GuessingGame(3, target)
+        game.guess({(2, 3)})
+        assert game.remaining_target == target
+
+    def test_guess_budget_enforced(self):
+        game = GuessingGame(3, frozenset({(0, 3)}))
+        seven = {(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3)}
+        with pytest.raises(GameError):
+            game.guess(seven)  # 7 > 2m = 6
+        # 2m = 6 distinct guesses is fine.
+        game.guess({(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5)})
+
+    def test_out_of_range_guess_rejected(self):
+        game = GuessingGame(3, frozenset({(0, 3)}))
+        with pytest.raises(GameError):
+            game.guess({(0, 0)})  # b must be in [m, 2m)
+        with pytest.raises(GameError):
+            game.guess({(7, 3)})
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(GameError):
+            GuessingGame(3, frozenset({(0, 9)}))
+
+    def test_counters(self):
+        game = GuessingGame(3, frozenset({(0, 3)}))
+        game.guess({(1, 3), (2, 4)})
+        game.guess({(0, 3)})
+        assert game.rounds == 2
+        assert game.total_guesses == 3
+        assert game.hits == {(0, 3)}
+
+    def test_target_from_gadget_coordinates(self):
+        assert target_from_gadget(4, {(0, 0), (3, 2)}) == frozenset(
+            {(0, 4), (3, 6)}
+        )
+
+
+class TestPredicates:
+    def test_singleton(self):
+        target = singleton_predicate()(8, random.Random(0))
+        assert len(target) == 1
+        (a, b), = target
+        assert 0 <= a < 8 and 8 <= b < 16
+
+    def test_random_p_extremes(self):
+        rng = random.Random(0)
+        assert random_predicate(0.0)(5, rng) == frozenset()
+        assert len(random_predicate(1.0)(5, rng)) == 25
+
+    def test_random_p_rejects_bad(self):
+        with pytest.raises(GameError):
+            random_predicate(-0.1)
+
+    def test_fixed(self):
+        target = frozenset({(0, 5)})
+        assert fixed_predicate(target)(5, random.Random(0)) == target
+
+
+class TestStrategies:
+    def test_sweep_solves_singleton_in_m_over_2_rounds(self):
+        # The sweep guesses 2m per round over m^2 pairs: <= m/2 rounds.
+        m = 10
+        for seed in range(5):
+            rng = random.Random(seed)
+            game = GuessingGame(m, singleton_predicate()(m, rng))
+            rounds = play_game(game, systematic_sweep_strategy, rng)
+            assert rounds <= m // 2
+
+    def test_fresh_pair_solves_random_target(self):
+        rng = random.Random(1)
+        game = GuessingGame(12, random_predicate(0.3)(12, rng))
+        rounds = play_game(game, fresh_pair_strategy, rng)
+        assert game.done
+        assert rounds >= 1
+
+    def test_random_guessing_solves_eventually(self):
+        rng = random.Random(2)
+        game = GuessingGame(10, random_predicate(0.4)(10, rng))
+        play_game(game, random_guessing_strategy, rng)
+        assert game.done
+
+    def test_lemma4_linear_scaling(self):
+        # Mean rounds for the singleton game grows ~linearly in m.
+        def mean_rounds(m):
+            values = []
+            for seed in range(10):
+                rng = random.Random(seed)
+                game = GuessingGame(m, singleton_predicate()(m, rng))
+                values.append(play_game(game, fresh_pair_strategy, rng))
+            return statistics.fmean(values)
+
+        small, large = mean_rounds(8), mean_rounds(32)
+        assert large > 2 * small
+
+    def test_lemma5_oblivious_pays_log_factor(self):
+        # With Random_p, the oblivious strategy needs more rounds than the
+        # adaptive one (the coupon-collector tail over target columns).
+        m, p = 32, 0.2
+        adaptive, oblivious = [], []
+        for seed in range(10):
+            rng = random.Random(seed)
+            target = random_predicate(p)(m, rng)
+            game_a = GuessingGame(m, target)
+            adaptive.append(play_game(game_a, fresh_pair_strategy, random.Random(seed)))
+            game_o = GuessingGame(m, target)
+            oblivious.append(
+                play_game(game_o, random_guessing_strategy, random.Random(seed))
+            )
+        assert statistics.fmean(oblivious) > 1.5 * statistics.fmean(adaptive)
+
+    def test_max_rounds_guard(self):
+        class Useless:
+            def __call__(self, game, rng):
+                game.guess(set())
+
+        game = GuessingGame(4, frozenset({(0, 4)}))
+        with pytest.raises(GameError):
+            play_game(game, lambda: Useless(), random.Random(0), max_rounds=5)

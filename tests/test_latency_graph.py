@@ -1,0 +1,274 @@
+"""Unit tests for the LatencyGraph substrate."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs.latency_graph import LatencyGraph, edge_key
+
+
+def triangle() -> LatencyGraph:
+    return LatencyGraph(edges=[(0, 1, 1), (1, 2, 2), (0, 2, 5)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LatencyGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.nodes() == []
+
+    def test_add_node_idempotent(self):
+        g = LatencyGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = LatencyGraph()
+        g.add_edge(1, 2, 3)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.latency(1, 2) == 3
+        assert g.latency(2, 1) == 3
+
+    def test_add_edge_overwrites_latency(self):
+        g = LatencyGraph()
+        g.add_edge(1, 2, 3)
+        g.add_edge(1, 2, 7)
+        assert g.latency(1, 2) == 7
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = LatencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1)
+
+    def test_zero_latency_rejected(self):
+        g = LatencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 0)
+
+    def test_negative_latency_rejected(self):
+        g = LatencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -4)
+
+    def test_non_integer_latency_rejected(self):
+        g = LatencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 1.5)
+
+    def test_bool_latency_rejected(self):
+        g = LatencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, True)
+
+    def test_constructor_with_nodes_and_edges(self):
+        g = LatencyGraph(nodes=[9], edges=[(0, 1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 2
+
+    def test_remove_missing_edge_raises(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 99)
+
+
+class TestQueries:
+    def test_counts(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_edges_iterates_each_once(self):
+        g = triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        keys = {edge_key(u, v) for u, v, _ in edges}
+        assert keys == {(0, 1), (1, 2), (0, 2)}
+
+    def test_neighbors(self):
+        g = triangle()
+        assert sorted(g.neighbors(1)) == [0, 2]
+
+    def test_neighbor_latencies(self):
+        g = triangle()
+        assert g.neighbor_latencies(0) == {1: 1, 2: 5}
+
+    def test_missing_node_raises(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.neighbors(42)
+
+    def test_missing_edge_latency_raises(self):
+        g = LatencyGraph(edges=[(0, 1, 1)])
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.latency(0, 2)
+
+    def test_degrees(self):
+        g = LatencyGraph(edges=[(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        assert g.degree(0) == 3
+        assert g.max_degree() == 3
+        assert g.min_degree() == 1
+
+    def test_degree_bounds_on_empty(self):
+        g = LatencyGraph()
+        assert g.max_degree() == 0
+        assert g.min_degree() == 0
+
+    def test_distinct_latencies_sorted(self):
+        g = LatencyGraph(edges=[(0, 1, 5), (1, 2, 1), (2, 3, 5), (3, 4, 3)])
+        assert g.distinct_latencies() == [1, 3, 5]
+        assert g.max_latency() == 5
+
+    def test_max_latency_edgeless(self):
+        assert LatencyGraph(nodes=[1, 2]).max_latency() == 0
+
+
+class TestVolumesAndCuts:
+    def test_volume_is_degree_sum(self):
+        g = triangle()
+        assert g.volume([0]) == 2
+        assert g.volume([0, 1]) == 4
+        assert g.volume([0, 1, 2]) == 6
+
+    def test_volume_deduplicates(self):
+        g = triangle()
+        assert g.volume([0, 0, 0]) == 2
+
+    def test_cut_edges_all(self):
+        g = triangle()
+        cut = g.cut_edges([0])
+        assert {(u, v) for u, v, _ in cut} == {(0, 1), (0, 2)}
+
+    def test_cut_edges_latency_filtered(self):
+        g = triangle()
+        cut = g.cut_edges([0], max_latency=1)
+        assert [(u, v, lat) for u, v, lat in cut] == [(0, 1, 1)]
+
+
+class TestSubgraph:
+    def test_subgraph_leq_keeps_all_nodes(self):
+        g = triangle()
+        sub = g.subgraph_leq(1)
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_leq_full(self):
+        g = triangle()
+        assert g.subgraph_leq(5) == g
+
+
+class TestDistances:
+    def test_weighted_distance_takes_shortcut(self):
+        g = triangle()
+        # 0 -> 1 -> 2 costs 3, direct 0 -> 2 costs 5.
+        assert g.weighted_distance(0, 2) == 3
+
+    def test_weighted_distances_source(self):
+        g = triangle()
+        assert g.weighted_distances(0) == {0: 0, 1: 1, 2: 3}
+
+    def test_unreachable_raises(self):
+        g = LatencyGraph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            g.weighted_distance(0, 1)
+
+    def test_weighted_diameter_path(self):
+        g = LatencyGraph(edges=[(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+        assert g.weighted_diameter() == 9
+
+    def test_weighted_diameter_disconnected_raises(self):
+        g = LatencyGraph(edges=[(0, 1, 1)])
+        g.add_node(2)
+        with pytest.raises(DisconnectedGraphError):
+            g.weighted_diameter()
+
+    def test_sampled_diameter_requires_rng(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.weighted_diameter(sample_sources=1)
+
+    def test_sampled_diameter_lower_bounds_exact(self):
+        import random
+
+        g = LatencyGraph(edges=[(i, i + 1, 2) for i in range(9)])
+        exact = g.weighted_diameter()
+        sampled = g.weighted_diameter(sample_sources=3, rng=random.Random(0))
+        assert sampled <= exact
+        assert sampled >= exact / 2
+
+    def test_hop_distances(self):
+        g = triangle()
+        assert g.hop_distances(0) == {0: 0, 1: 1, 2: 1}
+
+    def test_hop_diameter_ignores_latency(self):
+        g = LatencyGraph(edges=[(0, 1, 100), (1, 2, 100)])
+        assert g.hop_diameter() == 2
+
+    def test_is_connected(self):
+        g = triangle()
+        assert g.is_connected()
+        g.add_node(99)
+        assert not g.is_connected()
+        assert LatencyGraph().is_connected()
+
+    def test_eccentricity(self):
+        g = LatencyGraph(edges=[(0, 1, 2), (1, 2, 3)])
+        assert g.weighted_eccentricity(1) == 3
+        assert g.weighted_eccentricity(0) == 5
+
+
+class TestConversions:
+    def test_copy_is_independent(self):
+        g = triangle()
+        clone = g.copy()
+        assert clone == g
+        clone.add_edge(0, 3, 1)
+        assert clone != g
+
+    def test_relabeled(self):
+        g = triangle()
+        relabeled = g.relabeled({0: "x", 1: "y"})
+        assert relabeled.has_edge("x", "y")
+        assert relabeled.latency("x", 2) == 5
+
+    def test_relabeled_rejects_collision(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.relabeled({0: "x", 1: "x"})
+
+    def test_networkx_roundtrip(self):
+        g = triangle()
+        back = LatencyGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_from_networkx_default_latency(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(3)
+        g = LatencyGraph.from_networkx(nxg, default=4)
+        assert g.latency(0, 1) == 4
+
+    def test_repr(self):
+        assert repr(triangle()) == "LatencyGraph(n=3, m=3)"
+
+    def test_eq_non_graph(self):
+        assert triangle() != "not a graph"
+
+
+class TestEdgeKey:
+    def test_orders_comparable(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key(1, 2) == (1, 2)
+
+    def test_orders_mixed_types(self):
+        a, b = edge_key("x", 1), edge_key(1, "x")
+        assert a == b

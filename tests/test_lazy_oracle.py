@@ -1,0 +1,134 @@
+"""Tests for the deferred-decision (lazy) guessing-game oracle."""
+
+import random
+
+import pytest
+
+from repro.errors import GameError
+from repro.lowerbounds.game import GuessingGame
+from repro.lowerbounds.lazy_oracle import LazyGuessingGame
+
+
+class TestMechanics:
+    def test_membership_stable_across_queries(self):
+        game = LazyGuessingGame(4, 0.5, seed=1)
+        first = game.guess({(0, 4)})
+        second = game.guess({(0, 4)})
+        # Hitting twice: the first may hit; after a hit the column is dead,
+        # and a non-member stays a non-member.
+        assert second <= first or second == frozenset()
+
+    def test_column_elimination(self):
+        game = LazyGuessingGame(4, 1.0, seed=0)  # everything is a target
+        hits = game.guess({(0, 4)})
+        assert hits == {(0, 4)}
+        # Column 4 is dead: further target pairs there no longer hit.
+        assert game.guess({(1, 4)}) == frozenset()
+
+    def test_done_with_p_zero(self):
+        game = LazyGuessingGame(5, 0.0, seed=0)
+        assert game.done  # resolving flips all coins: no targets anywhere
+
+    def test_done_requires_all_columns_hit_with_p_one(self):
+        m = 3
+        game = LazyGuessingGame(m, 1.0, seed=0)
+        assert not game.done
+        for b in range(m, 2 * m):
+            game.guess({(0, b)})
+        assert game.done
+
+    def test_budget_enforced(self):
+        game = LazyGuessingGame(3, 0.5, seed=0)
+        seven = {(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3)}
+        with pytest.raises(GameError):
+            game.guess(seven)
+
+    def test_range_checked(self):
+        game = LazyGuessingGame(3, 0.5, seed=0)
+        with pytest.raises(GameError):
+            game.guess({(0, 0)})
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            LazyGuessingGame(0, 0.5, seed=0)
+        with pytest.raises(GameError):
+            LazyGuessingGame(3, 1.5, seed=0)
+
+    def test_fresh_pair_guess_counter(self):
+        game = LazyGuessingGame(4, 0.0, seed=0)
+        game.guess({(0, 4), (1, 4)})
+        game.guess({(0, 4), (2, 4)})
+        assert game.fresh_pair_guesses == 3
+
+    def test_coins_flipped_lazily(self):
+        game = LazyGuessingGame(50, 0.5, seed=0)
+        game.guess({(0, 50)})
+        assert game.coins_flipped == 1
+
+
+class TestEagerEquivalence:
+    """Coupling: same seed ⇒ the lazy game behaves exactly like the eager
+    game whose target is the lazy oracle's fully-resolved membership."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coupled_hit_sequences(self, seed):
+        m, p = 6, 0.3
+        reference = LazyGuessingGame(m, p, seed=seed)
+        target = reference.eager_target()
+        lazy = LazyGuessingGame(m, p, seed=seed)
+        eager = GuessingGame(m, target)
+        rng = random.Random(seed + 100)
+        for _ in range(12):
+            guesses = {
+                (rng.randrange(m), m + rng.randrange(m)) for _ in range(2 * m)
+            }
+            guesses = set(list(guesses)[: 2 * m])
+            assert lazy.guess(guesses) == eager.guess(guesses)
+            assert lazy.done == eager.done
+            if eager.done:
+                break
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_resolution_order_irrelevant(self, seed):
+        # Flipping coins in guess order vs all-up-front gives the same
+        # membership function.
+        m, p = 5, 0.4
+        a = LazyGuessingGame(m, p, seed=seed)
+        a.guess({(0, 5), (2, 7)})
+        up_front = LazyGuessingGame(m, p, seed=seed).eager_target()
+        assert a.eager_target() == up_front
+
+
+class TestGeometricStructure:
+    def test_fresh_guess_success_rate_is_p(self):
+        # Over many fresh guesses, the fraction of 'target' coins ~ p.
+        m, p = 40, 0.25
+        game = LazyGuessingGame(m, p, seed=7)
+        flips = 0
+        targets = 0
+        for a in range(m):
+            for b in range(m, 2 * m):
+                flips += 1
+                if game._flip((a, b)):
+                    targets += 1
+        assert abs(targets / flips - p) < 0.05
+
+    def test_expected_rounds_scale_with_inverse_p(self):
+        import statistics
+
+        def mean_rounds(p):
+            values = []
+            for seed in range(10):
+                m = 16
+                game = LazyGuessingGame(m, p, seed=seed)
+                rng = random.Random(seed)
+                while not game.done and game.rounds < 10_000:
+                    guesses = {
+                        (rng.randrange(m), m + rng.randrange(m))
+                        for _ in range(2 * m)
+                    }
+                    game.guess(set(list(guesses)[: 2 * m]))
+                values.append(game.rounds)
+            return statistics.fmean(values)
+
+        assert mean_rounds(0.1) > 1.5 * mean_rounds(0.4)

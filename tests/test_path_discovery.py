@@ -1,0 +1,113 @@
+"""Tests for T(k) and Path Discovery (Appendix E)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.base import PhaseRunner
+from repro.protocols.path_discovery import (
+    run_path_discovery,
+    run_t_sequence,
+    t_sequence,
+)
+
+
+def all_to_all_done(graph, state) -> bool:
+    everyone = set(graph.nodes())
+    return all(everyone <= state.rumors(v) for v in everyone)
+
+
+class TestTSequence:
+    def test_base_case(self):
+        assert t_sequence(1) == [1]
+
+    def test_recursive_shape(self):
+        assert t_sequence(2) == [1, 2, 1]
+        assert t_sequence(4) == [1, 2, 1, 4, 1, 2, 1]
+        assert t_sequence(8) == [1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1]
+
+    def test_length_is_2k_minus_1(self):
+        for k in (1, 2, 4, 8, 16, 32):
+            assert len(t_sequence(k)) == 2 * k - 1
+
+    def test_ruler_property_each_value_count(self):
+        seq = t_sequence(16)
+        # Value 2^i appears 2^(log k - i) times.
+        assert seq.count(16) == 1
+        assert seq.count(8) == 2
+        assert seq.count(4) == 4
+        assert seq.count(2) == 8
+        assert seq.count(1) == 16
+
+    def test_rejects_non_powers_of_two(self):
+        for bad in (0, 3, 6, -2):
+            with pytest.raises(ProtocolError):
+                t_sequence(bad)
+
+
+class TestRunTSequence:
+    def test_lemma24_coverage_unit_path(self):
+        g = generators.path(6)
+        runner = PhaseRunner(g)
+        run_t_sequence(runner, g, 8, tag="t")
+        assert all_to_all_done(g, runner.state)
+
+    def test_lemma24_coverage_weighted(self):
+        g = LatencyGraph(edges=[(0, 1, 1), (1, 2, 3), (2, 3, 2), (3, 4, 1)])
+        diameter = g.weighted_diameter()  # 7
+        k = 8
+        assert k >= diameter
+        runner = PhaseRunner(g)
+        run_t_sequence(runner, g, k, tag="t")
+        assert all_to_all_done(g, runner.state)
+
+    def test_coverage_guarantee_is_at_least_distance_k(self):
+        # Lemma 24 guarantees pairs within distance k exchange.  (Pipelining
+        # inside the DTG phases typically covers *more* than k — the lemma
+        # is a lower bound on coverage, so we only assert the guarantee.)
+        g = generators.path(12)
+        runner = PhaseRunner(g)
+        run_t_sequence(runner, g, 2, tag="t")
+        assert runner.state.knows(0, 1)
+        assert runner.state.knows(0, 2)
+        assert runner.state.knows(5, 7)
+
+    def test_rounds_accumulate(self):
+        g = generators.path(4)
+        runner = PhaseRunner(g)
+        rounds = run_t_sequence(runner, g, 4, tag="t")
+        assert rounds == runner.total_rounds
+        assert rounds > 0
+
+
+class TestPathDiscovery:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            generators.path(7),
+            generators.grid(3, 3),
+            generators.ring_of_cliques(3, 4, inter_latency=3, rng=random.Random(0)),
+        ],
+        ids=["path", "grid", "ring-of-cliques"],
+    )
+    def test_completes_all_to_all(self, graph):
+        report = run_path_discovery(graph)
+        assert report.first_complete_round is not None
+        assert report.first_complete_round <= report.rounds
+
+    def test_final_estimate_power_of_two(self):
+        report = run_path_discovery(generators.grid(3, 3))
+        k = report.final_estimate
+        assert k & (k - 1) == 0
+
+    def test_deterministic(self):
+        g = generators.grid(3, 3)
+        assert run_path_discovery(g).rounds == run_path_discovery(g).rounds
+
+    def test_slow_edges_force_large_estimate(self):
+        g = generators.ring_of_cliques(3, 4, inter_latency=10, rng=random.Random(1))
+        report = run_path_discovery(g)
+        assert report.final_estimate >= 16  # next power of two above 10

@@ -1,0 +1,94 @@
+"""Tests for the PhaseRunner multi-phase plumbing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import generators
+from repro.protocols.base import PhaseRunner, per_node_rng_factory
+from repro.protocols.dtg import ldtg_factory
+from repro.sim.state import NetworkState
+
+
+class TestPerNodeRng:
+    def test_streams_differ_between_nodes(self):
+        make = per_node_rng_factory(0)
+        assert make(0).random() != make(1).random()
+
+    def test_streams_reproducible(self):
+        assert per_node_rng_factory(5)(3).random() == per_node_rng_factory(5)(3).random()
+
+    def test_streams_depend_on_seed(self):
+        assert per_node_rng_factory(1)(0).random() != per_node_rng_factory(2)(0).random()
+
+    def test_order_independent(self):
+        # The stream depends on the node id, not on creation order.
+        make = per_node_rng_factory(9)
+        b_first = make(1).random()
+        make2 = per_node_rng_factory(9)
+        make2(0)
+        assert make2(1).random() == b_first
+
+
+class TestPhaseRunner:
+    def test_fresh_state_seeds_self_rumors(self):
+        g = generators.path(4)
+        runner = PhaseRunner(g)
+        for node in g.nodes():
+            assert runner.state.knows(node, node)
+
+    def test_external_state_not_reseeded(self):
+        g = generators.path(3)
+        state = NetworkState(g.nodes())
+        runner = PhaseRunner(g, state=state)
+        assert runner.state.rumors(0) == frozenset()
+
+    def test_rounds_accumulate_across_phases(self):
+        g = generators.clique(6)
+        runner = PhaseRunner(g)
+        runner.run_phase(ldtg_factory(g, 1, run_tag="a"), latencies_known=True)
+        first = runner.total_rounds
+        runner.run_phase(ldtg_factory(g, 1, run_tag="b"), latencies_known=True)
+        assert runner.total_rounds > first
+
+    def test_exchange_and_message_counters(self):
+        g = generators.clique(6)
+        runner = PhaseRunner(g)
+        runner.run_phase(ldtg_factory(g, 1), latencies_known=True)
+        assert runner.total_exchanges > 0
+        assert runner.total_messages == 2 * runner.total_exchanges
+
+    def test_watch_records_first_completion(self):
+        g = generators.path(4)
+        target = set(g.nodes())
+        runner = PhaseRunner(
+            g,
+            watch=lambda s: all(target <= s.rumors(v) for v in target),
+        )
+        assert runner.first_complete_round is None
+        # A couple of tagged 1-DTG phases complete all-to-all on a path.
+        for i in range(4):
+            runner.run_phase(
+                ldtg_factory(g, 1, run_tag=f"w{i}"), latencies_known=True
+            )
+        assert runner.first_complete_round is not None
+        assert runner.first_complete_round <= runner.total_rounds
+
+    def test_watch_true_at_start(self):
+        g = generators.path(3)
+        runner = PhaseRunner(g, watch=lambda s: True)
+        assert runner.first_complete_round == 0
+
+    def test_max_rounds_guard(self):
+        g = generators.clique(8)
+        runner = PhaseRunner(g)
+        with pytest.raises(SimulationError):
+            runner.run_phase(
+                ldtg_factory(g, 1), latencies_known=True, max_rounds=2
+            )
+
+    def test_run_phase_returns_engine(self):
+        g = generators.path(3)
+        runner = PhaseRunner(g)
+        engine = runner.run_phase(ldtg_factory(g, 1), latencies_known=True)
+        assert engine.state is runner.state
+        assert engine.all_done()

@@ -1,0 +1,138 @@
+"""Hypothesis property tests at the protocol level.
+
+These drive whole protocols over randomized connected graphs and check the
+invariants that must hold on *every* instance: completion, monotone
+knowledge, coverage guarantees, termination-check soundness.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.base import PhaseRunner
+from repro.protocols.dtg import ldtg_factory
+from repro.protocols.eid import run_termination_check
+from repro.protocols.path_discovery import run_t_sequence
+from repro.protocols.push_pull import run_push_pull
+from repro.protocols.spanner import baswana_sen_spanner
+from repro.sim.runner import local_broadcast_complete
+
+
+@st.composite
+def small_connected_graphs(draw, max_nodes=9, max_latency=4):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = LatencyGraph(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        parent = order[rng.randrange(i)]
+        graph.add_edge(order[i], parent, rng.randint(1, max_latency))
+    for _ in range(draw(st.integers(min_value=0, max_value=n))):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, rng.randint(1, max_latency))
+    return graph
+
+
+class TestPushPullProperties:
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_always_completes(self, graph, seed):
+        result = run_push_pull(graph, seed=seed, max_rounds=50_000)
+        assert result.complete
+
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_informed_history_monotone(self, graph, seed):
+        result = run_push_pull(
+            graph, seed=seed, track_progress=True, max_rounds=50_000
+        )
+        history = result.informed_history
+        assert all(a <= b for a, b in zip(history, history[1:]))
+        assert history[-1] == graph.num_nodes
+
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_rounds_at_least_source_eccentricity(self, graph, seed):
+        source = graph.nodes()[0]
+        result = run_push_pull(graph, source=source, seed=seed, max_rounds=50_000)
+        eccentricity = max(graph.weighted_distances(source).values())
+        assert result.rounds >= eccentricity
+
+
+class TestDTGProperties:
+    @given(small_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_full_latency_dtg_covers_all_neighbors(self, graph):
+        ell = graph.max_latency()
+        runner = PhaseRunner(graph)
+        runner.run_phase(ldtg_factory(graph, ell), latencies_known=True)
+        view = type("V", (), {"graph": graph, "state": runner.state})()
+        assert local_broadcast_complete(ell)(view)
+
+    @given(small_connected_graphs(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_partial_latency_dtg_covers_fast_neighbors(self, graph, ell):
+        runner = PhaseRunner(graph)
+        runner.run_phase(ldtg_factory(graph, ell), latencies_known=True)
+        view = type("V", (), {"graph": graph, "state": runner.state})()
+        assert local_broadcast_complete(ell)(view)
+
+
+class TestTSequenceProperties:
+    @given(small_connected_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_lemma24_coverage(self, graph):
+        diameter = graph.weighted_diameter()
+        k = 1 << max(0, (diameter - 1).bit_length())
+        runner = PhaseRunner(graph)
+        run_t_sequence(runner, graph, k, tag="prop")
+        everyone = set(graph.nodes())
+        assert all(everyone <= runner.state.rumors(v) for v in everyone)
+
+
+class TestSpannerProperties:
+    @given(small_connected_graphs(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_restriction_never_adds_edges(self, graph, k):
+        spanner = baswana_sen_spanner(graph, k, random.Random(0))
+        full = spanner.undirected_edges()
+        for threshold in graph.distinct_latencies():
+            assert spanner.restrict(threshold).undirected_edges() <= full
+
+
+class TestTerminationCheckSoundness:
+    @given(small_connected_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_never_passes_when_incomplete(self, graph):
+        # A fresh state (nobody knows any neighbor) must always fail.
+        runner = PhaseRunner(graph)
+        diameter = graph.weighted_diameter()
+
+        def broadcast(tag):
+            for i in range(graph.num_nodes):
+                runner.run_phase(
+                    ldtg_factory(graph, diameter, run_tag=f"{tag}:{i}"),
+                    latencies_known=True,
+                )
+
+        everyone = set(graph.nodes())
+        complete_before = all(
+            everyone <= runner.state.rumors(v) for v in everyone
+        )
+        report = run_termination_check(
+            runner, graph, diameter, broadcast, iteration_tag="sound"
+        )
+        if report.passed:
+            # Passing is only sound once dissemination is complete *at
+            # verdict time* (the check's broadcasts may have finished it).
+            assert all(everyone <= runner.state.rumors(v) for v in everyone)
+        if not complete_before and graph.num_nodes > 2:
+            # With a fresh state the flags must have fired somewhere.
+            assert not all(report.verdicts.values()) or all(
+                everyone <= runner.state.rumors(v) for v in everyone
+            )

@@ -1,0 +1,129 @@
+"""Tests for push--pull gossip and the flooding baselines."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.flooding import run_flooding
+from repro.protocols.push_pull import run_push_pull
+
+
+class TestPushPullBroadcast:
+    def test_completes_on_clique(self):
+        result = run_push_pull(generators.clique(16), source=0, seed=1)
+        assert result.complete
+        # Karp et al.: O(log n) rounds on a clique.
+        assert result.rounds <= 8 * math.log2(16)
+
+    def test_completes_on_path(self):
+        g = generators.path(10)
+        result = run_push_pull(g, source=0, seed=2)
+        assert result.complete
+        assert result.rounds >= 5  # at least ~diameter/2 rounds
+
+    def test_latency_delays_completion(self):
+        fast = generators.ring_of_cliques(4, 4, inter_latency=1)
+        slow = generators.ring_of_cliques(4, 4, inter_latency=30)
+        t_fast = run_push_pull(fast, source=0, seed=3).rounds
+        t_slow = run_push_pull(slow, source=0, seed=3).rounds
+        assert t_slow > t_fast
+
+    def test_default_source_is_first_node(self):
+        g = generators.clique(8)
+        a = run_push_pull(g, seed=4)
+        b = run_push_pull(g, source=0, seed=4)
+        assert a.rounds == b.rounds
+
+    def test_track_progress_history(self):
+        g = generators.clique(12)
+        result = run_push_pull(g, source=0, seed=5, track_progress=True)
+        history = result.informed_history
+        assert history is not None
+        assert history[0] == 1
+        assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_budget_exhaustion_raises(self):
+        g = generators.ring_of_cliques(4, 4, inter_latency=50)
+        with pytest.raises(SimulationError):
+            run_push_pull(g, source=0, seed=6, max_rounds=3)
+
+    def test_budget_exhaustion_allow_incomplete(self):
+        g = generators.ring_of_cliques(4, 4, inter_latency=50)
+        result = run_push_pull(
+            g, source=0, seed=6, max_rounds=3, allow_incomplete=True
+        )
+        assert not result.complete
+        assert result.rounds == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_push_pull(generators.clique(4), mode="sideways")
+
+    def test_single_node_completes_instantly(self):
+        g = LatencyGraph(nodes=[0])
+        result = run_push_pull(g, source=0, seed=0)
+        assert result.rounds == 0
+
+
+class TestPushPullModes:
+    def test_all_to_all(self):
+        result = run_push_pull(generators.clique(10), mode="all_to_all", seed=7)
+        assert result.complete
+
+    def test_local_broadcast(self):
+        g = generators.grid(4, 4)
+        result = run_push_pull(g, mode="local", seed=8)
+        assert result.complete
+
+    def test_local_with_latency_threshold(self):
+        # Slow edges excluded from the requirement finish much faster.
+        g = generators.ring_of_cliques(4, 5, inter_latency=60)
+        fast_only = run_push_pull(g, mode="local", max_latency=1, seed=9)
+        everything = run_push_pull(g, mode="local", seed=9)
+        assert fast_only.complete
+        assert fast_only.rounds < everything.rounds
+
+    def test_all_to_all_slower_than_broadcast(self):
+        g = generators.path(12)
+        broadcast = run_push_pull(g, source=0, seed=10)
+        all_to_all = run_push_pull(g, mode="all_to_all", seed=10)
+        assert all_to_all.rounds >= broadcast.rounds / 4  # same order
+
+
+class TestFlooding:
+    def test_push_pull_flooding_star_fast(self):
+        star = generators.star(40)
+        result = run_flooding(star, source=0, push_only=False)
+        assert result.complete
+        assert result.rounds <= 3
+
+    def test_push_only_flooding_star_linear(self):
+        # Footnote 2: without pull, the star takes Ω(n).
+        star = generators.star(40)
+        result = run_flooding(star, source=0, push_only=True)
+        assert result.complete
+        assert result.rounds >= 39
+
+    def test_push_only_from_leaf(self):
+        star = generators.star(10)
+        result = run_flooding(star, source=3, push_only=True)
+        assert result.complete
+
+    def test_flooding_deterministic(self):
+        g = generators.grid(4, 4)
+        assert (
+            run_flooding(g, source=0).rounds == run_flooding(g, source=0).rounds
+        )
+
+    def test_flooding_respects_latencies(self):
+        path_slow = generators.path(5, latency_model=lambda u, v, r: 10)
+        result = run_flooding(path_slow, source=0)
+        assert result.rounds >= 40  # 4 hops x latency 10
+
+    def test_flooding_incomplete_budget(self):
+        g = generators.path(20)
+        result = run_flooding(g, source=0, max_rounds=2, allow_incomplete=True)
+        assert not result.complete

@@ -1,0 +1,97 @@
+"""Tests for RR Broadcast (Algorithm 2 / Lemma 15)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.base import PhaseRunner
+from repro.protocols.rr_broadcast import (
+    RRBroadcastProtocol,
+    rr_broadcast_duration,
+    rr_broadcast_factory,
+)
+from repro.protocols.spanner import DirectedSpanner, baswana_sen_spanner
+
+
+def full_spanner(graph) -> DirectedSpanner:
+    """The graph itself, oriented from lower to higher node id."""
+    out_edges = {v: [] for v in graph.nodes()}
+    for u, v, _ in graph.edges():
+        tail, head = (u, v) if repr(u) <= repr(v) else (v, u)
+        out_edges[tail].append(head)
+    return DirectedSpanner(graph=graph, out_edges=out_edges, k=1)
+
+
+class TestDuration:
+    def test_lemma15_formula(self):
+        assert rr_broadcast_duration(10, 3) == 40
+        assert rr_broadcast_duration(5, 0) == 5
+
+
+class TestProtocol:
+    def test_runs_exactly_budget_rounds(self):
+        g = generators.path(4)
+        runner = PhaseRunner(g)
+        runner.run_phase(
+            rr_broadcast_factory(full_spanner(g), 3, duration=7),
+            latencies_known=True,
+        )
+        assert runner.total_rounds == 7
+
+    def test_covers_within_distance_k(self):
+        # Lemma 15: nodes at weighted distance <= k exchange rumors.
+        g = generators.path(6)  # unit latencies, distance = hops
+        spanner = full_spanner(g)
+        k = 3
+        runner = PhaseRunner(g)
+        runner.run_phase(rr_broadcast_factory(spanner, k), latencies_known=True)
+        assert runner.state.knows(0, 3)
+        assert runner.state.knows(3, 0)
+
+    def test_all_to_all_when_k_at_least_diameter(self):
+        g = generators.grid(3, 3)
+        spanner = full_spanner(g)
+        k = g.weighted_diameter()
+        runner = PhaseRunner(g)
+        runner.run_phase(rr_broadcast_factory(spanner, k), latencies_known=True)
+        everyone = set(g.nodes())
+        assert all(everyone <= runner.state.rumors(v) for v in everyone)
+
+    def test_latency_filter_excludes_slow_out_edges(self):
+        g = LatencyGraph(edges=[(0, 1, 1), (1, 2, 10)])
+        spanner = full_spanner(g)
+        runner = PhaseRunner(g)
+        runner.run_phase(rr_broadcast_factory(spanner, 2), latencies_known=True)
+        assert runner.state.knows(1, 0)
+        assert not runner.state.knows(2, 0)  # edge (1,2) above threshold
+
+    def test_works_with_real_spanner(self):
+        g = generators.ring_of_cliques(4, 4, inter_latency=2, rng=random.Random(0))
+        k_spanner = max(2, math.ceil(math.log2(g.num_nodes)))
+        spanner = baswana_sen_spanner(g, k_spanner, random.Random(1))
+        k = g.weighted_diameter() * (2 * k_spanner - 1)
+        runner = PhaseRunner(g)
+        runner.run_phase(rr_broadcast_factory(spanner, k), latencies_known=True)
+        everyone = set(g.nodes())
+        assert all(everyone <= runner.state.rumors(v) for v in everyone)
+
+    def test_node_without_out_edges_still_informed_by_pull(self):
+        # Orientation means some nodes never initiate; responses inform them.
+        g = generators.star(6)
+        spanner = DirectedSpanner(
+            graph=g, out_edges={0: list(range(1, 6)), **{v: [] for v in range(1, 6)}}, k=1
+        )
+        runner = PhaseRunner(g)
+        runner.run_phase(rr_broadcast_factory(spanner, 1), latencies_known=True)
+        assert all(runner.state.knows(leaf, 0) for leaf in range(1, 6))
+
+    def test_rejects_bad_parameters(self):
+        g = generators.path(3)
+        with pytest.raises(ProtocolError):
+            rr_broadcast_factory(full_spanner(g), 0)
+        with pytest.raises(ProtocolError):
+            RRBroadcastProtocol([], duration=-1)

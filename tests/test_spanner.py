@@ -1,0 +1,129 @@
+"""Tests for the directed Baswana--Sen spanner (Appendix D / Lemma 13)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.graphs.latency_models import uniform_latency
+from repro.protocols.spanner import DirectedSpanner, baswana_sen_spanner
+
+
+def build(n=40, degree=8, seed=0, k=None):
+    graph = generators.random_regular(
+        n, degree, latency_model=uniform_latency(1, 9), rng=random.Random(seed)
+    )
+    k = k if k is not None else max(2, math.ceil(math.log2(n)))
+    return graph, baswana_sen_spanner(graph, k, random.Random(seed + 1))
+
+
+class TestConstruction:
+    def test_spanner_is_subgraph(self):
+        graph, spanner = build()
+        for u, v in spanner.undirected_edges():
+            assert graph.has_edge(u, v)
+
+    def test_spans_all_nodes(self):
+        graph, spanner = build()
+        assert spanner.to_latency_graph().is_connected()
+
+    def test_stretch_within_2k_minus_1(self):
+        for seed in range(3):
+            graph, spanner = build(seed=seed)
+            stretch = spanner.measured_stretch(
+                num_pairs=100, rng=random.Random(seed)
+            )
+            assert stretch <= 2 * spanner.k - 1
+
+    def test_k1_returns_whole_graph(self):
+        graph = generators.clique(8, latency_model=uniform_latency(1, 5))
+        spanner = baswana_sen_spanner(graph, 1, random.Random(0))
+        assert spanner.undirected_edges() == {
+            (min(u, v), max(u, v)) for u, v, _ in graph.edges()
+        }
+        assert spanner.measured_stretch() == 1.0
+
+    def test_sparsifies_dense_graphs(self):
+        graph = generators.clique(40, latency_model=uniform_latency(1, 9))
+        k = 5
+        spanner = baswana_sen_spanner(graph, k, random.Random(0))
+        assert spanner.num_edges < graph.num_edges / 2
+
+    def test_deterministic_given_seed(self):
+        graph, a = build(seed=7)
+        b = baswana_sen_spanner(graph, a.k, random.Random(8))
+        assert a.undirected_edges() == b.undirected_edges()
+        assert a.out_edges == b.out_edges
+
+    def test_rejects_bad_k(self):
+        graph, _ = build()
+        with pytest.raises(ProtocolError):
+            baswana_sen_spanner(graph, 0, random.Random(0))
+
+    def test_rejects_small_n_hat(self):
+        graph, _ = build()
+        with pytest.raises(ProtocolError):
+            baswana_sen_spanner(graph, 3, random.Random(0), n_hat=5)
+
+    def test_tree_input_returns_tree(self):
+        tree = generators.binary_tree(15)
+        spanner = baswana_sen_spanner(tree, 4, random.Random(0))
+        # A tree cannot be sparsified: every edge must survive.
+        assert spanner.num_edges == 14
+
+
+class TestOrientation:
+    def test_out_degree_small(self):
+        graph, spanner = build(n=64)
+        assert spanner.max_out_degree() <= 4 * math.ceil(math.log2(64))
+
+    def test_out_edges_point_to_neighbors(self):
+        graph, spanner = build()
+        for tail, heads in spanner.out_edges.items():
+            for head in heads:
+                assert graph.has_edge(tail, head)
+
+    def test_n_hat_estimate_increases_out_degree_bound(self):
+        # Lemma 13: sampling with n̂ = n^c keeps things valid, just fatter.
+        graph, tight = build(n=64)
+        loose = baswana_sen_spanner(graph, tight.k, random.Random(1), n_hat=64**2)
+        assert loose.to_latency_graph().is_connected()
+        assert (
+            loose.measured_stretch(num_pairs=30, rng=random.Random(2))
+            <= 2 * loose.k - 1
+        )
+
+
+class TestDirectedSpannerHelpers:
+    def test_restrict_filters_by_latency(self):
+        graph = LatencyGraph(edges=[(0, 1, 2), (1, 2, 8)])
+        spanner = DirectedSpanner(
+            graph=graph, out_edges={0: [1], 1: [2], 2: []}, k=2
+        )
+        restricted = spanner.restrict(3)
+        assert restricted.out_edges[0] == [1]
+        assert restricted.out_edges[1] == []
+
+    def test_max_out_degree_empty(self):
+        spanner = DirectedSpanner(graph=LatencyGraph(), out_edges={}, k=2)
+        assert spanner.max_out_degree() == 0
+
+    def test_to_latency_graph_preserves_latencies(self):
+        graph = LatencyGraph(edges=[(0, 1, 7)])
+        spanner = DirectedSpanner(graph=graph, out_edges={0: [1], 1: []}, k=1)
+        assert spanner.to_latency_graph().latency(0, 1) == 7
+
+    def test_measured_stretch_infinite_when_disconnected(self):
+        graph = LatencyGraph(edges=[(0, 1, 1), (1, 2, 1)])
+        spanner = DirectedSpanner(
+            graph=graph, out_edges={0: [1], 1: [], 2: []}, k=2
+        )
+        assert spanner.measured_stretch() == math.inf
+
+    def test_num_edges_deduplicates_orientations(self):
+        graph = LatencyGraph(edges=[(0, 1, 1)])
+        spanner = DirectedSpanner(graph=graph, out_edges={0: [1], 1: [0]}, k=1)
+        assert spanner.num_edges == 1

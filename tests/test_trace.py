@@ -1,0 +1,125 @@
+"""Tests for the trace recorder and timeline renderer."""
+
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+from repro.protocols.base import per_node_rng_factory
+from repro.protocols.discovery import LatencyDiscoveryProtocol
+from repro.protocols.push_pull import PushPullProtocol
+from repro.sim.engine import Engine
+from repro.sim.runner import broadcast_complete
+from repro.sim.state import NetworkState
+from repro.sim.trace import TraceRecorder, render_timeline
+
+
+def traced_push_pull(graph, rounds=10, seed=0):
+    recorder = TraceRecorder()
+    make_rng = per_node_rng_factory(seed)
+    engine = Engine(
+        graph, recorder.wrap(lambda node: PushPullProtocol(make_rng(node)))
+    )
+    for _ in range(rounds):
+        engine.step()
+    return recorder, engine
+
+
+class TestRecorder:
+    def test_initiations_logged_per_round(self):
+        g = generators.clique(5)
+        recorder, engine = traced_push_pull(g, rounds=4)
+        # Every node initiates every round on a clique.
+        assert len(recorder.initiations()) == 5 * 4
+
+    def test_deliveries_logged_for_both_endpoints(self):
+        g = LatencyGraph(edges=[(0, 1, 1)])
+        recorder, _ = traced_push_pull(g, rounds=3)
+        deliveries = recorder.deliveries()
+        # Each exchange delivers to both ends.
+        assert len(deliveries) % 2 == 0
+        assert len(deliveries) > 0
+
+    def test_per_node_filters(self):
+        g = generators.clique(4)
+        recorder, _ = traced_push_pull(g, rounds=3)
+        assert len(recorder.initiations(node=0)) == 3
+        all_initiations = recorder.initiations()
+        assert sum(
+            len(recorder.initiations(node=v)) for v in g.nodes()
+        ) == len(all_initiations)
+
+    def test_model_invariants_hold(self):
+        g = generators.ring_of_cliques(3, 4, inter_latency=3)
+        recorder, _ = traced_push_pull(g, rounds=15)
+        assert recorder.verify_single_initiation_per_round()
+        assert recorder.verify_causal_deliveries()
+
+    def test_per_round_activity(self):
+        g = generators.clique(6)
+        recorder, _ = traced_push_pull(g, rounds=3)
+        activity = recorder.per_round_activity()
+        assert activity == {0: 6, 1: 6, 2: 6}
+
+    def test_wrap_preserves_ping_semantics(self):
+        g = LatencyGraph(edges=[(0, 1, 1)])
+        state = NetworkState([0, 1])
+        state.add_rumor(0, "x")
+        recorder = TraceRecorder()
+        engine = Engine(
+            g,
+            recorder.wrap(lambda node: LatencyDiscoveryProtocol(2)),
+            state=state,
+        )
+        for _ in range(5):
+            engine.step()
+        # Probes stayed pings: no rumor crossed despite traced exchanges.
+        assert not state.knows(1, "x")
+        assert recorder.initiations()
+
+    def test_wrapped_protocol_terminates_normally(self):
+        g = LatencyGraph(edges=[(0, 1, 1)])
+        recorder = TraceRecorder()
+        engine = Engine(g, recorder.wrap(lambda node: LatencyDiscoveryProtocol(2)))
+        rounds = engine.run(max_rounds=100)
+        assert rounds < 100
+
+
+class TestTimeline:
+    def test_renders_marks(self):
+        g = LatencyGraph(edges=[(0, 1, 2)])
+        recorder, _ = traced_push_pull(g, rounds=5)
+        text = render_timeline(recorder, g.nodes())
+        assert "round" in text
+        assert ">" in text or "#" in text
+
+    def test_empty_trace_renders(self):
+        recorder = TraceRecorder()
+        text = render_timeline(recorder, [0, 1])
+        assert "round" in text
+
+    def test_width_truncation(self):
+        g = generators.clique(4)
+        recorder, _ = traced_push_pull(g, rounds=100)
+        text = render_timeline(recorder, g.nodes(), width=20)
+        body = text.splitlines()[1]
+        # label + space + at most 20 cells
+        assert len(body.split(" ")[-1]) <= 20
+
+
+class TestTraceWithCompletion:
+    def test_broadcast_trace_end_to_end(self):
+        g = generators.clique(8)
+        rumor = ("rumor", 0)
+        state = NetworkState(g.nodes())
+        state.add_rumor(0, rumor)
+        recorder = TraceRecorder()
+        make_rng = per_node_rng_factory(3)
+        engine = Engine(
+            g,
+            recorder.wrap(lambda node: PushPullProtocol(make_rng(node))),
+            state=state,
+        )
+        done = broadcast_complete(rumor)
+        while not done(engine):
+            engine.step()
+        assert recorder.verify_single_initiation_per_round()
+        assert recorder.verify_causal_deliveries()
+        assert len(recorder.initiations()) == 8 * engine.round

@@ -1,0 +1,46 @@
+"""Tests for the unified parallel composition (Theorem 20)."""
+
+import random
+
+from repro.graphs import generators
+from repro.graphs.latency_models import bimodal_latency
+from repro.protocols.unified import run_unified
+
+
+class TestUnified:
+    def test_rounds_is_twice_winner(self):
+        g = generators.clique(10)
+        report = run_unified(g, latencies_known=True, seed=0)
+        winner_rounds = (
+            report.push_pull_rounds
+            if report.winner == "push-pull"
+            else report.spanner_rounds
+        )
+        assert report.rounds == 2 * winner_rounds
+
+    def test_tracks_min_component(self):
+        g = generators.grid(3, 3)
+        report = run_unified(g, latencies_known=True, seed=1)
+        assert report.rounds <= 2 * report.push_pull_rounds
+        assert report.rounds <= 2 * report.spanner_rounds
+
+    def test_unknown_latency_variant_runs(self):
+        g = generators.clique(8)
+        report = run_unified(g, latencies_known=False, seed=2)
+        assert report.winner in ("push-pull", "spanner")
+        assert report.rounds > 0
+
+    def test_spanner_wins_on_big_dumbbell(self):
+        g = generators.dumbbell(48, bridge_length=1)
+        report = run_unified(g, latencies_known=True, seed=0)
+        # ℓ*/φ* = Θ(n²) while D = 3: the spanner pipeline (which completes
+        # well before its detection budget) beats push--pull's Θ(n) search
+        # for the single cut edge.
+        assert report.spanner_rounds < 2 * report.push_pull_rounds
+
+    def test_pushpull_competitive_on_expander(self):
+        g = generators.random_regular(
+            32, 6, latency_model=bimodal_latency(1, 40, 0.5), rng=random.Random(1)
+        )
+        report = run_unified(g, latencies_known=True, seed=1)
+        assert report.push_pull_rounds < 150  # ~ (ℓ*/φ*) log n, small here
