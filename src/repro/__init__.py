@@ -58,7 +58,14 @@ from repro.protocols import (
     run_push_pull,
     run_unified,
 )
-from repro.sim import DisseminationResult, Engine, NetworkState
+from repro.sim import (
+    DisseminationResult,
+    Engine,
+    InvariantChecker,
+    NetworkState,
+    checked,
+    default_checkers,
+)
 
 __version__ = "1.0.0"
 
@@ -72,6 +79,7 @@ __all__ = [
     "GraphBounds",
     "GraphError",
     "GuessingGame",
+    "InvariantChecker",
     "LatencyGraph",
     "NetworkState",
     "ProtocolError",
@@ -80,8 +88,10 @@ __all__ = [
     "StronglyEdgeInducedGraph",
     "WeightedConductance",
     "baswana_sen_spanner",
+    "checked",
     "compute_bounds",
     "conductance_profile",
+    "default_checkers",
     "gadgets",
     "generators",
     "run_eid",

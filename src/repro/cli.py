@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro list-experiments
     python -m repro run-experiment E5 --profile quick
+    python -m repro check --experiments E6 --profile quick
     python -m repro analyze --topology ring-of-cliques --cliques 6 \\
         --clique-size 8 --inter-latency 12
     python -m repro simulate --protocol push-pull --topology clique --n 32
@@ -172,17 +173,154 @@ def _cmd_list_experiments(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import all_experiments, get_experiment
+    from repro.experiments import all_experiments, run_experiment
 
     if args.experiment_id == "all":
         for experiment_id in sorted(
             all_experiments(), key=lambda eid: (len(eid), eid)
         ):
-            print(get_experiment(experiment_id)(args.profile))
+            print(run_experiment(experiment_id, args.profile, checked=args.checked))
             print()
         return 0
-    table = get_experiment(args.experiment_id)(args.profile)
+    table = run_experiment(args.experiment_id, args.profile, checked=args.checked)
     print(table)
+    return 0
+
+
+def _check_differential(seed: int) -> list[str]:
+    """Engine vs ReferenceEngine on representative graphs/protocols."""
+    from repro.graphs import generators
+    from repro.protocols.base import per_node_rng_factory
+    from repro.protocols.eid import run_general_eid
+    from repro.protocols.flooding import FloodingProtocol
+    from repro.protocols.push_pull import PushPullProtocol
+    from repro.sim.runner import broadcast_complete
+    from repro.sim.state import NetworkState
+    from repro.testing import ReferenceEngine, run_differential
+
+    failures: list[str] = []
+    rng = random.Random(seed)
+    graphs = [
+        ("ring-of-cliques", generators.ring_of_cliques(4, 5, inter_latency=7, rng=rng)),
+        ("star", generators.star(12)),
+        ("erdos-renyi", generators.erdos_renyi(16, 0.3, rng=random.Random(seed))),
+    ]
+    for graph_name, graph in graphs:
+        source = graph.nodes()[0]
+        rumor = ("rumor", source)
+
+        def make_state(graph=graph, source=source, rumor=rumor):
+            state = NetworkState(graph.nodes())
+            state.add_rumor(source, rumor)
+            return state
+
+        protocols = [
+            (
+                "push-pull",
+                lambda seed=seed: (
+                    lambda make_rng: (lambda node: PushPullProtocol(make_rng(node)))
+                )(per_node_rng_factory(seed)),
+            ),
+            ("flooding", lambda rumor=rumor: (lambda node: FloodingProtocol(None))),
+        ]
+        for protocol_name, make_factory in protocols:
+            report = run_differential(
+                graph,
+                make_factory=make_factory,
+                make_state=make_state,
+                predicate=broadcast_complete(rumor),
+            )
+            label = f"differential {protocol_name} on {graph_name}"
+            if report.equivalent:
+                print(f"ok   {label} ({report.rounds} rounds)")
+            else:
+                failures.append(f"{label}: {'; '.join(report.mismatches[:3])}")
+                print(f"FAIL {label}")
+    # Composite protocol: the whole General EID pipeline on both engines.
+    graph = generators.ring_of_cliques(3, 4, inter_latency=5)
+    fast = run_general_eid(graph, seed=seed)
+    slow = run_general_eid(graph, seed=seed, engine_factory=ReferenceEngine)
+    label = "differential general-eid on ring-of-cliques"
+    if fast == slow:
+        print(f"ok   {label} ({fast.rounds} rounds)")
+    else:
+        failures.append(f"{label}: engine={fast} reference={slow}")
+        print(f"FAIL {label}")
+    return failures
+
+
+def _check_replay(seed: int) -> list[str]:
+    """Record-and-replay determinism oracle on push--pull."""
+    from repro.errors import SimulationError
+    from repro.graphs import generators
+    from repro.protocols.base import per_node_rng_factory
+    from repro.protocols.push_pull import PushPullProtocol
+    from repro.sim.runner import broadcast_complete
+    from repro.sim.state import NetworkState
+    from repro.testing import record_and_replay
+
+    failures: list[str] = []
+    graph = generators.ring_of_cliques(4, 5, inter_latency=7, rng=random.Random(seed))
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+
+    def make_state():
+        state = NetworkState(graph.nodes())
+        state.add_rumor(source, rumor)
+        return state
+
+    def make_factory():
+        make_rng = per_node_rng_factory(seed)
+        return lambda node: PushPullProtocol(make_rng(node))
+
+    try:
+        report = record_and_replay(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+        )
+    except SimulationError as error:
+        failures.append(f"replay determinism: {error}")
+        print("FAIL replay determinism (push-pull)")
+    else:
+        print(
+            f"ok   replay determinism (push-pull, {report.rounds} rounds, "
+            f"{len(report.events)} events)"
+        )
+    return failures
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.errors import SimulationError
+    from repro.experiments import all_experiments, run_experiment
+
+    failures: list[str] = []
+    failures.extend(_check_differential(args.seed))
+    failures.extend(_check_replay(args.seed))
+
+    if args.experiments == "all":
+        experiment_ids = sorted(all_experiments(), key=lambda eid: (len(eid), eid))
+    elif args.experiments == "none":
+        experiment_ids = []
+    else:
+        experiment_ids = [eid.strip() for eid in args.experiments.split(",") if eid.strip()]
+    for experiment_id in experiment_ids:
+        label = f"checked experiment {experiment_id} [{args.profile}]"
+        try:
+            run_experiment(experiment_id, args.profile, checked=True)
+        except SimulationError as error:
+            failures.append(f"{label}: {error}")
+            print(f"FAIL {label}")
+        else:
+            print(f"ok   {label}")
+
+    if failures:
+        print(f"\ncheck FAILED ({len(failures)} failure(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncheck passed: engines agree, runs are deterministic, invariants hold")
     return 0
 
 
@@ -317,7 +455,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_exp.add_argument("experiment_id")
     run_exp.add_argument("--profile", default="quick", choices=["quick", "full"])
+    run_exp.add_argument(
+        "--checked", action="store_true",
+        help="attach the model-invariant checkers to every engine",
+    )
     run_exp.set_defaults(handler=_cmd_run_experiment)
+
+    check = commands.add_parser(
+        "check",
+        help="validate the engine: differential tests, replay, checked runs",
+    )
+    check.add_argument(
+        "--experiments", default="none", metavar="IDS",
+        help="comma-separated experiment ids to re-run under invariant "
+             "checking, or 'all' / 'none' (default: none)",
+    )
+    check.add_argument("--profile", default="quick", choices=["quick", "full"])
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(handler=_cmd_check)
 
     analyze = commands.add_parser(
         "analyze", help="compute the paper's parameters for a topology"

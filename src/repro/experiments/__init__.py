@@ -13,6 +13,8 @@ from repro.experiments.harness import (
     all_experiments,
     get_experiment,
     register,
+    run_experiment,
+    validate_profile,
 )
 
 __all__ = [
@@ -21,4 +23,6 @@ __all__ = [
     "all_experiments",
     "get_experiment",
     "register",
+    "run_experiment",
+    "validate_profile",
 ]

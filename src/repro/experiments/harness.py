@@ -18,10 +18,34 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
 
-__all__ = ["ExperimentTable", "Profile", "register", "get_experiment", "all_experiments"]
+__all__ = [
+    "ExperimentTable",
+    "Profile",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+    "validate_profile",
+]
 
 PROFILES = ("quick", "full")
 Profile = str
+
+
+def validate_profile(profile: Profile) -> Profile:
+    """Reject unknown profiles before any work is spent on them.
+
+    Every entry point that takes a profile should call this first: a typo
+    like ``"fulll"`` must fail immediately with a clear message, not leak
+    into ``seeds_for`` deep inside an experiment (or, worse, into an
+    experiment that never consults the seed ladder and silently runs at
+    some default scale).
+    """
+    if profile not in PROFILES:
+        raise ExperimentError(
+            f"unknown profile {profile!r}; use one of {PROFILES}"
+        )
+    return profile
 
 
 @dataclasses.dataclass
@@ -55,7 +79,15 @@ class ExperimentTable:
         """All values of one column, in row order."""
         if name not in self.columns:
             raise ExperimentError(f"unknown column {name!r} in {self.experiment_id}")
-        return [row[name] for row in self.rows]
+        values = []
+        for index, row in enumerate(self.rows):
+            if name not in row:
+                raise ExperimentError(
+                    f"row {index} of {self.experiment_id} is missing column "
+                    f"{name!r}"
+                )
+            values.append(row[name])
+        return values
 
     def to_text(self) -> str:
         """Render as an aligned plain-text table."""
@@ -121,11 +153,30 @@ def all_experiments() -> dict[str, Callable[[Profile], ExperimentTable]]:
 
 def seeds_for(profile: Profile, quick: int = 3, full: int = 10) -> Sequence[int]:
     """The seed ladder for a profile."""
-    if profile == "quick":
-        return range(quick)
-    if profile == "full":
-        return range(full)
-    raise ExperimentError(f"unknown profile {profile!r}; use one of {PROFILES}")
+    validate_profile(profile)
+    return range(quick) if profile == "quick" else range(full)
+
+
+def run_experiment(
+    experiment_id: str, profile: Profile = "quick", checked: bool = False
+) -> ExperimentTable:
+    """Run one experiment, optionally under full model-invariant checking.
+
+    With ``checked=True`` every :class:`~repro.sim.engine.Engine` the
+    experiment constructs (directly or through any protocol runner) gets
+    the default invariant checkers attached via the
+    :func:`repro.sim.invariants.checked` scope — a run that violates the
+    model raises :class:`~repro.errors.SimulationError` instead of
+    producing a quietly wrong table.
+    """
+    validate_profile(profile)
+    fn = get_experiment(experiment_id)
+    if not checked:
+        return fn(profile)
+    from repro.sim import invariants
+
+    with invariants.checked():
+        return fn(profile)
 
 
 def _ensure_loaded() -> None:

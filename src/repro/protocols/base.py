@@ -48,6 +48,11 @@ class PhaseRunner:
     watch:
         Optional predicate over the state; :attr:`first_complete_round` is
         the cumulative round count when it first held.
+    engine_factory:
+        Engine constructor used for every phase; defaults to
+        :class:`~repro.sim.engine.Engine`.  Differential tests substitute
+        :class:`~repro.testing.reference.ReferenceEngine` here to run
+        whole composite protocols against the naive model.
     """
 
     def __init__(
@@ -55,8 +60,10 @@ class PhaseRunner:
         graph: LatencyGraph,
         state: Optional[NetworkState] = None,
         watch: Optional[Callable[[NetworkState], bool]] = None,
+        engine_factory: Optional[Callable[..., Engine]] = None,
     ) -> None:
         self.graph = graph
+        self.engine_factory = engine_factory if engine_factory is not None else Engine
         if state is None:
             state = NetworkState(graph.nodes())
             state.seed_self_rumors()
@@ -81,7 +88,7 @@ class PhaseRunner:
         Returns the finished engine so callers can inspect protocol
         instances (e.g. collect measured latencies after discovery).
         """
-        engine = Engine(
+        engine = self.engine_factory(
             self.graph,
             protocol_factory,
             state=self.state,
@@ -102,4 +109,9 @@ class PhaseRunner:
                 self.first_complete_round = self.total_rounds
         self.total_exchanges += engine.metrics.exchanges
         self.total_messages += engine.metrics.messages
+        # Last look for any attached invariant checkers before the phase's
+        # engine is retired (duck-typed: ReferenceEngine has a no-op).
+        finish = getattr(engine, "finish_checks", None)
+        if finish is not None:
+            finish()
         return engine

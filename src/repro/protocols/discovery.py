@@ -118,6 +118,7 @@ def run_general_eid_unknown_latencies(
     seed: int = 0,
     n_hat: Optional[int] = None,
     max_rounds: int = 5_000_000,
+    engine_factory=None,
 ) -> UnknownLatencyReport:
     """Guess-and-double EID where latencies must first be measured.
 
@@ -135,7 +136,7 @@ def run_general_eid_unknown_latencies(
     def all_to_all_done(state: NetworkState) -> bool:
         return all(universe <= state.rumors(node) for node in nodes)
 
-    runner = PhaseRunner(graph, watch=all_to_all_done)
+    runner = PhaseRunner(graph, watch=all_to_all_done, engine_factory=engine_factory)
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1
     iterations = 0

@@ -205,6 +205,7 @@ def run_ldtg(
     max_latency: int,
     state: Optional[NetworkState] = None,
     max_rounds: int = 1_000_000,
+    engine_factory=None,
 ) -> DisseminationResult:
     """Run one full ℓ-DTG phase and verify ℓ-local broadcast completed.
 
@@ -212,7 +213,7 @@ def run_ldtg(
     terminated); completeness is checked against the ℓ-local broadcast
     predicate.
     """
-    runner = PhaseRunner(graph, state=state)
+    runner = PhaseRunner(graph, state=state, engine_factory=engine_factory)
     runner.run_phase(
         ldtg_factory(graph, max_latency),
         latencies_known=True,

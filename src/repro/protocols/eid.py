@@ -168,6 +168,7 @@ def run_eid(
     state: Optional[NetworkState] = None,
     runner: Optional[PhaseRunner] = None,
     max_rounds: int = 5_000_000,
+    engine_factory=None,
 ) -> EIDReport:
     """Run EID(D) — Algorithm 3 — for a known diameter (estimate).
 
@@ -183,11 +184,14 @@ def run_eid(
         Polynomial upper bound on ``n`` known to nodes (defaults to ``n``).
     state, runner:
         Optional shared knowledge / phase runner for composition.
+    engine_factory:
+        Engine constructor for the phases (ignored when ``runner`` is
+        given); see :class:`~repro.protocols.base.PhaseRunner`.
     """
     if diameter < 1:
         raise ProtocolError(f"diameter must be >= 1, got {diameter}")
     if runner is None:
-        runner = PhaseRunner(graph, state=state)
+        runner = PhaseRunner(graph, state=state, engine_factory=engine_factory)
     n_hat = n_hat if n_hat is not None else graph.num_nodes
     rounds_before = runner.total_rounds
     exchanges_before = runner.total_exchanges
@@ -299,6 +303,7 @@ def run_general_eid(
     n_hat: Optional[int] = None,
     max_rounds: int = 5_000_000,
     require_unanimous: bool = True,
+    engine_factory=None,
 ) -> GeneralEIDReport:
     """Run General EID — Algorithm 4 — with an unknown diameter (Theorem 19).
 
@@ -321,7 +326,7 @@ def run_general_eid(
     def all_to_all_done(state: NetworkState) -> bool:
         return all(universe <= state.rumors(node) for node in nodes)
 
-    runner = PhaseRunner(graph, watch=all_to_all_done)
+    runner = PhaseRunner(graph, watch=all_to_all_done, engine_factory=engine_factory)
     # Hard cap: the diameter is at most (n - 1) * ℓ_max.
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1

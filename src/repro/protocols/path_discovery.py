@@ -83,6 +83,7 @@ def run_path_discovery(
     graph: LatencyGraph,
     max_rounds: int = 5_000_000,
     require_unanimous: bool = True,
+    engine_factory=None,
 ) -> PathDiscoveryReport:
     """Run Path Discovery — Algorithm 6 — solving all-to-all dissemination.
 
@@ -95,7 +96,7 @@ def run_path_discovery(
     def all_to_all_done(state: NetworkState) -> bool:
         return all(universe <= state.rumors(node) for node in nodes)
 
-    runner = PhaseRunner(graph, watch=all_to_all_done)
+    runner = PhaseRunner(graph, watch=all_to_all_done, engine_factory=engine_factory)
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1
     iterations = 0

@@ -1,6 +1,17 @@
 """Synchronous non-blocking gossip simulation engine (the paper's model)."""
 
 from repro.sim.engine import Delivery, Engine, NodeContext, NodeProtocol
+from repro.sim.invariants import (
+    CrashedSilenceChecker,
+    DeliveryLatencyChecker,
+    InvariantChecker,
+    MonotoneKnowledgeChecker,
+    SingleInitiationChecker,
+    SymmetricMergeChecker,
+    checked,
+    checking_enabled,
+    default_checkers,
+)
 from repro.sim.failures import (
     CompositeFailure,
     CrashSchedule,
@@ -24,13 +35,17 @@ __all__ = [
     "Command",
     "CompositeFailure",
     "CrashSchedule",
+    "CrashedSilenceChecker",
     "Delivery",
+    "DeliveryLatencyChecker",
     "DisseminationResult",
     "EdgeOutage",
     "Engine",
     "EngineMetrics",
     "FailureModel",
+    "InvariantChecker",
     "MessageLoss",
+    "MonotoneKnowledgeChecker",
     "NoFailures",
     "NetworkState",
     "NodeContext",
@@ -38,12 +53,17 @@ __all__ = [
     "Note",
     "Payload",
     "ProgramProtocol",
+    "SingleInitiationChecker",
+    "SymmetricMergeChecker",
     "TraceEvent",
     "TraceRecorder",
     "all_to_all_complete",
     "broadcast_complete",
+    "checked",
+    "checking_enabled",
     "contact",
     "contact_and_wait",
+    "default_checkers",
     "local_broadcast_complete",
     "render_timeline",
     "run_until_complete",

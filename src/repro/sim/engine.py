@@ -20,17 +20,23 @@ them).  The engine is fully deterministic given the protocol's RNG seeds.
 from __future__ import annotations
 
 import abc
+import collections
 import dataclasses
 import heapq
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.sim import invariants as _invariants
 from repro.sim.failures import FailureModel
+from repro.sim.invariants import DeliveryView, ExchangeView, InvariantChecker
 from repro.sim.metrics import EngineMetrics
 from repro.sim.state import NetworkState, Payload
 
 __all__ = ["Delivery", "NodeContext", "NodeProtocol", "Engine"]
+
+#: How many recent events the violation trace excerpt keeps.
+_CHECKER_LOG_SIZE = 24
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,6 +208,15 @@ class Engine:
         node initiating while one of its own initiations is still in
         flight raises :class:`~repro.errors.ProtocolError`.  Push--pull is
         expected to violate it; ℓ-DTG / T(k) / Path Discovery must not.
+    checkers:
+        Optional :class:`~repro.sim.invariants.InvariantChecker` instances
+        observing every round/initiation/delivery and raising
+        :class:`~repro.errors.SimulationError` on a model violation.  With
+        the default ``None``, a fresh set of
+        :func:`~repro.sim.invariants.default_checkers` is attached when a
+        :func:`~repro.sim.invariants.checked` scope is active, and nothing
+        otherwise.  Pass ``()`` to force checking off even inside a
+        ``checked`` scope.
     """
 
     def __init__(
@@ -214,6 +229,7 @@ class Engine:
         failure_model: Optional["FailureModel"] = None,
         max_incoming_per_round: Optional[int] = None,
         enforce_blocking: bool = False,
+        checkers: Optional[Sequence[InvariantChecker]] = None,
     ) -> None:
         if max_incoming_per_round is not None and max_incoming_per_round < 1:
             raise SimulationError(
@@ -243,6 +259,18 @@ class Engine:
             self._contexts[node] = NodeContext(self, node)
         for node in self._order:
             self._protocols[node].setup(self._contexts[node])
+        if checkers is None:
+            checkers = (
+                _invariants.default_checkers()
+                if _invariants.checking_enabled()
+                else ()
+            )
+        self._checkers: tuple[InvariantChecker, ...] = tuple(checkers)
+        self._checker_log: collections.deque[str] = collections.deque(
+            maxlen=_CHECKER_LOG_SIZE
+        )
+        for checker in self._checkers:
+            checker.on_attach(self)
 
     # ------------------------------------------------------------------
     def protocol(self, node: Node) -> NodeProtocol:
@@ -268,10 +296,20 @@ class Engine:
         """Number of exchanges still in flight."""
         return len(self._in_flight)
 
+    def recent_checker_events(self) -> list[str]:
+        """The most recent logged events (the violation trace excerpt)."""
+        return list(self._checker_log)
+
+    def _log_event(self, event: str) -> None:
+        if self._checkers:
+            self._checker_log.append(event)
+
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute one round: deliver due exchanges, then collect initiations."""
         self.last_initiations = []
+        for checker in self._checkers:
+            checker.on_round_start(self)
         self._deliver_due()
         incoming: dict[Node, int] = {}
         for node in self._order:
@@ -297,6 +335,8 @@ class Engine:
                     continue  # the responder is saturated; round wasted
                 incoming[target] = accepted + 1
             self._initiate(node, target)
+        for checker in self._checkers:
+            checker.on_round_end(self)
         self.round += 1
         self.metrics.rounds = self.round
 
@@ -324,7 +364,13 @@ class Engine:
                     f"(round={self.round}, pending={len(self._in_flight)})"
                 )
             self.step()
+        self.finish_checks()
         return self.round
+
+    def finish_checks(self) -> None:
+        """Give every attached invariant checker a final end-of-run look."""
+        for checker in self._checkers:
+            checker.on_run_end(self)
 
     # ------------------------------------------------------------------
     def _initiate(self, initiator: Node, responder: Node) -> None:
@@ -334,14 +380,33 @@ class Engine:
                 f"blocking violation: node {initiator!r} initiated while a "
                 "previous exchange of its own is still in flight"
             )
-        if self.failure_model is not None and self.failure_model.exchange_lost(
+        ping_only = not getattr(self._protocols[initiator], "sends_payload", True)
+        lost = self.failure_model is not None and self.failure_model.exchange_lost(
             initiator, responder, self.round
-        ):
+        )
+        if self._checkers:
+            self._log_event(
+                f"round {self.round}: {initiator!r} -> {responder!r} initiate "
+                f"(latency {latency}"
+                + (", ping" if ping_only else "")
+                + (", lost" if lost else "")
+                + ")"
+            )
+            view = ExchangeView(
+                initiator=initiator,
+                responder=responder,
+                round=self.round,
+                latency=latency,
+                ping_only=ping_only,
+                lost=lost,
+            )
+            for checker in self._checkers:
+                checker.on_initiation(self, view)
+        if lost:
             # Lost on the wire: the initiator simply never hears back.
             self.metrics.lost_exchanges += 1
             return
         self._sequence += 1
-        ping_only = not getattr(self._protocols[initiator], "sends_payload", True)
         if ping_only or self.fresh_snapshots:
             # Pings never carry knowledge; fresh-snapshot payloads are
             # re-read at delivery.  Either way, store cheap placeholders.
@@ -394,9 +459,26 @@ class Engine:
                 responder_alive = not self.failure_model.node_crashed(
                     exchange.responder, self.round
                 )
+            if self._checkers:
+                delivery_view = DeliveryView(
+                    initiator=exchange.initiator,
+                    responder=exchange.responder,
+                    initiated_at=exchange.initiated_at,
+                    delivered_at=self.round,
+                    ping_only=exchange.ping_only,
+                    initiator_alive=initiator_alive,
+                )
             if not responder_alive:
                 # No response was ever produced: the exchange is void.
                 self.metrics.lost_exchanges += 1
+                if self._checkers:
+                    self._log_event(
+                        f"round {self.round}: exchange {exchange.initiator!r} -> "
+                        f"{exchange.responder!r} (from round "
+                        f"{exchange.initiated_at}) void: responder crashed"
+                    )
+                    for checker in self._checkers:
+                        checker.on_exchange_void(self, delivery_view)
                 continue
             if exchange.ping_only:
                 initiator_payload = responder_payload = _EMPTY_PAYLOAD
@@ -412,6 +494,17 @@ class Engine:
             self.state.merge(exchange.responder, initiator_payload)
             if initiator_alive:
                 self.state.merge(exchange.initiator, responder_payload)
+            if self._checkers:
+                self._log_event(
+                    f"round {self.round}: {exchange.initiator!r} <-> "
+                    f"{exchange.responder!r} deliver (initiated at "
+                    f"{exchange.initiated_at}"
+                    + (", ping" if exchange.ping_only else "")
+                    + ("" if initiator_alive else ", initiator crashed")
+                    + ")"
+                )
+                for checker in self._checkers:
+                    checker.on_delivery(self, delivery_view)
             endpoints = [(exchange.responder, False)]
             if initiator_alive:
                 endpoints.insert(0, (exchange.initiator, True))

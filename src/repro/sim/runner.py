@@ -110,6 +110,11 @@ def run_until_complete(
         engine.step()
     if track_progress is not None:
         history.append(track_progress(engine))
+    # Last look for any attached invariant checkers (duck-typed so the
+    # testing package's ReferenceEngine can run through this helper too).
+    finish = getattr(engine, "finish_checks", None)
+    if finish is not None:
+        finish()
     return DisseminationResult(
         rounds=engine.round,
         complete=complete,

@@ -1,0 +1,184 @@
+"""Trace replay: the determinism oracle.
+
+A :class:`~repro.sim.trace.TraceRecorder` captures *what* a run did (who
+initiated toward whom, each round).  :func:`replay` re-executes exactly
+that initiation schedule on a fresh engine — no protocol logic, no RNG —
+and asserts the re-run produces the identical event stream and (optionally)
+bit-identical :class:`~repro.sim.metrics.EngineMetrics`.  Because the
+engine is supposed to be a deterministic function of the initiation
+schedule and the initial state, any divergence means hidden
+nondeterminism or order-dependence crept into the engine — the class of
+bug that silently invalidates every seed-averaged experiment table.
+
+:func:`record_and_replay` packages the full oracle: run a protocol once
+(recorded), replay the trace, compare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.sim.engine import Engine, NodeContext, NodeProtocol, ProtocolFactory
+from repro.sim.metrics import EngineMetrics
+from repro.sim.state import NetworkState
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = ["ReplayReport", "ScheduledProtocol", "replay", "record_and_replay"]
+
+
+class ScheduledProtocol(NodeProtocol):
+    """Replays one node's recorded initiations verbatim, round by round."""
+
+    def __init__(self, schedule: dict[int, Node], sends_payload: bool = True) -> None:
+        self._schedule = schedule
+        self.sends_payload = sends_payload
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        return self._schedule.get(ctx.round)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of a replay: the re-run's metrics and event stream."""
+
+    rounds: int
+    metrics: EngineMetrics
+    events: tuple[TraceEvent, ...]
+
+
+def _schedules(events: list[TraceEvent]) -> dict[Node, dict[int, Node]]:
+    schedules: dict[Node, dict[int, Node]] = {}
+    for event in events:
+        if event.kind != "initiate":
+            continue
+        per_round = schedules.setdefault(event.node, {})
+        if event.round in per_round:
+            raise SimulationError(
+                f"trace has two initiations by {event.node!r} in round "
+                f"{event.round}; cannot replay an invalid trace"
+            )
+        per_round[event.round] = event.peer
+    return schedules
+
+
+def replay(
+    recorder: TraceRecorder,
+    graph: LatencyGraph,
+    rounds: int,
+    state: Optional[NetworkState] = None,
+    latencies_known: bool = False,
+    fresh_snapshots: bool = False,
+    sends_payload: bool = True,
+    expected_metrics: Optional[EngineMetrics] = None,
+) -> ReplayReport:
+    """Re-execute a recorded trace and assert the engine reproduces it.
+
+    Parameters
+    ----------
+    recorder:
+        The recorded trace of the original run.
+    graph:
+        The same network the original run used.
+    rounds:
+        How many rounds the original run executed (replay runs exactly as
+        many).
+    state:
+        Initial knowledge, seeded exactly as the original run seeded it.
+    sends_payload:
+        Whether the original protocol shipped payloads (``False`` for
+        ping-only phases such as latency discovery).
+    expected_metrics:
+        When given, the replayed engine's metrics must equal these
+        bit-for-bit.
+
+    Raises
+    ------
+    SimulationError
+        If the replayed event stream or metrics differ from the recording
+        — i.e. the engine is not a deterministic function of the schedule.
+    """
+    schedules = _schedules(recorder.events)
+    check = TraceRecorder()
+    engine = Engine(
+        graph,
+        check.wrap(
+            lambda node: ScheduledProtocol(
+                schedules.get(node, {}), sends_payload=sends_payload
+            )
+        ),
+        state=state,
+        latencies_known=latencies_known,
+        fresh_snapshots=fresh_snapshots,
+    )
+    for _ in range(rounds):
+        engine.step()
+    if check.events != recorder.events:
+        for original, replayed in zip(recorder.events, check.events):
+            if original != replayed:
+                raise SimulationError(
+                    f"replay diverged: recorded {original} but replayed "
+                    f"{replayed}"
+                )
+        raise SimulationError(
+            f"replay diverged: {len(recorder.events)} recorded events vs "
+            f"{len(check.events)} replayed"
+        )
+    if expected_metrics is not None and engine.metrics != expected_metrics:
+        raise SimulationError(
+            f"replay metrics diverged:\n  recorded {expected_metrics}\n  "
+            f"replayed {engine.metrics}"
+        )
+    return ReplayReport(
+        rounds=engine.round,
+        metrics=engine.metrics,
+        events=tuple(check.events),
+    )
+
+
+def record_and_replay(
+    graph: LatencyGraph,
+    make_factory: Callable[[], ProtocolFactory],
+    make_state: Optional[Callable[[], NetworkState]] = None,
+    predicate: Optional[Callable[[Engine], bool]] = None,
+    latencies_known: bool = False,
+    fresh_snapshots: bool = False,
+    max_rounds: int = 100_000,
+) -> ReplayReport:
+    """Run a protocol once, then replay its trace: the one-call oracle.
+
+    The protocol run is driven until ``predicate`` (default: every node
+    done); the recorded schedule is then re-executed from an identically
+    built initial state and must reproduce the exact event stream and
+    metrics.
+    """
+    recorder = TraceRecorder()
+    state = make_state() if make_state is not None else NetworkState(graph.nodes())
+    engine = Engine(
+        graph,
+        recorder.wrap(make_factory()),
+        state=state,
+        latencies_known=latencies_known,
+        fresh_snapshots=fresh_snapshots,
+    )
+    predicate = predicate if predicate is not None else (lambda e: e.all_done())
+    while not predicate(engine):
+        if engine.round >= max_rounds:
+            raise SimulationError(
+                f"record_and_replay exceeded max_rounds={max_rounds}"
+            )
+        engine.step()
+    replay_state = (
+        make_state() if make_state is not None else NetworkState(graph.nodes())
+    )
+    return replay(
+        recorder,
+        graph,
+        rounds=engine.round,
+        state=replay_state,
+        latencies_known=latencies_known,
+        fresh_snapshots=fresh_snapshots,
+        expected_metrics=engine.metrics,
+    )

@@ -1,0 +1,96 @@
+"""Shared Hypothesis strategies for randomized engine/protocol testing.
+
+Centralizes the graph/seed/latency-model generators that the property
+suites (``tests/test_properties.py``, ``tests/test_differential.py``) and
+any future fuzzing harness draw from, so every randomized test explores
+the same well-shaped input space: connected weighted graphs built as a
+random spanning tree plus extra edges, integer latencies drawn from one
+of the paper's latency models, and plain integer seeds.
+
+Importing this module requires ``hypothesis``; the package ``__init__``
+gates the import so the rest of :mod:`repro.testing` (reference engine,
+differential runner, replay) works without it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.graphs.latency_graph import LatencyGraph
+from repro.graphs.latency_models import (
+    LatencyModel,
+    bimodal_latency,
+    constant_latency,
+    uniform_latency,
+    zipf_latency,
+)
+
+__all__ = ["seeds", "latency_models", "connected_latency_graphs"]
+
+
+def seeds(max_seed: int = 10_000) -> st.SearchStrategy[int]:
+    """Plain integer RNG seeds, shrinking toward 0."""
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+@st.composite
+def latency_models(draw, max_latency: int = 8) -> LatencyModel:
+    """One of the paper's latency models, with drawn parameters.
+
+    Covers the unweighted baseline (constant 1), uniformly random integer
+    latencies, the lower-bound gadgets' bimodal fast/slow mix, and the
+    heavy-tailed Zipf model.
+    """
+    kind = draw(st.sampled_from(["constant", "uniform", "bimodal", "zipf"]))
+    if kind == "constant":
+        return constant_latency(draw(st.integers(min_value=1, max_value=max_latency)))
+    if kind == "uniform":
+        low = draw(st.integers(min_value=1, max_value=max_latency))
+        high = draw(st.integers(min_value=low, max_value=max_latency))
+        return uniform_latency(low, high)
+    if kind == "bimodal":
+        fast = draw(st.integers(min_value=1, max_value=max(1, max_latency // 2)))
+        slow = draw(st.integers(min_value=fast, max_value=max_latency))
+        probability = draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+        return bimodal_latency(fast, slow, probability)
+    return zipf_latency(max_latency)
+
+
+@st.composite
+def connected_latency_graphs(
+    draw,
+    min_nodes: int = 2,
+    max_nodes: int = 10,
+    max_latency: int = 8,
+    latency_model: LatencyModel = None,
+) -> LatencyGraph:
+    """A connected :class:`LatencyGraph`: random spanning tree + extra edges.
+
+    Latencies come from ``latency_model`` when given, otherwise from a
+    freshly drawn :func:`latency_models` instance — so by default the
+    strategy also varies the latency *distribution*, not just the wiring.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(seeds())
+    model = (
+        latency_model
+        if latency_model is not None
+        else draw(latency_models(max_latency=max_latency))
+    )
+    rng = random.Random(seed)
+    graph = LatencyGraph(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        parent = order[rng.randrange(i)]
+        graph.add_edge(order[i], parent, model(order[i], parent, rng))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, model(u, v, rng))
+    return graph

@@ -139,3 +139,20 @@ class TestGraphFiles:
         code = main(["analyze", "--load-graph", "/nonexistent/graph.json"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_passes_without_experiments(self, capsys):
+        assert main(["check", "--experiments", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "differential push-pull" in out
+        assert "replay determinism" in out
+        assert "check passed" in out
+
+    def test_check_with_one_experiment(self, capsys):
+        assert main(["check", "--experiments", "E6", "--profile", "quick"]) == 0
+        assert "checked experiment E6 [quick]" in capsys.readouterr().out
+
+    def test_run_experiment_checked_flag(self, capsys):
+        assert main(["run-experiment", "E6", "--checked"]) == 0
+        assert "E6" in capsys.readouterr().out

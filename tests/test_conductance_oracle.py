@@ -1,0 +1,114 @@
+"""Brute-force oracle for weighted conductance (Definitions 1 and 2).
+
+An independent from-scratch implementation — ``itertools.combinations``
+over vertex subsets, no bitmasks, no shared helpers — recomputes the
+conductance profile and ``φ*``/``ℓ*`` and must agree exactly with
+``conductance/exact.py`` and ``conductance/weighted.py`` on every small
+graph (n <= 10).  Any disagreement means one of the two implementations
+misreads Definition 1 (e.g. volumes taken in ``G_ℓ`` instead of ``G``).
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+
+from repro.conductance.exact import cut_conductance, exact_conductance_profile
+from repro.conductance.weighted import weighted_conductance
+from repro.graphs.generators import clique, dumbbell, ring_of_cliques, star
+from repro.testing import connected_latency_graphs
+
+
+def brute_force_profile(graph):
+    """{ℓ: φ_ℓ} by enumerating every proper nonempty subset, per Definition 1."""
+    nodes = graph.nodes()
+    degree = {node: graph.degree(node) for node in nodes}
+    total_volume = sum(degree.values())
+    edge_list = list(graph.edges())  # (u, v, latency) triples
+    profile = {}
+    for ell in graph.distinct_latencies():
+        best = float("inf")
+        for size in range(1, len(nodes)):
+            for subset in itertools.combinations(nodes, size):
+                inside = set(subset)
+                vol_in = sum(degree[node] for node in inside)
+                denominator = min(vol_in, total_volume - vol_in)
+                if denominator == 0:
+                    continue
+                crossing = sum(
+                    1
+                    for u, v, latency in edge_list
+                    if latency <= ell and (u in inside) != (v in inside)
+                )
+                best = min(best, crossing / denominator)
+        profile[ell] = 0.0 if best == float("inf") else best
+    return profile
+
+
+def brute_force_phi_star(profile):
+    """(φ*, ℓ*) maximizing φ_ℓ/ℓ, ties toward the smaller latency."""
+    best_ell = min(profile, key=lambda ell: (-profile[ell] / ell, ell))
+    return profile[best_ell], best_ell
+
+
+class TestAgainstNamedGraphs:
+    def test_clique(self):
+        graph = clique(6)
+        assert exact_conductance_profile(graph) == brute_force_profile(graph)
+
+    def test_star(self):
+        graph = star(7)
+        assert exact_conductance_profile(graph) == brute_force_profile(graph)
+
+    def test_ring_of_cliques(self):
+        graph = ring_of_cliques(3, 3, inter_latency=4)
+        oracle = brute_force_profile(graph)
+        assert exact_conductance_profile(graph) == oracle
+        result = weighted_conductance(graph, method="exact")
+        phi_star, critical = brute_force_phi_star(oracle)
+        assert result.phi_star == phi_star
+        assert result.critical_latency == critical
+
+    def test_dumbbell(self):
+        graph = dumbbell(4, bridge_length=1, bridge_latency=6)
+        oracle = brute_force_profile(graph)
+        assert exact_conductance_profile(graph) == oracle
+
+
+class TestAgainstRandomGraphs:
+    @given(connected_latency_graphs(max_nodes=8, max_latency=6))
+    @settings(max_examples=20, deadline=None)
+    def test_profile_matches_oracle(self, graph):
+        assert exact_conductance_profile(graph) == brute_force_profile(graph)
+
+    @given(connected_latency_graphs(max_nodes=8, max_latency=6))
+    @settings(max_examples=20, deadline=None)
+    def test_phi_star_matches_oracle(self, graph):
+        oracle = brute_force_profile(graph)
+        phi_star, critical = brute_force_phi_star(oracle)
+        result = weighted_conductance(graph, method="exact")
+        assert result.phi_star == phi_star
+        assert result.critical_latency == critical
+        assert result.profile == oracle
+
+    @given(connected_latency_graphs(min_nodes=3, max_nodes=10, max_latency=6))
+    @settings(max_examples=15, deadline=None)
+    def test_single_cut_conductance_matches_oracle(self, graph):
+        nodes = graph.nodes()
+        rng = random.Random(graph.num_edges)
+        size = rng.randint(1, len(nodes) - 1)
+        subset = rng.sample(nodes, size)
+        for ell in graph.distinct_latencies():
+            inside = set(subset)
+            degree = {node: graph.degree(node) for node in nodes}
+            vol_in = sum(degree[node] for node in inside)
+            vol_out = sum(degree.values()) - vol_in
+            if min(vol_in, vol_out) == 0:
+                continue
+            crossing = sum(
+                1
+                for u, v, latency in graph.edges()
+                if latency <= ell and (u in inside) != (v in inside)
+            )
+            expected = crossing / min(vol_in, vol_out)
+            assert cut_conductance(graph, subset, max_latency=ell) == expected

@@ -1,0 +1,151 @@
+"""Differential tests: Engine vs ReferenceEngine on random weighted graphs.
+
+Property-based: for random connected latency graphs, random seeds, and the
+main protocols, the production engine and the naive reference engine must
+agree on completion rounds, per-node knowledge, and metrics.  A last test
+proves the harness has teeth by feeding it a deliberately broken engine.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graphs.generators import ring_of_cliques
+from repro.protocols.base import per_node_rng_factory
+from repro.protocols.eid import run_eid, run_general_eid
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.push_pull import PushPullProtocol
+from repro.sim.engine import Engine
+from repro.sim.runner import broadcast_complete
+from repro.sim.state import NetworkState
+from repro.testing import (
+    ReferenceEngine,
+    assert_engines_agree,
+    connected_latency_graphs,
+    run_differential,
+    seeds,
+)
+
+
+def broadcast_setup(graph):
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+
+    def make_state():
+        state = NetworkState(graph.nodes())
+        state.add_rumor(source, rumor)
+        return state
+
+    return rumor, make_state
+
+
+class TestPushPullDifferential:
+    @given(connected_latency_graphs(), seeds())
+    @settings(max_examples=25, deadline=None)
+    def test_engines_agree(self, graph, seed):
+        rumor, make_state = broadcast_setup(graph)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=5_000,
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+
+class TestFloodingDifferential:
+    @given(connected_latency_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_engines_agree(self, graph):
+        rumor, make_state = broadcast_setup(graph)
+        report = run_differential(
+            graph,
+            make_factory=lambda: (lambda node: FloodingProtocol(None)),
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=5_000,
+        )
+        assert_engines_agree(report)
+
+    @given(connected_latency_graphs(max_nodes=8))
+    @settings(max_examples=15, deadline=None)
+    def test_push_only_engines_agree(self, graph):
+        rumor, make_state = broadcast_setup(graph)
+        report = run_differential(
+            graph,
+            make_factory=lambda: (lambda node: FloodingProtocol(rumor)),
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=20_000,
+        )
+        assert_engines_agree(report)
+
+
+class TestEIDDifferential:
+    """EID runs whole multi-phase pipelines; compare the composite reports."""
+
+    @given(connected_latency_graphs(max_nodes=8, max_latency=4), seeds(100))
+    @settings(max_examples=8, deadline=None)
+    def test_eid_reports_identical(self, graph, seed):
+        diameter = max(1, graph.weighted_diameter())
+        fast = run_eid(graph, diameter, seed=seed)
+        slow = run_eid(graph, diameter, seed=seed, engine_factory=ReferenceEngine)
+        assert fast.rounds == slow.rounds
+        assert fast.exchanges == slow.exchanges
+        assert fast.diameter_estimate == slow.diameter_estimate
+
+    @given(seeds(100))
+    @settings(max_examples=3, deadline=None)
+    def test_general_eid_reports_identical(self, seed):
+        graph = ring_of_cliques(3, 4, inter_latency=5)
+        fast = run_general_eid(graph, seed=seed)
+        slow = run_general_eid(graph, seed=seed, engine_factory=ReferenceEngine)
+        assert fast == slow
+
+
+class OffByOneDelivery(Engine):
+    """Broken engine: every exchange delivers one round early."""
+
+    def _initiate(self, initiator, responder):
+        super()._initiate(initiator, responder)
+        if self._in_flight:
+            self._in_flight[-1].delivers_at -= 1
+            heapq.heapify(self._in_flight)
+
+
+class TestHarnessHasTeeth:
+    def test_broken_engine_is_caught(self):
+        graph = ring_of_cliques(4, 5, inter_latency=7)
+        rumor, make_state = broadcast_setup(graph)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(3)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            engine_cls=OffByOneDelivery,
+        )
+        assert not report.equivalent
+        with pytest.raises(SimulationError, match="diverged"):
+            assert_engines_agree(report)
+
+    def test_reference_engine_rejects_bad_cap(self):
+        graph = ring_of_cliques(3, 3)
+        with pytest.raises(SimulationError):
+            ReferenceEngine(
+                graph, lambda node: FloodingProtocol(None), max_incoming_per_round=0
+            )

@@ -4,7 +4,13 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments import all_experiments, get_experiment
-from repro.experiments.harness import ExperimentTable, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    register,
+    run_experiment,
+    seeds_for,
+    validate_profile,
+)
 
 
 class TestHarness:
@@ -39,6 +45,35 @@ class TestHarness:
         assert table.column("a") == [1, 3]
         with pytest.raises(ExperimentError):
             table.column("missing")
+
+    def test_table_column_rejects_incomplete_rows(self):
+        table = ExperimentTable(
+            experiment_id="X",
+            title="t",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 2}, {"a": 3}],  # second row is missing "b"
+        )
+        assert table.column("a") == [1, 3]
+        with pytest.raises(ExperimentError, match="missing column 'b'"):
+            table.column("b")
+
+    def test_validate_profile(self):
+        assert validate_profile("quick") == "quick"
+        assert validate_profile("full") == "full"
+        with pytest.raises(ExperimentError, match="unknown profile"):
+            validate_profile("fulll")
+
+    def test_run_experiment_rejects_unknown_profile_early(self):
+        # Must fail on the profile before touching the experiment itself.
+        with pytest.raises(ExperimentError, match="unknown profile"):
+            run_experiment("E1", profile="enormous")
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("E99", profile="quick")
+
+    def test_run_experiment_checked(self):
+        table = run_experiment("E6", profile="quick", checked=True)
+        assert table.experiment_id == "E6"
+        assert table.rows
 
     def test_table_renders(self):
         table = ExperimentTable(

@@ -1,0 +1,242 @@
+"""Tests for the model-invariant checkers (src/repro/sim/invariants.py).
+
+Two halves: clean runs must pass with all checkers attached, and each
+deliberately broken engine mutation must be caught by the matching
+checker with a round-stamped message.
+"""
+
+import heapq
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generators import clique, ring_of_cliques, star
+from repro.protocols.base import per_node_rng_factory
+from repro.protocols.push_pull import PushPullProtocol, run_push_pull
+from repro.protocols.flooding import run_flooding
+from repro.sim.engine import Engine
+from repro.sim.failures import CrashSchedule, MessageLoss
+from repro.sim.invariants import (
+    CrashedSilenceChecker,
+    DeliveryLatencyChecker,
+    MonotoneKnowledgeChecker,
+    SingleInitiationChecker,
+    SymmetricMergeChecker,
+    checked,
+    checking_enabled,
+    default_checkers,
+)
+from repro.sim.runner import broadcast_complete
+from repro.sim.state import NetworkState, Payload
+
+
+def make_push_pull_engine(graph, seed=0, engine_cls=Engine, **kwargs):
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+    state = NetworkState(graph.nodes())
+    state.add_rumor(source, rumor)
+    make_rng = per_node_rng_factory(seed)
+    engine = engine_cls(
+        graph,
+        lambda node: PushPullProtocol(make_rng(node)),
+        state=state,
+        **kwargs,
+    )
+    return engine, rumor
+
+
+# ---------------------------------------------------------------------------
+# Clean runs: all checkers, zero violations
+# ---------------------------------------------------------------------------
+
+class TestCleanRuns:
+    def test_push_pull_checked_matches_unchecked(self):
+        graph = ring_of_cliques(4, 5, inter_latency=7)
+        plain, rumor = make_push_pull_engine(graph, seed=3)
+        rounds_plain = plain.run(until=broadcast_complete(rumor))
+        checked_engine, rumor = make_push_pull_engine(
+            graph, seed=3, checkers=default_checkers()
+        )
+        rounds_checked = checked_engine.run(until=broadcast_complete(rumor))
+        assert rounds_checked == rounds_plain
+        assert checked_engine.metrics == plain.metrics
+
+    def test_checked_run_with_message_loss(self):
+        graph = clique(10)
+        engine, rumor = make_push_pull_engine(
+            graph,
+            seed=1,
+            failure_model=MessageLoss(p=0.3, seed=5),
+            checkers=default_checkers(),
+        )
+        engine.run(until=broadcast_complete(rumor), max_rounds=5_000)
+
+    def test_checked_run_with_crashes(self):
+        graph = clique(10)
+        crashed = graph.nodes()[-1]
+        engine, rumor = make_push_pull_engine(
+            graph,
+            seed=2,
+            failure_model=CrashSchedule({crashed: 3}),
+            checkers=default_checkers(),
+        )
+
+        def survivors_know(engine_):
+            return all(
+                engine_.state.knows(node, rumor)
+                for node in graph.nodes()
+                if node != crashed
+            )
+
+        engine.run(until=survivors_know, max_rounds=5_000)
+
+    def test_checked_scope_auto_attaches(self):
+        graph = star(8)
+        assert not checking_enabled()
+        with checked():
+            assert checking_enabled()
+            engine, _ = make_push_pull_engine(graph)
+            assert len(engine._checkers) == len(default_checkers())
+            # Explicit empty tuple forces checking off even inside the scope.
+            off, _ = make_push_pull_engine(graph, checkers=())
+            assert off._checkers == ()
+        assert not checking_enabled()
+        engine, _ = make_push_pull_engine(graph)
+        assert engine._checkers == ()
+
+    def test_checked_scope_protocol_runners_pass(self):
+        graph = ring_of_cliques(3, 4, inter_latency=5)
+        with checked():
+            result = run_push_pull(graph, seed=0)
+            assert result.complete
+            assert run_flooding(graph).complete
+
+
+# ---------------------------------------------------------------------------
+# Broken engines: each mutation caught by the matching checker
+# ---------------------------------------------------------------------------
+
+class OffByOneDelivery(Engine):
+    """Delivers every exchange one round early (broken latency handling)."""
+
+    def _initiate(self, initiator, responder):
+        super()._initiate(initiator, responder)
+        if self._in_flight:
+            self._in_flight[-1].delivers_at -= 1
+            heapq.heapify(self._in_flight)
+
+
+class DoubleInitiation(Engine):
+    """Lets every node initiate the same exchange twice per round."""
+
+    def _initiate(self, initiator, responder):
+        super()._initiate(initiator, responder)
+        super()._initiate(initiator, responder)
+
+
+class ForgetfulState(NetworkState):
+    """Drops a previously known rumor after enough merges (amnesia bug)."""
+
+    def __init__(self, nodes):
+        super().__init__(nodes)
+        self._merges = 0
+
+    def merge(self, node, payload):
+        changed = super().merge(node, payload)
+        self._merges += 1
+        if self._merges == 40 and self._rumors[node]:
+            self._rumors[node].pop()
+        return changed
+
+
+class LossyMergeState(NetworkState):
+    """Silently drops one rumor from every received payload (lossy merge)."""
+
+    def merge(self, node, payload):
+        rumors = payload.rumors
+        if rumors:
+            rumors = rumors - {sorted(rumors, key=repr)[0]}
+        return super().merge(
+            node, Payload(rumors=rumors, notes=payload.notes)
+        )
+
+
+class TestBrokenEnginesCaught:
+    def test_off_by_one_delivery_caught(self):
+        graph = ring_of_cliques(4, 5, inter_latency=7)
+        engine, rumor = make_push_pull_engine(
+            graph,
+            seed=3,
+            engine_cls=OffByOneDelivery,
+            checkers=[DeliveryLatencyChecker()],
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run(until=broadcast_complete(rumor))
+        message = str(excinfo.value)
+        assert "delivery-latency" in message
+        assert "at round" in message
+        assert "recent events" in message  # the trace excerpt rode along
+
+    def test_double_initiation_caught(self):
+        graph = clique(6)
+        engine, rumor = make_push_pull_engine(
+            graph,
+            engine_cls=DoubleInitiation,
+            checkers=[SingleInitiationChecker()],
+        )
+        with pytest.raises(SimulationError, match="single-initiation"):
+            engine.run(until=broadcast_complete(rumor))
+
+    def test_forgetting_caught(self):
+        graph = clique(8)
+        state = ForgetfulState(graph.nodes())
+        state.seed_self_rumors()
+        make_rng = per_node_rng_factory(0)
+        engine = Engine(
+            graph,
+            lambda node: PushPullProtocol(make_rng(node)),
+            state=state,
+            checkers=[MonotoneKnowledgeChecker()],
+        )
+        with pytest.raises(SimulationError, match="monotone-knowledge"):
+            engine.run(max_rounds=200)
+
+    def test_lossy_merge_caught(self):
+        graph = clique(8)
+        state = LossyMergeState(graph.nodes())
+        state.seed_self_rumors()
+        make_rng = per_node_rng_factory(0)
+        engine = Engine(
+            graph,
+            lambda node: PushPullProtocol(make_rng(node)),
+            state=state,
+            checkers=[SymmetricMergeChecker()],
+        )
+        with pytest.raises(SimulationError, match="symmetric-merge"):
+            engine.run(max_rounds=200)
+
+    def test_crashed_initiation_caught(self):
+        graph = clique(6)
+        crashed = graph.nodes()[0]
+        engine, _ = make_push_pull_engine(
+            graph,
+            failure_model=CrashSchedule({crashed: 0}),
+            checkers=[CrashedSilenceChecker()],
+        )
+        # The real engine skips crashed nodes; inject the buggy call directly.
+        with pytest.raises(SimulationError, match="crashed-silence"):
+            engine._initiate(crashed, graph.neighbors(crashed)[0])
+
+    def test_violation_message_carries_round_and_excerpt(self):
+        graph = ring_of_cliques(4, 5, inter_latency=9)
+        engine, rumor = make_push_pull_engine(
+            graph,
+            seed=0,
+            engine_cls=OffByOneDelivery,
+            checkers=default_checkers(),
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run(until=broadcast_complete(rumor))
+        message = str(excinfo.value)
+        assert "model invariant violated" in message
+        assert "initiate" in message or "deliver" in message
