@@ -1,0 +1,32 @@
+"""Engine microbenchmarks: hot-path wall-clock, no pytest-benchmark needed.
+
+Unlike the experiment benchmarks in this directory, this suite times the
+raw simulation core via :mod:`repro.benchmarking` (push--pull
+dissemination, NetworkState churn, done-node scheduling) and writes
+``benchmarks/results/BENCH_engine.json``.  When the committed baseline
+(``BENCH_engine_baseline.json``, captured on the pre-optimization engine)
+is present, the report embeds per-workload speedup factors — regressions
+show up as factors below 1.0.
+
+Runs standalone — ``pytest benchmarks/test_bench_engine_micro.py`` — so CI
+can smoke it without the pytest-benchmark plugin.  Set
+``REPRO_PROFILE=full`` for the paper-scale n=2000 workloads.
+"""
+
+from repro.benchmarking import BENCH_PATH, run_microbenchmarks, write_report
+
+
+def test_engine_microbenchmarks(capsys, profile):
+    report = write_report(run_microbenchmarks(profile))
+    with capsys.disabled():
+        print()
+        for name, entry in sorted(report["workloads"].items()):
+            line = f"{name}: {entry['seconds']:.3f}s"
+            speedup = report.get("speedup", {}).get(name)
+            if speedup:
+                line += f"  ({speedup:.1f}x vs pre-optimization baseline)"
+            print(line)
+        print(f"report written to {BENCH_PATH}")
+    assert BENCH_PATH.exists()
+    assert report["workloads"], "no workloads were timed"
+    assert all(entry["seconds"] > 0 for entry in report["workloads"].values())

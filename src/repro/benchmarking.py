@@ -1,0 +1,294 @@
+"""Engine microbenchmarks: the wall-clock trajectory of the simulation core.
+
+This module defines a small, stable set of hot-path workloads (push--pull
+dissemination, raw :class:`~repro.sim.state.NetworkState` churn, done-node
+scheduling overhead) and a runner that times them and writes
+``benchmarks/results/BENCH_engine.json``.  The workloads use only the
+public library API, so the same definitions can time any revision of the
+engine — that is how before/after numbers for a performance PR are
+produced:
+
+* ``python -m repro.benchmarking --profile full --write-baseline`` on the
+  old revision captures ``BENCH_engine_baseline.json``;
+* the same command without ``--write-baseline`` (or the pytest suite
+  ``benchmarks/test_bench_engine_micro.py``) on the new revision writes
+  ``BENCH_engine.json`` embedding the baseline and per-workload speedups.
+
+See ``docs/PERFORMANCE.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Workload",
+    "engine_microbenchmarks",
+    "run_microbenchmarks",
+    "write_report",
+    "RESULTS_DIR",
+    "BENCH_PATH",
+    "BASELINE_PATH",
+]
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_engine.json"
+BASELINE_PATH = RESULTS_DIR / "BENCH_engine_baseline.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One named, deterministic engine workload.
+
+    ``run`` executes the workload once and returns metadata to record
+    (e.g. the completion round) — the runner times the call around it.
+    """
+
+    name: str
+    description: str
+    run: Callable[[], dict[str, Any]]
+    repeats: int = 3
+
+
+# ----------------------------------------------------------------------
+# Workload definitions.  Keep these stable: BENCH_engine.json numbers are
+# only comparable across revisions if the workloads never change shape.
+# ----------------------------------------------------------------------
+
+def _pushpull_workload(mode: str, n: int, p: float, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        import random
+
+        from repro.graphs import generators
+        from repro.graphs.latency_models import uniform_latency
+        from repro.protocols.push_pull import run_push_pull
+
+        graph = generators.erdos_renyi(
+            n, p, latency_model=uniform_latency(1, 8), rng=random.Random(0)
+        )
+        result = run_push_pull(graph, mode=mode, seed=0)
+        return {"rounds": result.rounds, "exchanges": result.exchanges, "n": n}
+
+    return Workload(
+        name=f"pushpull_{mode}_er_n{n}",
+        description=(
+            f"push--pull {mode} dissemination on Erdős–Rényi G({n}, {p}) "
+            "with uniform latencies 1..8, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _state_ops_workload(n: int, sweeps: int, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.sim.state import NetworkState
+
+        state = NetworkState(range(n))
+        state.seed_self_rumors()
+        merges = 0
+        for _ in range(sweeps):
+            for node in range(n):
+                state.merge(node, state.snapshot((node + 1) % n))
+                merges += 1
+            for node in range(n):
+                state.count_knowing(node)
+        return {"merges": merges, "n": n}
+
+    return Workload(
+        name=f"state_ops_n{n}",
+        description=(
+            f"raw NetworkState churn: {sweeps} ring sweeps of "
+            "snapshot+merge plus count_knowing over every rumor"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _done_skip_workload(n: int, rounds: int, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.graphs.generators import cycle
+        from repro.sim.engine import Engine, NodeProtocol
+
+        class Chatter(NodeProtocol):
+            """Node 0 keeps pinging its successor; everyone else is done."""
+
+            def __init__(self, node):
+                self._node = node
+
+            def on_round(self, ctx):
+                return 1 if self._node == 0 else None
+
+            def is_done(self, ctx):
+                return self._node != 0
+
+        graph = cycle(n)
+        engine = Engine(graph, Chatter)
+        engine.run(until=lambda e: e.round >= rounds)
+        return {"rounds": engine.round, "n": n}
+
+    return Workload(
+        name=f"done_skip_n{n}",
+        description=(
+            f"round-scan overhead: {n}-cycle where all but one node is "
+            f"done from round 0, driven for {rounds} rounds"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def engine_microbenchmarks(profile: str) -> list[Workload]:
+    """The microbenchmark suite for one profile (``quick`` or ``full``)."""
+    from repro.experiments.harness import validate_profile
+
+    validate_profile(profile)
+    if profile == "quick":
+        return [
+            _pushpull_workload("all_to_all", n=400, p=0.03, repeats=3),
+            _pushpull_workload("broadcast", n=400, p=0.03, repeats=3),
+            _state_ops_workload(n=400, sweeps=3, repeats=3),
+            _done_skip_workload(n=400, rounds=2000, repeats=3),
+        ]
+    return [
+        _pushpull_workload("all_to_all", n=2000, p=0.008, repeats=1),
+        _pushpull_workload("broadcast", n=2000, p=0.008, repeats=1),
+        _state_ops_workload(n=2000, sweeps=3, repeats=1),
+        _done_skip_workload(n=2000, rounds=2000, repeats=1),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Runner and report writer.
+# ----------------------------------------------------------------------
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None
+
+
+def run_microbenchmarks(
+    profile: str, progress: Optional[Callable[[str], None]] = None
+) -> dict[str, Any]:
+    """Time every workload of ``profile``; return a report dict.
+
+    Each workload runs ``repeats`` times and records the *best* wall-clock
+    time (the standard way to suppress scheduler noise on a shared box).
+    """
+    workloads = engine_microbenchmarks(profile)
+    entries: dict[str, Any] = {}
+    for workload in workloads:
+        best = None
+        meta: dict[str, Any] = {}
+        for _ in range(workload.repeats):
+            start = time.perf_counter()
+            meta = workload.run()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        entries[workload.name] = {
+            "seconds": round(best, 4),
+            "repeats": workload.repeats,
+            "description": workload.description,
+            **meta,
+        }
+        if progress is not None:
+            progress(f"{workload.name}: {best:.3f}s  {meta}")
+    return {
+        "schema": "repro-engine-bench/1",
+        "profile": profile,
+        "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": entries,
+    }
+
+
+def write_report(
+    report: dict[str, Any],
+    out_path: pathlib.Path = BENCH_PATH,
+    baseline_path: pathlib.Path = BASELINE_PATH,
+) -> dict[str, Any]:
+    """Merge the baseline (if captured) into ``report`` and write it.
+
+    For every workload present in both runs a ``speedup`` factor
+    (baseline seconds / current seconds) is recorded, so regressions show
+    up as factors below 1.0 directly in the JSON artifact.
+    """
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        report = dict(report)
+        report["baseline"] = {
+            "label": baseline.get("label"),
+            "captured_at": baseline.get("captured_at"),
+            "commit": baseline.get("commit"),
+            "workloads": baseline.get("workloads", {}),
+        }
+        speedups = {}
+        for name, entry in report["workloads"].items():
+            base = report["baseline"]["workloads"].get(name)
+            if base and entry["seconds"] > 0:
+                speedups[name] = round(base["seconds"] / entry["seconds"], 2)
+        report["speedup"] = speedups
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.benchmarking", description="engine microbenchmarks"
+    )
+    parser.add_argument("--profile", default="quick", choices=["quick", "full", "both"])
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write BENCH_engine_baseline.json instead of BENCH_engine.json",
+    )
+    parser.add_argument("--label", default=None, help="free-text label for the run")
+    parser.add_argument("--out", default=None, help="override the output path")
+    args = parser.parse_args(argv)
+
+    profiles = ["quick", "full"] if args.profile == "both" else [args.profile]
+    merged: dict[str, Any] = {}
+    for profile in profiles:
+        report = run_microbenchmarks(profile, progress=print)
+        if not merged:
+            merged = report
+        else:
+            merged["workloads"].update(report["workloads"])
+            merged["profile"] = "both"
+    if args.label:
+        merged["label"] = args.label
+    if args.write_baseline:
+        out = pathlib.Path(args.out) if args.out else BASELINE_PATH
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {out}")
+    else:
+        out = pathlib.Path(args.out) if args.out else BENCH_PATH
+        write_report(merged, out_path=out)
+        print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

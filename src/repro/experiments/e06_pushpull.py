@@ -17,6 +17,7 @@ correlates strongly with the predictor across all rows.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
@@ -25,9 +26,20 @@ from repro.analysis.scaling import correlation
 from repro.graphs import generators
 from repro.graphs.latency_models import bimodal_latency
 from repro.protocols.push_pull import run_push_pull
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e6"]
+
+
+def _broadcast_rounds(graph, source, seed: int) -> int:
+    """One seed-ladder trial (module-level so it pickles for REPRO_JOBS)."""
+    return run_push_pull(graph, source=source, seed=seed).rounds
 
 
 def _family(profile: Profile):
@@ -70,10 +82,9 @@ def run_e6(profile: Profile = "quick") -> ExperimentTable:
     for label, build in _family(profile):
         graph = build(random.Random(0))
         bounds = compute_bounds(graph, conductance_method="sweep")
-        times = [
-            run_push_pull(graph, source=graph.nodes()[0], seed=seed).rounds
-            for seed in seeds
-        ]
+        times = map_trials(
+            functools.partial(_broadcast_rounds, graph, graph.nodes()[0]), seeds
+        )
         measured = statistics.fmean(times)
         predicted = bounds.push_pull_bound
         rows.append(

@@ -20,6 +20,7 @@ message sizes.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
@@ -30,7 +31,13 @@ from repro.protocols.push_pull import PushPullProtocol
 from repro.sim.engine import Engine
 from repro.sim.runner import broadcast_complete
 from repro.sim.state import NetworkState
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e16", "run_e17"]
 
@@ -64,7 +71,9 @@ def run_e16(profile: Profile = "quick") -> ExperimentTable:
     for cap in (None, 4, 1):
         for label, graph in (("star", star), ("expander", expander)):
             rounds, rejected = zip(
-                *(_push_pull_rounds_with_cap(graph, cap, seed) for seed in seeds)
+                *map_trials(
+                    functools.partial(_push_pull_rounds_with_cap, graph, cap), seeds
+                )
             )
             rows.append(
                 {

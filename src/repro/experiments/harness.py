@@ -14,7 +14,9 @@ the rows/series a systems paper's evaluation section reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
 
@@ -26,7 +28,12 @@ __all__ = [
     "all_experiments",
     "run_experiment",
     "validate_profile",
+    "trial_jobs",
+    "map_trials",
 ]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 PROFILES = ("quick", "full")
 Profile = str
@@ -155,6 +162,49 @@ def seeds_for(profile: Profile, quick: int = 3, full: int = 10) -> Sequence[int]
     """The seed ladder for a profile."""
     validate_profile(profile)
     return range(quick) if profile == "quick" else range(full)
+
+
+def trial_jobs() -> int:
+    """Worker count for seed-ladder fan-out, from the ``REPRO_JOBS`` env var.
+
+    Parallelism is strictly opt-in: unset, empty, or ``1`` means serial
+    (the default — simulations are deterministic and debugging is easiest
+    in-process).  ``auto`` or ``0`` means one worker per CPU; any other
+    value must parse as a positive integer.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip().lower()
+    if not raw or raw == "1":
+        return 1
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"REPRO_JOBS must be a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ExperimentError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+    """Map ``fn`` over independent trials, preserving input order.
+
+    Runs serially when :func:`trial_jobs` is 1, otherwise fans the trials
+    over a :class:`~concurrent.futures.ProcessPoolExecutor`.  ``pool.map``
+    returns results in input order regardless of completion order and each
+    trial re-seeds its own RNGs, so a parallel run produces bit-identical
+    tables to a serial one.  ``fn`` and the items must be picklable — use
+    a module-level function (or :func:`functools.partial` over one), not a
+    closure.
+    """
+    items = list(items)
+    jobs = trial_jobs()
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def run_experiment(

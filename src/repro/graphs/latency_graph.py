@@ -70,6 +70,15 @@ class LatencyGraph:
         edges: Optional[Iterable[tuple[Node, Node, int]]] = None,
     ) -> None:
         self._adj: dict[Node, dict[Node, int]] = {}
+        # Interned dense id space: node <-> contiguous int, assigned in
+        # insertion order and never reused.  The simulation hot path keys
+        # everything (edge canonicalization, adjacency arrays, shortest
+        # paths) on these indices instead of hashing arbitrary node objects.
+        self._index: dict[Node, int] = {}
+        self._node_list: list[Node] = []
+        # Bumped on every mutation; lazy index-array caches check it.
+        self._version = 0
+        self._adjacency_cache: Optional[tuple[int, list[list[int]], list[list[int]]]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -82,7 +91,11 @@ class LatencyGraph:
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> None:
         """Add ``node`` to the graph (a no-op if already present)."""
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._index[node] = len(self._node_list)
+            self._node_list.append(node)
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, latency: int) -> None:
         """Add the undirected edge ``{u, v}`` with the given latency.
@@ -108,6 +121,7 @@ class LatencyGraph:
         self.add_node(v)
         self._adj[u][v] = latency
         self._adj[v][u] = latency
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raises :class:`GraphError` if absent."""
@@ -115,6 +129,53 @@ class LatencyGraph:
             raise GraphError(f"no edge ({u!r}, {v!r}) to remove")
         del self._adj[u][v]
         del self._adj[v][u]
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Dense id space
+    # ------------------------------------------------------------------
+    def index_of(self, node: Node) -> int:
+        """The dense integer id of ``node`` (contiguous, insertion order)."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} is not in the graph") from None
+
+    def node_at(self, index: int) -> Node:
+        """The node whose dense id is ``index``."""
+        try:
+            return self._node_list[index]
+        except IndexError:
+            raise GraphError(f"no node with dense id {index}") from None
+
+    def canonical_edge(self, u: Node, v: Node) -> Edge:
+        """The undirected edge ``{u, v}`` with endpoints in dense-id order.
+
+        Unlike :func:`edge_key` this never falls back to ``repr`` ordering,
+        so it is both O(1) and stable for nodes of any (mixed) type.
+        """
+        return (u, v) if self._index[u] <= self._index[v] else (v, u)
+
+    def adjacency_arrays(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Index-array adjacency: ``(neighbors, latencies)`` per dense id.
+
+        ``neighbors[i]`` lists the dense ids adjacent to node ``i`` and
+        ``latencies[i]`` the matching edge latencies, both in insertion
+        order.  The arrays are cached and rebuilt only after a mutation —
+        callers must not modify them.
+        """
+        cache = self._adjacency_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
+        index = self._index
+        neighbors: list[list[int]] = []
+        latencies: list[list[int]] = []
+        for node in self._node_list:
+            row = self._adj[node]
+            neighbors.append([index[other] for other in row])
+            latencies.append(list(row.values()))
+        self._adjacency_cache = (self._version, neighbors, latencies)
+        return neighbors, latencies
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -131,7 +192,7 @@ class LatencyGraph:
 
     def nodes(self) -> list[Node]:
         """All nodes, in insertion order."""
-        return list(self._adj)
+        return list(self._node_list)
 
     def edges(self) -> Iterator[tuple[Node, Node, int]]:
         """Iterate over ``(u, v, latency)`` with each undirected edge once."""
@@ -150,6 +211,15 @@ class LatencyGraph:
     def has_edge(self, u: Node, v: Node) -> bool:
         """Whether the undirected edge ``{u, v}`` exists."""
         return u in self._adj and v in self._adj[u]
+
+    def adjacency_view(self) -> dict[Node, dict[Node, int]]:
+        """The live ``node -> {neighbor: latency}`` mapping.
+
+        Shared, not copied — strictly read-only, for hot-path consumers
+        (the engine's per-round neighbor validation) that cannot afford a
+        dict copy per call.
+        """
+        return self._adj
 
     def neighbors(self, node: Node) -> list[Node]:
         """Neighbors of ``node`` in insertion order."""
@@ -244,20 +314,29 @@ class LatencyGraph:
         Unreachable nodes are absent from the returned mapping.
         """
         self._require_node(source)
-        dist: dict[Node, int] = {source: 0}
-        counter = 0  # tie-breaker so heap never compares nodes
-        heap: list[tuple[int, int, Node]] = [(0, counter, source)]
+        neighbors, latencies = self.adjacency_arrays()
+        dist = [math.inf] * len(self._node_list)
+        start = self._index[source]
+        dist[start] = 0
+        # Dense indices are their own tie-breakers: the heap never has to
+        # compare (possibly unorderable) node objects.
+        heap: list[tuple[int, int]] = [(0, start)]
+        push, pop = heapq.heappush, heapq.heappop
         while heap:
-            d, _, u = heapq.heappop(heap)
-            if d > dist.get(u, math.inf):
+            d, u = pop(heap)
+            if d > dist[u]:
                 continue
-            for v, latency in self._adj[u].items():
-                nd = d + latency
-                if nd < dist.get(v, math.inf):
+            row, lat = neighbors[u], latencies[u]
+            for k in range(len(row)):
+                v = row[k]
+                nd = d + lat[k]
+                if nd < dist[v]:
                     dist[v] = nd
-                    counter += 1
-                    heapq.heappush(heap, (nd, counter, v))
-        return dist
+                    push(heap, (nd, v))
+        node_list = self._node_list
+        return {
+            node_list[i]: d for i, d in enumerate(dist) if d is not math.inf
+        }
 
     def weighted_distance(self, u: Node, v: Node) -> int:
         """Shortest latency-weighted distance between ``u`` and ``v``.
@@ -312,17 +391,23 @@ class LatencyGraph:
     def hop_distances(self, source: Node) -> dict[Node, int]:
         """Single-source hop (unweighted) distances via BFS."""
         self._require_node(source)
-        dist = {source: 0}
-        frontier = [source]
+        neighbors, _ = self.adjacency_arrays()
+        dist = [-1] * len(self._node_list)
+        start = self._index[source]
+        dist[start] = 0
+        frontier = [start]
+        depth = 0
         while frontier:
+            depth += 1
             nxt = []
             for u in frontier:
-                for v in self._adj[u]:
-                    if v not in dist:
-                        dist[v] = dist[u] + 1
+                for v in neighbors[u]:
+                    if dist[v] < 0:
+                        dist[v] = depth
                         nxt.append(v)
             frontier = nxt
-        return dist
+        node_list = self._node_list
+        return {node_list[i]: d for i, d in enumerate(dist) if d >= 0}
 
     def hop_diameter(self) -> int:
         """The hop (unweighted) diameter; exact BFS from every node."""

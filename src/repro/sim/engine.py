@@ -22,7 +22,6 @@ from __future__ import annotations
 import abc
 import collections
 import dataclasses
-import heapq
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ProtocolError, SimulationError
@@ -128,6 +127,15 @@ class NodeProtocol(abc.ABC):
     probes ship rumor sets over arbitrarily slow edges would let the
     termination check pass before the dissemination protocol proper could
     have delivered anything.
+
+    Scheduling contract: once :meth:`is_done` returns ``True`` the engine
+    parks the node and re-queries it only after one of the node's exchanges
+    next delivers (i.e. after :meth:`on_deliver` ran).  Since a parked node
+    neither acts nor observes anything except deliveries, this is invisible
+    to any protocol whose done-ness depends on its own state and the
+    deliveries it has seen — which is every protocol in this library —
+    and it lets the engine skip finished nodes instead of scanning all
+    ``n`` every round.
     """
 
     sends_payload: bool = True
@@ -156,16 +164,16 @@ ProtocolFactory = Callable[[Node], NodeProtocol]
 _EMPTY_PAYLOAD = Payload(rumors=frozenset(), notes=())
 
 
-@dataclasses.dataclass(order=True)
+@dataclasses.dataclass(slots=True)
 class _InFlight:
     delivers_at: int
     sequence: int
-    initiator: Node = dataclasses.field(compare=False)
-    responder: Node = dataclasses.field(compare=False)
-    initiated_at: int = dataclasses.field(compare=False)
-    initiator_payload: Payload = dataclasses.field(compare=False)
-    responder_payload: Payload = dataclasses.field(compare=False)
-    ping_only: bool = dataclasses.field(compare=False, default=False)
+    initiator: Node
+    responder: Node
+    initiated_at: int
+    initiator_payload: Payload
+    responder_payload: Payload
+    ping_only: bool = False
 
 
 class Engine:
@@ -242,6 +250,10 @@ class Engine:
         self.failure_model = failure_model
         self.max_incoming_per_round = max_incoming_per_round
         self.enforce_blocking = enforce_blocking
+        #: Per-initiator count of the initiator's own exchanges still in
+        #: flight.  Maintained only under ``enforce_blocking`` (its sole
+        #: reader) and entries are deleted as soon as they drop to zero, so
+        #: the dict never accumulates dead keys over a long run.
         self._in_flight_initiations: dict[Node, int] = {}
         self.round = 0
         self.metrics = EngineMetrics()
@@ -250,7 +262,11 @@ class Engine:
         #: uses to turn edge activations into guessing-game guesses.
         self.last_initiations: list[tuple[Node, Node]] = []
         self._sequence = 0
-        self._in_flight: list[_InFlight] = []
+        #: Per-round delivery buckets: delivers_at -> exchanges in initiation
+        #: order.  Since rounds advance one at a time, the due work each
+        #: round is exactly one ``dict.pop`` — no heap, no re-sorting.
+        self._in_flight: dict[int, list[_InFlight]] = {}
+        self._pending_count = 0
         self._order = graph.nodes()
         self._protocols: dict[Node, NodeProtocol] = {}
         self._contexts: dict[Node, NodeContext] = {}
@@ -259,6 +275,13 @@ class Engine:
             self._contexts[node] = NodeContext(self, node)
         for node in self._order:
             self._protocols[node].setup(self._contexts[node])
+        #: Active-set schedule: nodes not yet known-done, in dense-id order.
+        #: A node leaves when ``is_done`` reports True and re-enters when
+        #: one of its exchanges delivers (see the NodeProtocol contract).
+        self._active: list[Node] = list(self._order)
+        self._parked: set[Node] = set()
+        self._woken: list[Node] = []
+        self._node_index = {node: i for i, node in enumerate(self._order)}
         if checkers is None:
             checkers = (
                 _invariants.default_checkers()
@@ -283,7 +306,10 @@ class Engine:
         Crashed nodes count as done: they will never act again, so waiting
         on them would deadlock every fixed-duration protocol.
         """
+        parked = self._parked
         for node in self._order:
+            if node in parked:
+                continue
             if self.failure_model is not None and self.failure_model.node_crashed(
                 node, self.round
             ):
@@ -294,7 +320,7 @@ class Engine:
 
     def pending_exchanges(self) -> int:
         """Number of exchanges still in flight."""
-        return len(self._in_flight)
+        return self._pending_count
 
     def recent_checker_events(self) -> list[str]:
         """The most recent logged events (the violation trace excerpt)."""
@@ -311,20 +337,31 @@ class Engine:
         for checker in self._checkers:
             checker.on_round_start(self)
         self._deliver_due()
+        if self._woken:
+            self._wake_parked()
         incoming: dict[Node, int] = {}
-        for node in self._order:
-            if self.failure_model is not None and self.failure_model.node_crashed(
+        failure_model = self.failure_model
+        protocols = self._protocols
+        contexts = self._contexts
+        graph_adj = self.graph.adjacency_view()
+        survivors: list[Node] = []
+        keep = survivors.append
+        for node in self._active:
+            if failure_model is not None and failure_model.node_crashed(
                 node, self.round
             ):
+                keep(node)  # crashes are observed, never cached
                 continue
-            protocol = self._protocols[node]
-            ctx = self._contexts[node]
+            protocol = protocols[node]
+            ctx = contexts[node]
             if protocol.is_done(ctx):
+                self._parked.add(node)  # leaves the active set until a delivery
                 continue
+            keep(node)
             target = protocol.on_round(ctx)
             if target is None:
                 continue
-            if not self.graph.has_edge(node, target):
+            if target not in graph_adj.get(node, ()):
                 raise ProtocolError(
                     f"node {node!r} tried to contact non-neighbor {target!r}"
                 )
@@ -335,10 +372,30 @@ class Engine:
                     continue  # the responder is saturated; round wasted
                 incoming[target] = accepted + 1
             self._initiate(node, target)
+        self._active = survivors
         for checker in self._checkers:
             checker.on_round_end(self)
         self.round += 1
         self.metrics.rounds = self.round
+
+    def _wake_parked(self) -> None:
+        """Merge nodes re-activated by a delivery back in dense-id order."""
+        index = self._node_index
+        woken = sorted(set(self._woken), key=index.__getitem__)
+        self._woken = []
+        merged: list[Node] = []
+        active = self._active
+        i = j = 0
+        while i < len(active) and j < len(woken):
+            if index[active[i]] <= index[woken[j]]:
+                merged.append(active[i])
+                i += 1
+            else:
+                merged.append(woken[j])
+                j += 1
+        merged.extend(active[i:])
+        merged.extend(woken[j:])
+        self._active = merged
 
     def run(
         self,
@@ -361,7 +418,7 @@ class Engine:
             if self.round >= max_rounds:
                 raise SimulationError(
                     f"simulation exceeded max_rounds={max_rounds} "
-                    f"(round={self.round}, pending={len(self._in_flight)})"
+                    f"(round={self.round}, pending={self._pending_count})"
                 )
             self.step()
         self.finish_checks()
@@ -424,98 +481,117 @@ class Engine:
             responder_payload=responder_payload,
             ping_only=ping_only,
         )
-        heapq.heappush(self._in_flight, exchange)
-        self._in_flight_initiations[initiator] = (
-            self._in_flight_initiations.get(initiator, 0) + 1
-        )
+        bucket = self._in_flight.get(exchange.delivers_at)
+        if bucket is None:
+            bucket = self._in_flight[exchange.delivers_at] = []
+        bucket.append(exchange)
+        self._pending_count += 1
+        if self.enforce_blocking:
+            self._in_flight_initiations[initiator] = (
+                self._in_flight_initiations.get(initiator, 0) + 1
+            )
         self.last_initiations.append((initiator, responder))
         if not self.fresh_snapshots:
             self._account_payloads(initiator_payload, responder_payload)
         self.metrics.exchanges += 1
         self.metrics.messages += 2
-        self.metrics.activated_edges.add(
-            (initiator, responder) if repr(initiator) <= repr(responder) else (responder, initiator)
-        )
+        self.metrics.activated_edges.add(self.graph.canonical_edge(initiator, responder))
 
     def _account_payloads(self, initiator_payload: Payload, responder_payload: Payload) -> None:
-        self.metrics.rumor_tokens_sent += len(initiator_payload.rumors) + len(
-            responder_payload.rumors
-        )
-        self.metrics.max_payload_rumors = max(
-            self.metrics.max_payload_rumors,
-            len(initiator_payload.rumors),
-            len(responder_payload.rumors),
-        )
+        sent = initiator_payload.rumor_count
+        received = responder_payload.rumor_count
+        self.metrics.rumor_tokens_sent += sent + received
+        if sent < received:
+            sent = received
+        if sent > self.metrics.max_payload_rumors:
+            self.metrics.max_payload_rumors = sent
 
     def _deliver_due(self) -> None:
-        while self._in_flight and self._in_flight[0].delivers_at <= self.round:
-            exchange = heapq.heappop(self._in_flight)
-            self._in_flight_initiations[exchange.initiator] -= 1
-            initiator_alive = responder_alive = True
-            if self.failure_model is not None:
-                initiator_alive = not self.failure_model.node_crashed(
-                    exchange.initiator, self.round
-                )
-                responder_alive = not self.failure_model.node_crashed(
-                    exchange.responder, self.round
-                )
-            if self._checkers:
-                delivery_view = DeliveryView(
-                    initiator=exchange.initiator,
-                    responder=exchange.responder,
-                    initiated_at=exchange.initiated_at,
-                    delivered_at=self.round,
-                    ping_only=exchange.ping_only,
-                    initiator_alive=initiator_alive,
-                )
-            if not responder_alive:
-                # No response was ever produced: the exchange is void.
-                self.metrics.lost_exchanges += 1
-                if self._checkers:
-                    self._log_event(
-                        f"round {self.round}: exchange {exchange.initiator!r} -> "
-                        f"{exchange.responder!r} (from round "
-                        f"{exchange.initiated_at}) void: responder crashed"
-                    )
-                    for checker in self._checkers:
-                        checker.on_exchange_void(self, delivery_view)
-                continue
-            if exchange.ping_only:
-                initiator_payload = responder_payload = _EMPTY_PAYLOAD
-            elif self.fresh_snapshots:
-                initiator_payload = self.state.snapshot(exchange.initiator)
-                responder_payload = self.state.snapshot(exchange.responder)
-                self._account_payloads(initiator_payload, responder_payload)
+        bucket = self._in_flight.pop(self.round, None)
+        if bucket is None:
+            return
+        self._pending_count -= len(bucket)
+        for exchange in bucket:
+            self._deliver(exchange)
+
+    def _deliver(self, exchange: _InFlight) -> None:
+        if self.enforce_blocking:
+            remaining = self._in_flight_initiations[exchange.initiator] - 1
+            if remaining:
+                self._in_flight_initiations[exchange.initiator] = remaining
             else:
-                # Responder learns the initiator's round-t knowledge and
-                # vice versa (conservative initiation-time semantics).
-                initiator_payload = exchange.initiator_payload
-                responder_payload = exchange.responder_payload
-            self.state.merge(exchange.responder, initiator_payload)
-            if initiator_alive:
-                self.state.merge(exchange.initiator, responder_payload)
+                del self._in_flight_initiations[exchange.initiator]
+        initiator_alive = responder_alive = True
+        if self.failure_model is not None:
+            initiator_alive = not self.failure_model.node_crashed(
+                exchange.initiator, self.round
+            )
+            responder_alive = not self.failure_model.node_crashed(
+                exchange.responder, self.round
+            )
+        if self._checkers:
+            delivery_view = DeliveryView(
+                initiator=exchange.initiator,
+                responder=exchange.responder,
+                initiated_at=exchange.initiated_at,
+                delivered_at=self.round,
+                ping_only=exchange.ping_only,
+                initiator_alive=initiator_alive,
+            )
+        if not responder_alive:
+            # No response was ever produced: the exchange is void.
+            self.metrics.lost_exchanges += 1
             if self._checkers:
                 self._log_event(
-                    f"round {self.round}: {exchange.initiator!r} <-> "
-                    f"{exchange.responder!r} deliver (initiated at "
-                    f"{exchange.initiated_at}"
-                    + (", ping" if exchange.ping_only else "")
-                    + ("" if initiator_alive else ", initiator crashed")
-                    + ")"
+                    f"round {self.round}: exchange {exchange.initiator!r} -> "
+                    f"{exchange.responder!r} (from round "
+                    f"{exchange.initiated_at}) void: responder crashed"
                 )
                 for checker in self._checkers:
-                    checker.on_delivery(self, delivery_view)
-            endpoints = [(exchange.responder, False)]
-            if initiator_alive:
-                endpoints.insert(0, (exchange.initiator, True))
-            for node, by_me in endpoints:
-                peer = exchange.responder if by_me else exchange.initiator
-                self._protocols[node].on_deliver(
-                    self._contexts[node],
-                    Delivery(
-                        peer=peer,
-                        initiated_at=exchange.initiated_at,
-                        delivered_at=self.round,
-                        initiated_by_me=by_me,
-                    ),
-                )
+                    checker.on_exchange_void(self, delivery_view)
+            return
+        if exchange.ping_only:
+            initiator_payload = responder_payload = _EMPTY_PAYLOAD
+        elif self.fresh_snapshots:
+            initiator_payload = self.state.snapshot(exchange.initiator)
+            responder_payload = self.state.snapshot(exchange.responder)
+            self._account_payloads(initiator_payload, responder_payload)
+        else:
+            # Responder learns the initiator's round-t knowledge and
+            # vice versa (conservative initiation-time semantics).
+            initiator_payload = exchange.initiator_payload
+            responder_payload = exchange.responder_payload
+        self.state.merge(exchange.responder, initiator_payload)
+        if initiator_alive:
+            self.state.merge(exchange.initiator, responder_payload)
+        if self._checkers:
+            self._log_event(
+                f"round {self.round}: {exchange.initiator!r} <-> "
+                f"{exchange.responder!r} deliver (initiated at "
+                f"{exchange.initiated_at}"
+                + (", ping" if exchange.ping_only else "")
+                + ("" if initiator_alive else ", initiator crashed")
+                + ")"
+            )
+            for checker in self._checkers:
+                checker.on_delivery(self, delivery_view)
+        endpoints = [(exchange.responder, False)]
+        if initiator_alive:
+            endpoints.insert(0, (exchange.initiator, True))
+        parked = self._parked
+        for node, by_me in endpoints:
+            peer = exchange.responder if by_me else exchange.initiator
+            self._protocols[node].on_deliver(
+                self._contexts[node],
+                Delivery(
+                    peer=peer,
+                    initiated_at=exchange.initiated_at,
+                    delivered_at=self.round,
+                    initiated_by_me=by_me,
+                ),
+            )
+            if node in parked:
+                # The delivery may have changed the node's mind about being
+                # done: re-activate it for this round's scan.
+                parked.discard(node)
+                self._woken.append(node)

@@ -33,6 +33,11 @@ def broadcast_complete(rumor) -> Callable[[Engine], bool]:
     """Predicate: every node knows ``rumor``."""
 
     def predicate(engine: Engine) -> bool:
+        # O(1) quick reject via the coverage counter; the exact per-node
+        # check only runs once enough nodes know the rumor (the state may
+        # track nodes outside the graph, so the counter alone is not proof).
+        if engine.state.count_knowing(rumor) < engine.graph.num_nodes:
+            return False
         return all(engine.state.knows(node, rumor) for node in engine.graph.nodes())
 
     return predicate
@@ -42,8 +47,16 @@ def all_to_all_complete() -> Callable[[Engine], bool]:
     """Predicate: every node knows every node's id-rumor."""
 
     def predicate(engine: Engine) -> bool:
-        everyone = set(engine.graph.nodes())
-        return all(everyone <= engine.state.rumors(node) for node in everyone)
+        nodes = engine.graph.nodes()
+        state = engine.state
+        # O(n) popcount quick reject: a node knowing fewer rumors than
+        # there are nodes certainly misses someone's id-rumor.
+        n = len(nodes)
+        for node in nodes:
+            if state.rumor_count(node) < n:
+                return False
+        everyone = set(nodes)
+        return all(everyone <= state.rumors(node) for node in nodes)
 
     return predicate
 
@@ -56,12 +69,12 @@ def local_broadcast_complete(max_latency: Optional[int] = None) -> Callable[[Eng
     """
 
     def predicate(engine: Engine) -> bool:
+        state = engine.state
         for node in engine.graph.nodes():
-            known = engine.state.rumors(node)
             for neighbor, latency in engine.graph.neighbor_latencies(node).items():
                 if max_latency is not None and latency > max_latency:
                     continue
-                if neighbor not in known:
+                if not state.knows(node, neighbor):
                     return False
         return True
 

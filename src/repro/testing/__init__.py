@@ -19,7 +19,7 @@ from repro.testing.differential import (
     assert_engines_agree,
     run_differential,
 )
-from repro.testing.reference import ReferenceEngine
+from repro.testing.reference import ReferenceEngine, ReferenceNetworkState
 from repro.testing.replay import (
     ReplayReport,
     ScheduledProtocol,
@@ -30,21 +30,31 @@ from repro.testing.replay import (
 try:  # pragma: no cover - exercised implicitly by environments without hypothesis
     from repro.testing.strategies import (
         connected_latency_graphs,
+        crash_schedules,
+        engine_configs,
+        large_dense_graphs,
         latency_models,
         seeds,
     )
 except ImportError:  # hypothesis not installed; strategies stay unavailable
     connected_latency_graphs = None
+    crash_schedules = None
+    engine_configs = None
+    large_dense_graphs = None
     latency_models = None
     seeds = None
 
 __all__ = [
     "DifferentialReport",
     "ReferenceEngine",
+    "ReferenceNetworkState",
     "ReplayReport",
     "ScheduledProtocol",
     "assert_engines_agree",
     "connected_latency_graphs",
+    "crash_schedules",
+    "engine_configs",
+    "large_dense_graphs",
     "latency_models",
     "record_and_replay",
     "replay",

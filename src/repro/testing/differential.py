@@ -71,9 +71,12 @@ def run_differential(
     graph: LatencyGraph,
     make_factory: Callable[[], ProtocolFactory],
     make_state: Optional[Callable[[], NetworkState]] = None,
+    make_reference_state: Optional[Callable[[], NetworkState]] = None,
     predicate: Optional[Callable] = None,
     latencies_known: bool = False,
     fresh_snapshots: bool = False,
+    make_failure_model: Optional[Callable] = None,
+    max_incoming_per_round: Optional[int] = None,
     max_rounds: int = 100_000,
     engine_cls: Callable = Engine,
     reference_cls: Callable = ReferenceEngine,
@@ -91,10 +94,22 @@ def run_differential(
     make_state:
         Optional zero-argument builder for the initial
         :class:`NetworkState` (e.g. seeding the source rumor); called once
-        per engine.  Defaults to an empty state.
+        per engine.  Defaults to each engine's own default state, which
+        cross-tests the bitset-backed production state against the
+        set-backed reference state for free.
+    make_reference_state:
+        Optional separate state builder for the reference engine; defaults
+        to ``make_state``.  Pass distinct builders to pit the two state
+        backends against each other on a seeded initial state.
     predicate:
         Completion condition evaluated against each engine (e.g.
         ``broadcast_complete(rumor)``).  Defaults to ``all_done()``.
+    make_failure_model:
+        Optional zero-argument builder for a
+        :class:`~repro.sim.failures.FailureModel`; called once per engine
+        (models may hold RNG state, so each engine needs its own copy).
+    max_incoming_per_round:
+        Responder-capacity cap forwarded to both engines.
     max_rounds:
         Lockstep budget; engines still incomplete at the budget get
         ``None`` as their completion round (reported as a mismatch only if
@@ -103,16 +118,19 @@ def run_differential(
         The two implementations to compare (overridable so the suite can
         prove a deliberately broken engine *is* caught).
     """
+    if make_reference_state is None:
+        make_reference_state = make_state
     engines = []
-    for cls in (engine_cls, reference_cls):
-        state = make_state() if make_state is not None else NetworkState(graph.nodes())
+    for cls, build_state in ((engine_cls, make_state), (reference_cls, make_reference_state)):
         engines.append(
             cls(
                 graph,
                 make_factory(),
-                state=state,
+                state=build_state() if build_state is not None else None,
                 latencies_known=latencies_known,
                 fresh_snapshots=fresh_snapshots,
+                failure_model=make_failure_model() if make_failure_model is not None else None,
+                max_incoming_per_round=max_incoming_per_round,
             )
         )
     engine, reference = engines

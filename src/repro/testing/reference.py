@@ -23,18 +23,97 @@ thing checkers are cross-validated against, not a consumer of them.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
 from repro.sim.engine import Delivery, NodeContext, NodeProtocol, ProtocolFactory
 from repro.sim.failures import FailureModel
 from repro.sim.metrics import EngineMetrics
-from repro.sim.state import NetworkState, Payload
+from repro.sim.state import NetworkState, Note, Payload
 
-__all__ = ["ReferenceEngine"]
+__all__ = ["ReferenceEngine", "ReferenceNetworkState"]
 
 _EMPTY_PAYLOAD = Payload(rumors=frozenset(), notes=())
+
+
+class ReferenceNetworkState:
+    """The original hash-set-backed :class:`~repro.sim.state.NetworkState`.
+
+    One plain ``set`` per node, no interning, no caches: this is the
+    pre-optimization data layout, preserved verbatim as the oracle the
+    bitset-backed production state is checked against (see
+    ``tests/test_state_equivalence.py`` and the differential suites).  It
+    mirrors the full ``NetworkState`` API and ships interchangeable
+    :class:`~repro.sim.state.Payload` objects, so either state backend can
+    drive either engine.
+    """
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._rumors: dict[Node, set] = {node: set() for node in nodes}
+        self._notes: dict[Node, dict[Node, Note]] = {node: {} for node in self._rumors}
+
+    def nodes(self) -> list[Node]:
+        return list(self._rumors)
+
+    # -- rumors ---------------------------------------------------------
+    def add_rumor(self, node: Node, rumor: Any) -> None:
+        self._rumors[node].add(rumor)
+
+    def seed_self_rumors(self) -> None:
+        for node in self._rumors:
+            self._rumors[node].add(node)
+
+    def rumors(self, node: Node) -> frozenset:
+        return frozenset(self._rumors[node])
+
+    def rumor_count(self, node: Node) -> int:
+        return len(self._rumors[node])
+
+    def knows(self, node: Node, rumor: Any) -> bool:
+        return rumor in self._rumors[node]
+
+    def count_knowing(self, rumor: Any) -> int:
+        return sum(1 for rumors in self._rumors.values() if rumor in rumors)
+
+    # -- notes ----------------------------------------------------------
+    def publish_note(self, origin: Node, **data: Any) -> None:
+        old = self._notes[origin].get(origin)
+        version = (old.version + 1) if old is not None else 1
+        self._notes[origin][origin] = Note(
+            version=version, data=tuple(sorted(data.items()))
+        )
+
+    def note_of(self, reader: Node, origin: Node) -> Optional[Note]:
+        return self._notes[reader].get(origin)
+
+    def known_note_origins(self, reader: Node) -> list[Node]:
+        return list(self._notes[reader])
+
+    def clear_notes(self) -> None:
+        for board in self._notes.values():
+            board.clear()
+
+    # -- exchange plumbing ----------------------------------------------
+    def snapshot(self, node: Node) -> Payload:
+        return Payload(
+            rumors=frozenset(self._rumors[node]),
+            notes=tuple(self._notes[node].items()),
+        )
+
+    def merge(self, node: Node, payload: Payload) -> bool:
+        changed = False
+        before = len(self._rumors[node])
+        self._rumors[node] |= payload.rumors
+        if len(self._rumors[node]) != before:
+            changed = True
+        board = self._notes[node]
+        for origin, note in payload.notes:
+            current = board.get(origin)
+            if current is None or note.version > current.version:
+                board[origin] = note
+                changed = True
+        return changed
 
 
 class _PendingExchange:
@@ -74,7 +153,7 @@ class ReferenceEngine:
         self,
         graph: LatencyGraph,
         protocol_factory: ProtocolFactory,
-        state: Optional[NetworkState] = None,
+        state: Optional["NetworkState | ReferenceNetworkState"] = None,
         latencies_known: bool = False,
         fresh_snapshots: bool = False,
         failure_model: Optional[FailureModel] = None,
@@ -86,7 +165,7 @@ class ReferenceEngine:
                 f"max_incoming_per_round must be >= 1, got {max_incoming_per_round}"
             )
         self.graph = graph
-        self.state = state if state is not None else NetworkState(graph.nodes())
+        self.state = state if state is not None else ReferenceNetworkState(graph.nodes())
         self.latencies_known = latencies_known
         self.fresh_snapshots = fresh_snapshots
         self.failure_model = failure_model
@@ -215,22 +294,18 @@ class ReferenceEngine:
             self._account_payloads(initiator_payload, responder_payload)
         self.metrics.exchanges += 1
         self.metrics.messages += 2
-        self.metrics.activated_edges.add(
-            (initiator, responder)
-            if repr(initiator) <= repr(responder)
-            else (responder, initiator)
-        )
+        self.metrics.activated_edges.add(self.graph.canonical_edge(initiator, responder))
 
     def _account_payloads(
         self, initiator_payload: Payload, responder_payload: Payload
     ) -> None:
-        self.metrics.rumor_tokens_sent += len(initiator_payload.rumors) + len(
-            responder_payload.rumors
+        self.metrics.rumor_tokens_sent += (
+            initiator_payload.rumor_count + responder_payload.rumor_count
         )
         self.metrics.max_payload_rumors = max(
             self.metrics.max_payload_rumors,
-            len(initiator_payload.rumors),
-            len(responder_payload.rumors),
+            initiator_payload.rumor_count,
+            responder_payload.rumor_count,
         )
 
     def _deliver_due(self) -> None:

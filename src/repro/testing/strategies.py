@@ -26,8 +26,16 @@ from repro.graphs.latency_models import (
     uniform_latency,
     zipf_latency,
 )
+from repro.sim.failures import CrashSchedule
 
-__all__ = ["seeds", "latency_models", "connected_latency_graphs"]
+__all__ = [
+    "seeds",
+    "latency_models",
+    "connected_latency_graphs",
+    "large_dense_graphs",
+    "crash_schedules",
+    "engine_configs",
+]
 
 
 def seeds(max_seed: int = 10_000) -> st.SearchStrategy[int]:
@@ -67,12 +75,17 @@ def connected_latency_graphs(
     max_nodes: int = 10,
     max_latency: int = 8,
     latency_model: LatencyModel = None,
+    density: float = None,
 ) -> LatencyGraph:
     """A connected :class:`LatencyGraph`: random spanning tree + extra edges.
 
     Latencies come from ``latency_model`` when given, otherwise from a
     freshly drawn :func:`latency_models` instance — so by default the
     strategy also varies the latency *distribution*, not just the wiring.
+
+    ``density`` (a fraction of the ``n·(n-1)/2`` possible edges) pins the
+    extra-edge budget for denser graphs; by default the strategy draws a
+    sparse budget of up to ``2n`` extras.
     """
     n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
     seed = draw(seeds())
@@ -88,9 +101,78 @@ def connected_latency_graphs(
     for i in range(1, n):
         parent = order[rng.randrange(i)]
         graph.add_edge(order[i], parent, model(order[i], parent, rng))
-    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    if density is None:
+        extra = draw(st.integers(min_value=0, max_value=2 * n))
+    else:
+        cap = max(0, int(density * n * (n - 1) / 2))
+        extra = draw(st.integers(min_value=cap // 2, max_value=cap))
     for _ in range(extra):
         u, v = rng.randrange(n), rng.randrange(n)
         if u != v and not graph.has_edge(u, v):
             graph.add_edge(u, v, model(u, v, rng))
     return graph
+
+
+def large_dense_graphs(
+    min_nodes: int = 20, max_nodes: int = 40, max_latency: int = 8
+) -> st.SearchStrategy[LatencyGraph]:
+    """Larger, denser connected graphs for stressing the fast-path layout.
+
+    Bitset masks, adjacency index arrays, and the delivery buckets all
+    behave differently once node counts and degrees grow past toy sizes;
+    the differential and equivalence suites draw from this strategy to
+    cover that regime.
+    """
+    return connected_latency_graphs(
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        max_latency=max_latency,
+        density=0.5,
+    )
+
+
+@st.composite
+def crash_schedules(
+    draw, nodes, max_round: int = 10, protect=()
+) -> CrashSchedule:
+    """A deterministic :class:`CrashSchedule` over a subset of ``nodes``.
+
+    At least one node always survives, and nodes in ``protect`` (e.g. the
+    broadcast source) are never crashed.
+    """
+    candidates = [node for node in nodes if node not in set(protect)]
+    max_crashes = max(0, len(candidates) - (0 if protect else 1))
+    victims = draw(
+        st.lists(
+            st.sampled_from(candidates) if candidates else st.nothing(),
+            unique=True,
+            max_size=max_crashes,
+        )
+        if candidates
+        else st.just([])
+    )
+    rounds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_round),
+            min_size=len(victims),
+            max_size=len(victims),
+        )
+    )
+    return CrashSchedule(dict(zip(victims, rounds)))
+
+
+@st.composite
+def engine_configs(draw) -> dict:
+    """Engine keyword arguments spanning the model variants.
+
+    Draws ``fresh_snapshots`` (initiation-time vs delivery-time payload
+    snapshots) and ``max_incoming_per_round`` (the restricted in-degree
+    model of E16); pass the dict straight to ``Engine(**config)`` or
+    ``run_differential``.
+    """
+    return {
+        "fresh_snapshots": draw(st.booleans()),
+        "max_incoming_per_round": draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=4))
+        ),
+    }

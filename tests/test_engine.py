@@ -122,6 +122,31 @@ class TestExchangeSemantics:
         engine.step()
         assert engine.last_initiations == []
 
+    def test_activated_edges_canonical_by_dense_id(self):
+        # Node 10 interned before node 2: the canonical edge must follow
+        # insertion (dense-id) order, not value or repr order.
+        g = LatencyGraph(edges=[(10, 2, 1)])
+        engine = Engine(g, lambda v: ContactOnce(10 if v == 2 else None))
+        engine.step()
+        assert engine.metrics.activated_edges == {(10, 2)}
+
+    def test_blocking_ledger_drops_settled_entries(self):
+        engine = Engine(
+            pair_graph(2),
+            lambda v: ContactOnce(1 if v == 0 else None),
+            enforce_blocking=True,
+        )
+        engine.step()
+        assert engine._in_flight_initiations == {0: 1}
+        engine.step()
+        engine.step()  # delivery settles the exchange
+        assert engine._in_flight_initiations == {}  # no zero-count residue
+
+    def test_blocking_ledger_untouched_when_not_enforcing(self):
+        engine = Engine(pair_graph(2), lambda v: ContactOnce(1 if v == 0 else None))
+        engine.step()
+        assert engine._in_flight_initiations == {}
+
 
 class TestLatencyVisibility:
     def test_unknown_latencies_blocked(self):

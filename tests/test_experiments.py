@@ -6,9 +6,11 @@ from repro.errors import ExperimentError
 from repro.experiments import all_experiments, get_experiment
 from repro.experiments.harness import (
     ExperimentTable,
+    map_trials,
     register,
     run_experiment,
     seeds_for,
+    trial_jobs,
     validate_profile,
 )
 
@@ -74,6 +76,38 @@ class TestHarness:
         table = run_experiment("E6", profile="quick", checked=True)
         assert table.experiment_id == "E6"
         assert table.rows
+
+    def test_trial_jobs_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert trial_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert trial_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert trial_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert trial_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert trial_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert trial_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            trial_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            trial_jobs()
+
+    def test_map_trials_serial_and_parallel_agree(self, monkeypatch):
+        items = list(range(8))
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        serial = map_trials(abs, items)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = map_trials(abs, items)  # abs is picklable
+        assert serial == parallel == items
+
+    def test_map_trials_preserves_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert map_trials(str, [3, 1, 2]) == ["3", "1", "2"]
 
     def test_table_renders(self):
         table = ExperimentTable(

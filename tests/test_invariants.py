@@ -5,7 +5,6 @@ deliberately broken engine mutation must be caught by the matching
 checker with a round-stamped message.
 """
 
-import heapq
 
 import pytest
 
@@ -120,10 +119,19 @@ class OffByOneDelivery(Engine):
     """Delivers every exchange one round early (broken latency handling)."""
 
     def _initiate(self, initiator, responder):
+        before = self.pending_exchanges()
         super()._initiate(initiator, responder)
-        if self._in_flight:
-            self._in_flight[-1].delivers_at -= 1
-            heapq.heapify(self._in_flight)
+        if self.pending_exchanges() == before:
+            return  # the exchange was dropped (lost/rejected), nothing queued
+        round_key, exchange = max(
+            ((r, bucket[-1]) for r, bucket in self._in_flight.items() if bucket),
+            key=lambda item: item[1].sequence,
+        )
+        self._in_flight[round_key].pop()
+        if not self._in_flight[round_key]:
+            del self._in_flight[round_key]
+        exchange.delivers_at -= 1
+        self._in_flight.setdefault(exchange.delivers_at, []).append(exchange)
 
 
 class DoubleInitiation(Engine):
@@ -144,8 +152,14 @@ class ForgetfulState(NetworkState):
     def merge(self, node, payload):
         changed = super().merge(node, payload)
         self._merges += 1
-        if self._merges == 40 and self._rumors[node]:
-            self._rumors[node].pop()
+        if self._merges == 40:
+            i = self._node_index[node]
+            mask = self._masks[i]
+            if mask:  # clear the lowest set bit: one rumor forgotten
+                low = mask & -mask
+                self._masks[i] = mask ^ low
+                self._coverage[low.bit_length() - 1] -= 1
+                self._snapshots[i] = None
         return changed
 
 

@@ -79,6 +79,49 @@ class TestConstruction:
             g.remove_edge(0, 99)
 
 
+class TestDenseIds:
+    def test_index_round_trip(self):
+        g = LatencyGraph(nodes=["c", "a", "b"])
+        for i, node in enumerate(["c", "a", "b"]):
+            assert g.index_of(node) == i
+            assert g.node_at(i) == node
+
+    def test_index_of_unknown_node_raises(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.index_of("missing")
+
+    def test_canonical_edge_orders_by_dense_index(self):
+        # Insertion order 10 then 2: dense order disagrees with value and
+        # repr order, so canonicalization must follow the interned index.
+        g = LatencyGraph()
+        g.add_edge(10, 2, 1)
+        assert g.canonical_edge(2, 10) == (10, 2)
+        assert g.canonical_edge(10, 2) == (10, 2)
+
+    def test_adjacency_arrays_match_adjacency(self):
+        g = triangle()
+        neighbors, latencies = g.adjacency_arrays()
+        for node in g.nodes():
+            i = g.index_of(node)
+            got = {
+                g.node_at(j): latency
+                for j, latency in zip(neighbors[i], latencies[i])
+            }
+            assert got == g.neighbor_latencies(node)
+
+    def test_adjacency_arrays_cache_invalidated_on_mutation(self):
+        g = triangle()
+        first = g.adjacency_arrays()
+        again = g.adjacency_arrays()
+        assert again[0] is first[0] and again[1] is first[1]  # cached
+        g.add_edge(0, 3, 4)
+        second = g.adjacency_arrays()
+        assert second[0] is not first[0]
+        i = g.index_of(0)
+        assert g.index_of(3) in second[0][i]
+
+
 class TestQueries:
     def test_counts(self):
         g = triangle()
