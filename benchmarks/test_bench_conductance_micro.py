@@ -1,0 +1,41 @@
+"""Conductance microbenchmarks: analysis-pipeline wall-clock, no plugins.
+
+Like ``test_bench_engine_micro.py`` but for the ``φ_ℓ`` sweep-cut
+pipeline (`repro.conductance`): full threshold profiles, single-threshold
+sweeps, and the ``φ*``/``ℓ*`` computation.  Writes
+``benchmarks/results/BENCH_conductance.json``; when the committed
+baseline (``BENCH_conductance_baseline.json``, captured on the
+pre-vectorization sweep) is present, the report embeds per-workload
+speedup factors — regressions show up as factors below 1.0.
+
+Runs standalone — ``pytest benchmarks/test_bench_conductance_micro.py``
+— so CI can smoke it.  Set ``REPRO_PROFILE=full`` for the paper-scale
+n=2000 acceptance workload.
+"""
+
+from repro.benchmarking import (
+    BENCH_CONDUCTANCE_PATH,
+    run_microbenchmarks,
+    write_report,
+)
+from repro.benchmarking import CONDUCTANCE_BASELINE_PATH
+
+
+def test_conductance_microbenchmarks(capsys, profile):
+    report = write_report(
+        run_microbenchmarks(profile, suite="conductance"),
+        out_path=BENCH_CONDUCTANCE_PATH,
+        baseline_path=CONDUCTANCE_BASELINE_PATH,
+    )
+    with capsys.disabled():
+        print()
+        for name, entry in sorted(report["workloads"].items()):
+            line = f"{name}: {entry['seconds']:.3f}s"
+            speedup = report.get("speedup", {}).get(name)
+            if speedup:
+                line += f"  ({speedup:.1f}x vs pre-vectorization baseline)"
+            print(line)
+        print(f"report written to {BENCH_CONDUCTANCE_PATH}")
+    assert BENCH_CONDUCTANCE_PATH.exists()
+    assert report["workloads"], "no workloads were timed"
+    assert all(entry["seconds"] > 0 for entry in report["workloads"].values())

@@ -1,18 +1,26 @@
-"""Engine microbenchmarks: the wall-clock trajectory of the simulation core.
+"""Microbenchmarks: the wall-clock trajectory of the hot paths.
 
-This module defines a small, stable set of hot-path workloads (push--pull
-dissemination, raw :class:`~repro.sim.state.NetworkState` churn, done-node
-scheduling overhead) and a runner that times them and writes
-``benchmarks/results/BENCH_engine.json``.  The workloads use only the
-public library API, so the same definitions can time any revision of the
-engine — that is how before/after numbers for a performance PR are
-produced:
+This module defines small, stable sets of workloads and a runner that
+times them and writes JSON reports under ``benchmarks/results/``.  Two
+suites exist:
 
-* ``python -m repro.benchmarking --profile full --write-baseline`` on the
-  old revision captures ``BENCH_engine_baseline.json``;
-* the same command without ``--write-baseline`` (or the pytest suite
-  ``benchmarks/test_bench_engine_micro.py``) on the new revision writes
-  ``BENCH_engine.json`` embedding the baseline and per-workload speedups.
+* ``engine`` — the simulation core (push--pull dissemination, raw
+  :class:`~repro.sim.state.NetworkState` churn, done-node scheduling
+  overhead); writes ``BENCH_engine.json``.
+* ``conductance`` — the analysis pipeline (the ``φ_ℓ`` sweep-cut profile
+  behind Definitions 1-2, single-threshold sweeps, ``φ*``/``ℓ*``);
+  writes ``BENCH_conductance.json``.
+
+The workloads use only the public library API, so the same definitions
+can time any revision — that is how before/after numbers for a
+performance PR are produced:
+
+* ``python -m repro.benchmarking --suite conductance --profile full
+  --write-baseline`` on the old revision captures
+  ``BENCH_conductance_baseline.json``;
+* the same command without ``--write-baseline`` (or the pytest suites
+  ``benchmarks/test_bench_*_micro.py``) on the new revision writes the
+  report embedding the baseline and per-workload speedups.
 
 See ``docs/PERFORMANCE.md`` for how to read the numbers.
 """
@@ -21,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import functools
 import json
 import pathlib
 import platform
@@ -32,16 +41,25 @@ from typing import Any, Callable, Optional
 __all__ = [
     "Workload",
     "engine_microbenchmarks",
+    "conductance_microbenchmarks",
+    "microbenchmark_suite",
     "run_microbenchmarks",
     "write_report",
     "RESULTS_DIR",
     "BENCH_PATH",
     "BASELINE_PATH",
+    "BENCH_CONDUCTANCE_PATH",
+    "CONDUCTANCE_BASELINE_PATH",
+    "SUITES",
 ]
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 BENCH_PATH = RESULTS_DIR / "BENCH_engine.json"
 BASELINE_PATH = RESULTS_DIR / "BENCH_engine_baseline.json"
+BENCH_CONDUCTANCE_PATH = RESULTS_DIR / "BENCH_conductance.json"
+CONDUCTANCE_BASELINE_PATH = RESULTS_DIR / "BENCH_conductance_baseline.json"
+
+SUITES = ("engine", "conductance")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,6 +185,123 @@ def engine_microbenchmarks(profile: str) -> list[Workload]:
     ]
 
 
+@functools.lru_cache(maxsize=None)
+def _bench_graph(n: int, p: float, max_latency: int):
+    """The shared conductance-benchmark graph: connected ER, 1..max_latency.
+
+    Memoized so the untimed warmup run pays for graph *generation* and the
+    timed repeats measure only the analysis pipeline under test.
+    """
+    import random
+
+    from repro.graphs import generators
+    from repro.graphs.latency_models import uniform_latency
+
+    return generators.erdos_renyi(
+        n, p, latency_model=uniform_latency(1, max_latency), rng=random.Random(0)
+    )
+
+
+def _sweep_profile_workload(n: int, p: float, max_latency: int, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.conductance.sweep import sweep_conductance_profile
+
+        graph = _bench_graph(n, p, max_latency)
+        profile = sweep_conductance_profile(graph)
+        return {
+            "n": n,
+            "edges": graph.num_edges,
+            "thresholds": len(profile),
+            "phi_max": round(max(profile.values()), 6),
+        }
+
+    return Workload(
+        name=f"sweep_profile_er_n{n}",
+        description=(
+            f"sweep_conductance_profile over all distinct latency thresholds "
+            f"of Erdős–Rényi G({n}, {p}) with uniform latencies 1..{max_latency}, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _sweep_single_workload(n: int, p: float, max_latency: int, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.conductance.sweep import sweep_conductance
+
+        graph = _bench_graph(n, p, max_latency)
+        # The mid threshold keeps both the spectral solve and the prefix
+        # evaluation honest: G_ℓ is a strict, connected-ish subgraph.
+        ell = max_latency // 2
+        phi = sweep_conductance(graph, ell)
+        return {"n": n, "ell": ell, "phi": round(phi, 6)}
+
+    return Workload(
+        name=f"sweep_single_er_n{n}",
+        description=(
+            f"single-threshold sweep_conductance (ℓ = {max_latency // 2}) on "
+            f"Erdős–Rényi G({n}, {p}) with uniform latencies 1..{max_latency}, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _weighted_conductance_workload(n: int, p: float, max_latency: int, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.conductance.weighted import weighted_conductance
+
+        graph = _bench_graph(n, p, max_latency)
+        result = weighted_conductance(graph, method="sweep")
+        return {
+            "n": n,
+            "ell_star": result.critical_latency,
+            "phi_star": round(result.phi_star, 6),
+        }
+
+    return Workload(
+        name=f"weighted_conductance_er_n{n}",
+        description=(
+            f"weighted_conductance (φ*/ℓ* over the full profile, sweep method) "
+            f"on Erdős–Rényi G({n}, {p}) with uniform latencies 1..{max_latency}, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def conductance_microbenchmarks(profile: str) -> list[Workload]:
+    """The conductance/analysis microbenchmark suite for one profile.
+
+    The ``full``-profile ``sweep_profile_er_n2000`` entry is the PR
+    acceptance workload: the profile over all distinct thresholds of a
+    ``G(n=2000)`` latency graph.
+    """
+    from repro.experiments.harness import validate_profile
+
+    validate_profile(profile)
+    if profile == "quick":
+        return [
+            _sweep_profile_workload(n=400, p=0.03, max_latency=8, repeats=3),
+            _sweep_single_workload(n=400, p=0.03, max_latency=8, repeats=3),
+            _weighted_conductance_workload(n=400, p=0.03, max_latency=8, repeats=3),
+        ]
+    return [
+        _sweep_profile_workload(n=2000, p=0.008, max_latency=8, repeats=1),
+        _sweep_single_workload(n=2000, p=0.008, max_latency=8, repeats=1),
+        _weighted_conductance_workload(n=2000, p=0.008, max_latency=8, repeats=1),
+    ]
+
+
+def microbenchmark_suite(suite: str, profile: str) -> list[Workload]:
+    """The workloads of one named suite (``engine`` or ``conductance``)."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown benchmark suite {suite!r}; use one of {SUITES}")
+    builder = engine_microbenchmarks if suite == "engine" else conductance_microbenchmarks
+    return builder(profile)
+
+
 # ----------------------------------------------------------------------
 # Runner and report writer.
 # ----------------------------------------------------------------------
@@ -186,18 +321,23 @@ def _git_commit() -> Optional[str]:
 
 
 def run_microbenchmarks(
-    profile: str, progress: Optional[Callable[[str], None]] = None
+    profile: str,
+    progress: Optional[Callable[[str], None]] = None,
+    suite: str = "engine",
 ) -> dict[str, Any]:
-    """Time every workload of ``profile``; return a report dict.
+    """Time every workload of ``suite``/``profile``; return a report dict.
 
-    Each workload runs ``repeats`` times and records the *best* wall-clock
-    time (the standard way to suppress scheduler noise on a shared box).
+    Each workload gets one untimed warmup run (so one-time costs — lazy
+    scipy imports, allocator growth — don't pollute the measurement), then
+    runs ``repeats`` times and records the *best* wall-clock time (the
+    standard way to suppress scheduler noise on a shared box).
     """
-    workloads = engine_microbenchmarks(profile)
+    workloads = microbenchmark_suite(suite, profile)
     entries: dict[str, Any] = {}
     for workload in workloads:
         best = None
         meta: dict[str, Any] = {}
+        workload.run()
         for _ in range(workload.repeats):
             start = time.perf_counter()
             meta = workload.run()
@@ -212,7 +352,7 @@ def run_microbenchmarks(
         if progress is not None:
             progress(f"{workload.name}: {best:.3f}s  {meta}")
     return {
-        "schema": "repro-engine-bench/1",
+        "schema": f"repro-{suite}-bench/1",
         "profile": profile,
         "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "commit": _git_commit(),
@@ -255,22 +395,33 @@ def write_report(
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro.benchmarking", description="engine microbenchmarks"
+        prog="repro.benchmarking", description="hot-path microbenchmarks"
     )
     parser.add_argument("--profile", default="quick", choices=["quick", "full", "both"])
     parser.add_argument(
+        "--suite",
+        default="engine",
+        choices=list(SUITES),
+        help="which workload suite to run (engine core or conductance/analysis)",
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="write BENCH_engine_baseline.json instead of BENCH_engine.json",
+        help="write the suite's *_baseline.json instead of its report",
     )
     parser.add_argument("--label", default=None, help="free-text label for the run")
     parser.add_argument("--out", default=None, help="override the output path")
     args = parser.parse_args(argv)
 
+    bench_path, baseline_path = (
+        (BENCH_PATH, BASELINE_PATH)
+        if args.suite == "engine"
+        else (BENCH_CONDUCTANCE_PATH, CONDUCTANCE_BASELINE_PATH)
+    )
     profiles = ["quick", "full"] if args.profile == "both" else [args.profile]
     merged: dict[str, Any] = {}
     for profile in profiles:
-        report = run_microbenchmarks(profile, progress=print)
+        report = run_microbenchmarks(profile, progress=print, suite=args.suite)
         if not merged:
             merged = report
         else:
@@ -279,13 +430,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.label:
         merged["label"] = args.label
     if args.write_baseline:
-        out = pathlib.Path(args.out) if args.out else BASELINE_PATH
+        out = pathlib.Path(args.out) if args.out else baseline_path
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"baseline written to {out}")
     else:
-        out = pathlib.Path(args.out) if args.out else BENCH_PATH
-        write_report(merged, out_path=out)
+        out = pathlib.Path(args.out) if args.out else bench_path
+        write_report(merged, out_path=out, baseline_path=baseline_path)
         print(f"report written to {out}")
     return 0
 

@@ -1,4 +1,4 @@
-"""Spectral sweep-cut approximation of weight-ℓ conductance.
+"""Spectral sweep-cut approximation of weight-ℓ conductance, vectorized.
 
 For graphs too large for exact cut enumeration we approximate ``φ_ℓ(G)`` the
 standard way: take the second eigenvector of the normalized Laplacian of the
@@ -7,15 +7,52 @@ self-loops that preserve full-graph degrees, Eq. 3 of the paper), order
 vertices by their eigenvector coordinate, and sweep prefixes.  By Cheeger's
 inequality the best sweep cut ``φ̂`` satisfies ``φ_ℓ <= φ̂ <= 2 sqrt(φ_ℓ)``
 — in particular it is always a valid *upper bound* witnessed by a concrete
-cut, which is what the experiments need.
+cut, which is what the experiments need.  :func:`sweep_conductance_cut`
+returns that witness, so oracle tests can re-score it with
+:func:`repro.conductance.exact.cut_conductance` and demand exact agreement.
 
-A handful of extra candidate cuts (random bisections, BFS balls, degree
-prefixes) are thrown in for robustness on graphs where the spectral ordering
-is degenerate (e.g. disconnected ``G_ℓ``).
+A handful of extra candidate cuts (random bisections, BFS balls) are thrown
+in for robustness on graphs where the spectral ordering is degenerate
+(e.g. disconnected ``G_ℓ``).
+
+Data layout (see ``docs/PERFORMANCE.md``)
+-----------------------------------------
+Everything runs on dense node ids.  A :class:`_SweepContext` is built once
+per graph and shared by every threshold of a profile:
+
+* the edge arrays from :meth:`LatencyGraph.edge_arrays`, stably sorted by
+  latency — because ``G_ℓ`` only ever *gains* edges as ``ℓ`` grows, the
+  fast-edge set of any threshold is a prefix of the sorted arrays, found by
+  one ``searchsorted`` instead of re-filtering all edges per threshold;
+* the full-graph degree vector (Definition 1 volumes) and its
+  ``D^{-1/2}`` scaling;
+* for the sparse eigensolver path, one shared Fiedler embedding of the
+  full graph (``ℓ = ℓ_max``) used as the warm-start vector for every
+  threshold's solve — deterministic and independent of *which* thresholds
+  a caller requests, so a profile restricted to a subset of thresholds
+  reproduces the full profile's values exactly.
+
+Prefix evaluation is a prefix-sum computation, not a per-node loop: an
+edge with order positions ``a < b`` crosses exactly the prefixes of length
+``a < t <= b``, so the per-prefix crossing counts are the cumulative sum of
+a ``bincount`` difference array, and volumes are a cumulative sum of the
+degree vector — all numpy, no Python per-node work.
+
+Degree conventions (zero-degree vertices)
+-----------------------------------------
+Volumes always use raw full-graph degrees, exactly as Definition 1
+prescribes (an isolated vertex contributes zero volume, and prefixes whose
+smaller side has zero volume are skipped).  The spectral normalization maps
+zero-degree vertices to embedding coordinate ``0`` instead of the previous
+``max(degree, 1)`` patch — an isolated vertex carries no edges and no
+volume, so its position in the sweep order cannot change any ``φ`` value,
+and keeping it off the unit diagonal stops it from polluting the top of the
+spectrum with spurious eigenvalue-1 indicator vectors.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Optional, Sequence
 
@@ -24,98 +61,260 @@ import numpy as np
 from repro.errors import ConductanceError
 from repro.graphs.latency_graph import LatencyGraph, Node
 
-__all__ = ["sweep_conductance", "sweep_conductance_profile"]
+__all__ = [
+    "SweepCut",
+    "sweep_conductance",
+    "sweep_conductance_cut",
+    "sweep_conductance_profile",
+]
 
 _DENSE_EIG_LIMIT = 1200
 
 
-def _fiedler_order(graph: LatencyGraph, max_latency: int) -> list[Node]:
-    """Vertices ordered by the second eigenvector of the lazy-walk Laplacian of G_ℓ."""
-    nodes = graph.nodes()
-    n = len(nodes)
-    index = {node: i for i, node in enumerate(nodes)}
-    degrees = np.array([max(graph.degree(node), 1) for node in nodes], dtype=float)
-    inv_sqrt = 1.0 / np.sqrt(degrees)
+@dataclasses.dataclass(frozen=True)
+class SweepCut:
+    """A sweep result with its witnessing cut.
 
-    rows, cols, vals = [], [], []
-    loop_mass = degrees.copy()  # self-loop multiplicity |E_u| - |E_{u,ℓ}|
-    for u, v, latency in graph.edges():
-        if latency <= max_latency:
-            ui, vi = index[u], index[v]
-            rows.extend((ui, vi))
-            cols.extend((vi, ui))
-            vals.extend((1.0, 1.0))
-            loop_mass[ui] -= 1.0
-            loop_mass[vi] -= 1.0
+    Attributes
+    ----------
+    value:
+        The best ``φ_ℓ`` over all candidate prefixes (an upper bound on
+        the true ``φ_ℓ`` realized by ``cut``).
+    cut:
+        The witnessing subset ``U`` (node objects).  Empty iff no prefix
+        had positive volume on both sides (degenerate graphs, e.g. no
+        edges at all), in which case ``value`` is 0.
+    """
 
-    if n <= _DENSE_EIG_LIMIT:
+    value: float
+    cut: frozenset
+
+
+class _ThresholdView:
+    """The fast-edge arrays and (lazy) adjacency of one threshold ``ℓ``."""
+
+    def __init__(self, ctx: "_SweepContext", max_latency: int) -> None:
+        self.ctx = ctx
+        # Monotonicity: edges are sorted by latency, so G_ℓ's edge set is
+        # the prefix of length searchsorted(ℓ).
+        count = int(np.searchsorted(ctx.sorted_latencies, max_latency, side="right"))
+        self.fast_u = ctx.sorted_u[:count]
+        self.fast_v = ctx.sorted_v[:count]
+        self.fast_degrees = np.bincount(
+            np.concatenate((self.fast_u, self.fast_v)), minlength=ctx.n
+        )
+        self._csr: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style ``(indptr, neighbors)`` of G_ℓ, built once per threshold.
+
+        Shared by every BFS-ball candidate at this threshold instead of
+        rebuilding a ``subgraph_leq`` graph object per candidate.
+        """
+        if self._csr is None:
+            n = self.ctx.n
+            heads = np.concatenate((self.fast_u, self.fast_v))
+            tails = np.concatenate((self.fast_v, self.fast_u))
+            order = np.argsort(heads, kind="stable")
+            neighbors = tails[order]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
+            self._csr = (indptr, neighbors)
+        return self._csr
+
+    def bfs_order(self, start: int) -> np.ndarray:
+        """Level-order BFS ball order from ``start`` (within-level by id),
+        followed by the unreached vertices in id order."""
+        indptr, neighbors = self.adjacency_csr()
+        n = self.ctx.n
+        seen = np.zeros(n, dtype=bool)
+        seen[start] = True
+        chunks = [np.array([start], dtype=np.int64)]
+        frontier = chunks[0]
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Ragged gather of every frontier node's neighbor slice.
+            offsets = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            reached = neighbors[np.arange(total, dtype=np.int64) + offsets]
+            frontier = np.unique(reached[~seen[reached]])
+            if frontier.size == 0:
+                break
+            seen[frontier] = True
+            chunks.append(frontier)
+        rest = np.nonzero(~seen)[0]
+        if rest.size:
+            chunks.append(rest)
+        return np.concatenate(chunks)
+
+
+class _SweepContext:
+    """Per-graph arrays shared across thresholds and candidate orders."""
+
+    def __init__(self, graph: LatencyGraph) -> None:
+        if graph.num_nodes < 2:
+            raise ConductanceError(
+                f"conductance needs n >= 2, got {graph.num_nodes}"
+            )
+        self.graph = graph
+        self.n = graph.num_nodes
+        us, vs, lats = graph.edge_arrays()
+        order = np.argsort(lats, kind="stable")
+        self.sorted_u = us[order]
+        self.sorted_v = vs[order]
+        self.sorted_latencies = lats[order]
+        neighbors, _ = graph.adjacency_arrays()
+        self.degrees = np.array([len(row) for row in neighbors], dtype=np.int64)
+        self.total_volume = int(self.degrees.sum())
+        # D^{-1/2} with the zero-degree convention documented above.
+        self.inv_sqrt = np.zeros(self.n)
+        positive = self.degrees > 0
+        self.inv_sqrt[positive] = 1.0 / np.sqrt(self.degrees[positive])
+        self._warm_start: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Spectral ordering
+    # ------------------------------------------------------------------
+    def _normalized_adjacency_dense(self, view: _ThresholdView) -> np.ndarray:
+        n = self.n
         adjacency = np.zeros((n, n))
-        for r, c, value in zip(rows, cols, vals):
-            adjacency[r, c] += value
+        np.add.at(adjacency, (view.fast_u, view.fast_v), 1.0)
+        np.add.at(adjacency, (view.fast_v, view.fast_u), 1.0)
+        loop_mass = (self.degrees - view.fast_degrees).astype(float)
         adjacency[np.arange(n), np.arange(n)] += loop_mass
-        normalized = inv_sqrt[:, None] * adjacency * inv_sqrt[None, :]
-        _, eigenvectors = np.linalg.eigh(normalized)
-        # Second-largest eigenvalue of the normalized adjacency == second
-        # smallest of the normalized Laplacian.
-        fiedler = eigenvectors[:, -2]
-    else:
+        return self.inv_sqrt[:, None] * adjacency * self.inv_sqrt[None, :]
+
+    def _fiedler_sparse(self, view: _ThresholdView) -> np.ndarray:
         from scipy.sparse import coo_matrix
         from scipy.sparse.linalg import eigsh
 
-        diag_rows = list(range(n))
-        all_rows = rows + diag_rows
-        all_cols = cols + diag_rows
-        all_vals = vals + list(loop_mass)
-        adjacency = coo_matrix((all_vals, (all_rows, all_cols)), shape=(n, n)).tocsr()
-        scale = coo_matrix((inv_sqrt, (diag_rows, diag_rows)), shape=(n, n)).tocsr()
-        normalized = scale @ adjacency @ scale
-        _, eigenvectors = eigsh(normalized, k=2, which="LA")
-        fiedler = eigenvectors[:, 0]
+        n = self.n
+        diag = np.arange(n)
+        loop_mass = (self.degrees - view.fast_degrees).astype(float)
+        rows = np.concatenate((view.fast_u, view.fast_v, diag))
+        cols = np.concatenate((view.fast_v, view.fast_u, diag))
+        vals = np.concatenate(
+            (np.ones(view.fast_u.size), np.ones(view.fast_u.size), loop_mass)
+        )
+        # Fold D^{-1/2} into the entries instead of two sparse matmuls.
+        vals = vals * self.inv_sqrt[rows] * self.inv_sqrt[cols]
+        normalized = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        # The sweep only consumes the eigenvector *ordering*; 1e-8 is far
+        # below any gap that could reorder coordinates meaningfully and
+        # saves ARPACK iterations on near-degenerate spectra (disconnected
+        # G_ℓ has eigenvalue 1 with multiplicity = #components).
+        _, eigenvectors = eigsh(normalized, k=2, which="LA", v0=self._v0(), tol=1e-8)
+        # k=2, which="LA": eigenvalues ascending, so column 0 is the
+        # second-largest of the normalized adjacency == second smallest of
+        # the normalized Laplacian.
+        return eigenvectors[:, 0]
 
-    embedding = inv_sqrt * fiedler
-    order = np.argsort(embedding, kind="stable")
-    return [nodes[i] for i in order]
+    def _v0(self) -> np.ndarray:
+        """The shared warm-start vector for every sparse eigensolve.
+
+        The Fiedler vector of the *full* graph (``ℓ = ℓ_max``), computed
+        once per context from a fixed deterministic seed vector.  Using
+        the same warm start for every threshold keeps each solve
+        deterministic and independent of which other thresholds were
+        requested, while still exploiting that adjacent ``G_ℓ`` differ by
+        a few added edges (the full-graph embedding is close to all of
+        them).
+        """
+        if self._warm_start is None:
+            seed_vec = np.random.RandomState(0).standard_normal(self.n)
+            self._warm_start = seed_vec
+            full = _ThresholdView(self, int(self.sorted_latencies[-1]))
+            self._warm_start = self._fiedler_sparse(full)
+        return self._warm_start
+
+    def fiedler_order(self, view: _ThresholdView) -> np.ndarray:
+        if self.n <= _DENSE_EIG_LIMIT:
+            normalized = self._normalized_adjacency_dense(view)
+            _, eigenvectors = np.linalg.eigh(normalized)
+            fiedler = eigenvectors[:, -2]
+        else:
+            fiedler = self._fiedler_sparse(view)
+        embedding = self.inv_sqrt * fiedler
+        return np.argsort(embedding, kind="stable")
+
+    # ------------------------------------------------------------------
+    # Prefix evaluation (vectorized cut maintenance)
+    # ------------------------------------------------------------------
+    def evaluate_order(
+        self, order: np.ndarray, view: _ThresholdView
+    ) -> tuple[float, int]:
+        """Best ``φ_ℓ`` over all proper prefixes of ``order``.
+
+        Returns ``(value, prefix_end)`` where the witnessing cut is
+        ``order[: prefix_end + 1]``, or ``(inf, -1)`` if no prefix has
+        positive volume on both sides.
+        """
+        n = self.n
+        positions = np.empty(n, dtype=np.int64)
+        positions[order] = np.arange(n)
+        pu = positions[view.fast_u]
+        pv = positions[view.fast_v]
+        lo = np.minimum(pu, pv)
+        hi = np.maximum(pu, pv)
+        # Edge (a=lo, b=hi) crosses prefixes of length a < t <= b, i.e. it
+        # is counted at prefix-end positions p with a <= p < b.
+        delta = np.bincount(lo, minlength=n) - np.bincount(hi, minlength=n)
+        crossing = np.cumsum(delta)[: n - 1]
+        volumes = np.cumsum(self.degrees[order])[: n - 1]
+        denominators = np.minimum(volumes, self.total_volume - volumes)
+        valid = denominators > 0
+        if not valid.any():
+            return float("inf"), -1
+        ratios = crossing[valid] / denominators[valid]
+        best = int(np.argmin(ratios))
+        return float(ratios[best]), int(np.nonzero(valid)[0][best])
+
+    def candidate_orders(
+        self, view: _ThresholdView, rng: random.Random, extra_candidates: int
+    ) -> list[np.ndarray]:
+        orders = [self.fiedler_order(view)]
+        # BFS-ball orderings capture "community" cuts the spectrum can miss.
+        # Random orders come from a numpy generator seeded off the caller's
+        # rng — same determinism contract, ~100x cheaper than shuffling a
+        # Python list at n=2000.
+        for _ in range(max(0, extra_candidates)):
+            orders.append(view.bfs_order(rng.randrange(self.n)))
+            permuter = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+            orders.append(permuter.permutation(self.n).astype(np.int64))
+        return orders
+
+    def best_cut(
+        self, max_latency: int, rng: random.Random, extra_candidates: int
+    ) -> SweepCut:
+        view = _ThresholdView(self, max_latency)
+        best_value = float("inf")
+        best_order: Optional[np.ndarray] = None
+        best_end = -1
+        for order in self.candidate_orders(view, rng, extra_candidates):
+            value, end = self.evaluate_order(order, view)
+            if value < best_value:
+                best_value, best_order, best_end = value, order, end
+        if best_order is None or best_end < 0:
+            return SweepCut(value=0.0, cut=frozenset())
+        node_at = self.graph.node_at
+        witness = frozenset(node_at(int(i)) for i in best_order[: best_end + 1])
+        return SweepCut(value=max(best_value, 0.0), cut=witness)
 
 
-def _evaluate_prefixes(
-    graph: LatencyGraph, order: Sequence[Node], max_latency: int
-) -> float:
-    """Best φ_ℓ over all prefixes of ``order`` (incremental cut maintenance)."""
-    index = {node: i for i, node in enumerate(order)}
-    total_volume = sum(graph.degree(node) for node in order)
-    inside: set[Node] = set()
-    vol_in = 0
-    crossing = 0
-    best = float("inf")
-    for position, node in enumerate(order[:-1]):
-        inside.add(node)
-        vol_in += graph.degree(node)
-        for neighbor, latency in graph.neighbor_latencies(node).items():
-            if latency > max_latency:
-                continue
-            crossing += -1 if neighbor in inside else 1
-        denom = min(vol_in, total_volume - vol_in)
-        if denom > 0:
-            best = min(best, crossing / denom)
-    return best
-
-
-def _candidate_orders(
-    graph: LatencyGraph, max_latency: int, rng: random.Random, extra_candidates: int
-) -> list[list[Node]]:
-    orders = [_fiedler_order(graph, max_latency)]
-    nodes = graph.nodes()
-    # BFS-ball orderings capture "community" cuts the spectrum can miss.
-    for _ in range(max(0, extra_candidates)):
-        start = rng.choice(nodes)
-        dist = graph.subgraph_leq(max_latency).hop_distances(start)
-        reached = sorted(dist, key=lambda v: (dist[v], repr(v)))
-        rest = [v for v in nodes if v not in dist]
-        orders.append(reached + rest)
-        shuffled = nodes[:]
-        rng.shuffle(shuffled)
-        orders.append(shuffled)
-    return orders
+def sweep_conductance_cut(
+    graph: LatencyGraph,
+    max_latency: int,
+    rng: Optional[random.Random] = None,
+    extra_candidates: int = 3,
+) -> SweepCut:
+    """Like :func:`sweep_conductance` but also returns the witnessing cut."""
+    context = _SweepContext(graph)
+    return context.best_cut(max_latency, rng or random.Random(0), extra_candidates)
 
 
 def sweep_conductance(
@@ -139,13 +338,9 @@ def sweep_conductance(
         Number of BFS-ball/random orderings swept in addition to the
         spectral one.
     """
-    if graph.num_nodes < 2:
-        raise ConductanceError(f"conductance needs n >= 2, got {graph.num_nodes}")
-    rng = rng or random.Random(0)
-    best = float("inf")
-    for order in _candidate_orders(graph, max_latency, rng, extra_candidates):
-        best = min(best, _evaluate_prefixes(graph, order, max_latency))
-    return 0.0 if best == float("inf") else max(best, 0.0)
+    return sweep_conductance_cut(
+        graph, max_latency, rng=rng, extra_candidates=extra_candidates
+    ).value
 
 
 def sweep_conductance_profile(
@@ -154,12 +349,28 @@ def sweep_conductance_profile(
     rng: Optional[random.Random] = None,
     extra_candidates: int = 3,
 ) -> dict[int, float]:
-    """Approximate ``{ℓ: φ_ℓ(G)}`` for each threshold via sweep cuts."""
-    thresholds = sorted(set(latencies)) if latencies is not None else graph.distinct_latencies()
+    """Approximate ``{ℓ: φ_ℓ(G)}`` for each threshold via sweep cuts.
+
+    The per-graph arrays, the threshold edge prefixes, and (on the sparse
+    eigensolver path) the warm-start embedding are computed once and
+    shared across thresholds.  Each threshold draws its candidate cuts
+    from its *own* RNG, derived from a stable base seed — so ``φ_ℓ`` for
+    a given ``ℓ`` never depends on which other thresholds were requested,
+    and a profile restricted to a subset of thresholds reproduces the
+    full profile's values exactly.  A caller-supplied ``rng`` contributes
+    exactly one draw (the base seed), keeping that property.
+    """
+    context = _SweepContext(graph)
+    if latencies is not None:
+        thresholds = sorted(set(latencies))
+    else:
+        thresholds = [int(ell) for ell in np.unique(context.sorted_latencies)]
     if not thresholds:
         raise ConductanceError("no latency thresholds to evaluate (edgeless graph?)")
-    rng = rng or random.Random(0)
+    base_seed = rng.randrange(2**32) if rng is not None else 0
     return {
-        ell: sweep_conductance(graph, ell, rng=rng, extra_candidates=extra_candidates)
+        ell: context.best_cut(
+            ell, random.Random(f"sweep:{base_seed}:{ell}"), extra_candidates
+        ).value
         for ell in thresholds
     }

@@ -1,0 +1,155 @@
+"""Content-keyed artifact cache for expensive per-(generator, params, seed) products.
+
+Experiments recompute the same derived objects constantly: E8/E9/E10 all
+measure weighted diameters of ring-of-cliques instances, E14 builds the
+same Baswana--Sen spanner twice in one run, and every conductance audit
+re-sweeps graphs the previous experiment already profiled.  This module
+memoizes those products behind content-addressed keys so repeated work is
+a dictionary hit — within a run, across experiments in a process, and in
+every worker of a ``REPRO_JOBS`` fan-out (each worker process keeps its
+own cache; results are deterministic, so caches never disagree).
+
+Keying and invalidation rules
+-----------------------------
+* **Graphs** are keyed by *recipe*: ``(generator_name, params, seed)``.
+  Two calls with the same recipe return the same (cached) object, which
+  is safe because generators are deterministic functions of their rng
+  seed.  Callers must treat cached graphs as immutable — mutating one
+  would poison every later recipe hit.  :func:`cached_graph` verifies at
+  build time that the recipe is hashable.
+* **Derived products** (spanners, distance maps, diameters, conductance
+  values/profiles) are keyed by :meth:`LatencyGraph.fingerprint` — a
+  blake2b digest of the node list and the dense edge/latency arrays —
+  plus the parameters of the product.  Deriving the key from *content*
+  rather than identity means a graph mutated after caching gets a new
+  fingerprint and therefore new cache entries; stale entries for the old
+  content are never served (they are merely unreachable until cleared).
+* Randomized products (spanners, sweeps) include their integer seed in
+  the key, never a live ``random.Random`` — the cache must be a pure
+  function of ``(content, params, seed)``.
+
+The cache is process-local and unbounded (experiment working sets are
+dozens of artifacts, not millions); :func:`clear` resets it, and
+:func:`stats` exposes hit/miss counters for tests and tuning.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Hashable
+
+__all__ = [
+    "cached",
+    "cached_graph",
+    "cached_spanner",
+    "cached_weighted_diameter",
+    "cached_hop_distances",
+    "cached_weighted_distances",
+    "cached_sweep_conductance",
+    "cached_conductance_profile",
+    "clear",
+    "stats",
+]
+
+_CACHE: dict[tuple, Any] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def cached(kind: str, key: Hashable, build: Callable[[], Any]) -> Any:
+    """Memoize ``build()`` under ``(kind, key)``; the generic entry point."""
+    global _HITS, _MISSES
+    full_key = (kind, key)
+    try:
+        value = _CACHE[full_key]
+    except KeyError:
+        _MISSES += 1
+        value = _CACHE[full_key] = build()
+        return value
+    _HITS += 1
+    return value
+
+
+def clear() -> None:
+    """Drop every cached artifact and reset the hit/miss counters."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def stats() -> dict[str, int]:
+    """Cache effectiveness counters: ``{"hits", "misses", "entries"}``."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+# ----------------------------------------------------------------------
+# Graphs (keyed by recipe)
+# ----------------------------------------------------------------------
+def cached_graph(recipe: Hashable, build: Callable[[], Any]):
+    """A generator product keyed by its recipe, e.g.
+    ``("ring_of_cliques", 6, 5, 4, 0)``.  The recipe must identify the
+    generator, all parameters, and the rng seed."""
+    hash(recipe)  # fail fast on accidentally-unhashable params
+    return cached("graph", recipe, build)
+
+
+# ----------------------------------------------------------------------
+# Derived products (keyed by graph content)
+# ----------------------------------------------------------------------
+def cached_spanner(graph, k: int, seed: int, n_hat: int | None = None):
+    """The Baswana--Sen spanner of ``graph`` for ``(k, seed, n_hat)``."""
+    from repro.protocols.spanner import baswana_sen_spanner
+
+    return cached(
+        "spanner",
+        (graph.fingerprint(), k, seed, n_hat),
+        lambda: baswana_sen_spanner(graph, k, random.Random(seed), n_hat=n_hat),
+    )
+
+
+def cached_weighted_diameter(graph) -> int:
+    """``graph.weighted_diameter()`` (exact, all sources)."""
+    return cached(
+        "weighted_diameter", graph.fingerprint(), graph.weighted_diameter
+    )
+
+
+def cached_weighted_distances(graph, source) -> dict:
+    """Latency-weighted single-source distance map."""
+    return cached(
+        "weighted_distances",
+        (graph.fingerprint(), source),
+        lambda: graph.weighted_distances(source),
+    )
+
+
+def cached_hop_distances(graph, source) -> dict:
+    """Hop-count single-source distance map."""
+    return cached(
+        "hop_distances",
+        (graph.fingerprint(), source),
+        lambda: graph.hop_distances(source),
+    )
+
+
+def cached_sweep_conductance(graph, max_latency: int, seed: int = 0) -> float:
+    """Single-threshold sweep ``φ_ℓ`` with the candidate rng seeded to ``seed``."""
+    from repro.conductance.sweep import sweep_conductance
+
+    return cached(
+        "sweep_conductance",
+        (graph.fingerprint(), max_latency, seed),
+        lambda: sweep_conductance(graph, max_latency, rng=random.Random(seed)),
+    )
+
+
+def cached_conductance_profile(graph) -> dict[int, float]:
+    """The full default-rng sweep profile ``{ℓ: φ_ℓ}`` over all thresholds."""
+    from repro.conductance.sweep import sweep_conductance_profile
+
+    return cached(
+        "conductance_profile",
+        graph.fingerprint(),
+        lambda: sweep_conductance_profile(graph),
+    )

@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
@@ -26,17 +27,38 @@ from repro.lowerbounds.strategies import (
     random_guessing_strategy,
     systematic_sweep_strategy,
 )
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e1", "run_e2"]
 
 
-def _mean_rounds(m, predicate, strategy_factory, seeds) -> float:
-    rounds = []
-    for seed in seeds:
-        rng = random.Random(seed)
-        game = GuessingGame(m, predicate(m, rng))
-        rounds.append(play_game(game, strategy_factory, rng))
+def _make_predicate(spec: tuple, m: int, rng: random.Random):
+    # Predicate factories are closures (unpicklable), so trials receive a
+    # spec tuple and rebuild the predicate in-process.
+    if spec[0] == "singleton":
+        return singleton_predicate()(m, rng)
+    if spec[0] == "random":
+        return random_predicate(spec[1])(m, rng)
+    raise ValueError(f"unknown predicate spec {spec!r}")
+
+
+def _game_rounds(m: int, spec: tuple, strategy_factory, seed: int) -> int:
+    """One seed-ladder trial (module-level so it pickles for REPRO_JOBS)."""
+    rng = random.Random(seed)
+    game = GuessingGame(m, _make_predicate(spec, m, rng))
+    return play_game(game, strategy_factory, rng)
+
+
+def _mean_rounds(m, spec: tuple, strategy_factory, seeds) -> float:
+    rounds = map_trials(
+        functools.partial(_game_rounds, m, spec, strategy_factory), seeds
+    )
     return statistics.fmean(rounds)
 
 
@@ -45,7 +67,7 @@ def run_e1(profile: Profile = "quick") -> ExperimentTable:
     """Lemma 4: singleton-target guessing needs Ω(m) rounds."""
     sizes = [8, 16, 32, 64] if profile == "quick" else [8, 16, 32, 64, 128, 256]
     seeds = seeds_for(profile, quick=5, full=20)
-    predicate = singleton_predicate()
+    predicate = ("singleton",)
     rows = []
     for m in sizes:
         adaptive = _mean_rounds(m, predicate, fresh_pair_strategy, seeds)
@@ -89,7 +111,7 @@ def run_e2(profile: Profile = "quick") -> ExperimentTable:
         seeds = seeds_for(profile, full=20)
     rows = []
     for m, p in configs:
-        predicate = random_predicate(p)
+        predicate = ("random", p)
         adaptive = _mean_rounds(m, predicate, fresh_pair_strategy, seeds)
         oblivious = _mean_rounds(m, predicate, random_guessing_strategy, seeds)
         rows.append(

@@ -13,6 +13,7 @@ though every structural parameter the classical theory looks at stays flat.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
@@ -21,9 +22,33 @@ from repro.graphs.gadgets import theorem6_network
 from repro.lowerbounds.reduction import simulate_gossip_as_guessing
 from repro.protocols.base import per_node_rng_factory
 from repro.protocols.push_pull import PushPullProtocol
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e3"]
+
+
+def _hit_rounds(n: int, delta: int, seed: int) -> int:
+    """One seed-ladder trial (module-level so it pickles for REPRO_JOBS)."""
+    rng = random.Random(seed)
+    gadget = theorem6_network(n, delta, rng)
+    make_rng = per_node_rng_factory(seed + 1000)
+    outcome = simulate_gossip_as_guessing(
+        gadget,
+        lambda node: PushPullProtocol(make_rng(node)),
+    )
+    if not outcome.lemma3_holds:
+        raise AssertionError("Lemma 3 violated in E3 run")
+    return (
+        outcome.game_rounds
+        if outcome.game_rounds is not None
+        else outcome.gossip_rounds
+    )
 
 
 @register("E3")
@@ -35,22 +60,7 @@ def run_e3(profile: Profile = "quick") -> ExperimentTable:
     rows = []
     for delta in deltas:
         n = 2 * delta + extra_clique
-        game_rounds = []
-        for seed in seeds:
-            rng = random.Random(seed)
-            gadget = theorem6_network(n, delta, rng)
-            make_rng = per_node_rng_factory(seed + 1000)
-            outcome = simulate_gossip_as_guessing(
-                gadget,
-                lambda node: PushPullProtocol(make_rng(node)),
-            )
-            if not outcome.lemma3_holds:
-                raise AssertionError("Lemma 3 violated in E3 run")
-            game_rounds.append(
-                outcome.game_rounds
-                if outcome.game_rounds is not None
-                else outcome.gossip_rounds
-            )
+        game_rounds = map_trials(functools.partial(_hit_rounds, n, delta), seeds)
         mean_rounds = statistics.fmean(game_rounds)
         rows.append(
             {

@@ -12,6 +12,7 @@ diameter exactly and the conductance by sweep cuts), and measure push--pull
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 import statistics
@@ -20,9 +21,26 @@ from repro.analysis.scaling import correlation
 from repro.conductance.sweep import sweep_conductance
 from repro.graphs.gadgets import theorem7_network
 from repro.protocols.push_pull import run_push_pull
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e4"]
+
+
+def _audit_trial(n: int, phi: float, ell: int, seed: int) -> tuple[int, float, int]:
+    """One seed-ladder trial: (diameter, sweep φ_ℓ, push--pull rounds)."""
+    rng = random.Random(seed)
+    gadget = theorem7_network(n, phi, ell, rng)
+    graph = gadget.graph
+    diameter = graph.weighted_diameter()
+    conductance = sweep_conductance(graph, ell, rng=random.Random(seed + 1))
+    result = run_push_pull(graph, mode="local", max_latency=ell, seed=seed + 2)
+    return diameter, conductance, result.rounds
 
 
 @register("E4")
@@ -43,22 +61,8 @@ def run_e4(profile: Profile = "quick") -> ExperimentTable:
         seeds = seeds_for(profile, full=8)
     rows = []
     for n, phi, ell in configs:
-        diameters, conductances, times = [], [], []
-        for seed in seeds:
-            rng = random.Random(seed)
-            gadget = theorem7_network(n, phi, ell, rng)
-            graph = gadget.graph
-            diameters.append(graph.weighted_diameter())
-            conductances.append(
-                sweep_conductance(graph, ell, rng=random.Random(seed + 1))
-            )
-            result = run_push_pull(
-                graph,
-                mode="local",
-                max_latency=ell,
-                seed=seed + 2,
-            )
-            times.append(result.rounds)
+        trials = map_trials(functools.partial(_audit_trial, n, phi, ell), seeds)
+        diameters, conductances, times = map(list, zip(*trials))
         predicted = math.log(2 * n) / phi + ell
         rows.append(
             {

@@ -15,14 +15,28 @@ fast edges wins) — the crossover the theorem predicts at ``ℓ ≈ Θ(Δ)``.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
 from repro.graphs.gadgets import theorem8_ring
 from repro.protocols.push_pull import run_push_pull
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e5"]
+
+
+def _ring_broadcast_rounds(layer_size: int, num_layers: int, ell: int, seed: int) -> int:
+    """One seed-ladder trial (module-level so it pickles for REPRO_JOBS)."""
+    rng = random.Random(seed)
+    ring = theorem8_ring(layer_size, num_layers, ell, rng)
+    return run_push_pull(ring.graph, source=0, seed=seed + 7).rounds
 
 
 @register("E5")
@@ -38,12 +52,10 @@ def run_e5(profile: Profile = "quick") -> ExperimentTable:
         seeds = seeds_for(profile, full=8)
     rows = []
     for ell in latencies:
-        times = []
-        for seed in seeds:
-            rng = random.Random(seed)
-            ring = theorem8_ring(layer_size, num_layers, ell, rng)
-            result = run_push_pull(ring.graph, source=0, seed=seed + 7)
-            times.append(result.rounds)
+        times = map_trials(
+            functools.partial(_ring_broadcast_rounds, layer_size, num_layers, ell),
+            seeds,
+        )
         mean_time = statistics.fmean(times)
         # Envelope terms: D+Δ (search regime) and ℓ/φ ~ ℓ·k/2 (pay regime).
         hops = num_layers // 2

@@ -12,16 +12,38 @@ Claims audited:
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 import statistics
 
 from repro.graphs import generators
 from repro.graphs.latency_models import uniform_latency
-from repro.protocols.spanner import baswana_sen_spanner
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments import artifacts
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e7"]
+
+
+def _spanner_trial(n: int, k: int, seed: int) -> tuple[int, int, float, int]:
+    """One seed-ladder trial: (edges, max out-degree, stretch, out-degree @ n̂=n²)."""
+    rng = random.Random(seed)
+    graph = artifacts.cached_graph(
+        ("random_regular", n, 8, "uniform1-10", seed),
+        lambda: generators.random_regular(
+            n, 8, latency_model=uniform_latency(1, 10), rng=rng
+        ),
+    )
+    spanner = artifacts.cached_spanner(graph, k, seed + 1)
+    stretch = spanner.measured_stretch(num_pairs=10, rng=random.Random(seed + 2))
+    loose = artifacts.cached_spanner(graph, k, seed + 1, n_hat=n * n)
+    return spanner.num_edges, spanner.max_out_degree(), stretch, loose.max_out_degree()
 
 
 @register("E7")
@@ -32,22 +54,8 @@ def run_e7(profile: Profile = "quick") -> ExperimentTable:
     rows = []
     for n in sizes:
         k = max(2, math.ceil(math.log2(n)))
-        edge_counts, out_degrees, stretches, out_degrees_sq = [], [], [], []
-        for seed in seeds:
-            rng = random.Random(seed)
-            graph = generators.random_regular(
-                n, 8, latency_model=uniform_latency(1, 10), rng=rng
-            )
-            spanner = baswana_sen_spanner(graph, k, random.Random(seed + 1))
-            edge_counts.append(spanner.num_edges)
-            out_degrees.append(spanner.max_out_degree())
-            stretches.append(
-                spanner.measured_stretch(num_pairs=10, rng=random.Random(seed + 2))
-            )
-            loose = baswana_sen_spanner(
-                graph, k, random.Random(seed + 1), n_hat=n * n
-            )
-            out_degrees_sq.append(loose.max_out_degree())
+        trials = map_trials(functools.partial(_spanner_trial, n, k), seeds)
+        edge_counts, out_degrees, stretches, out_degrees_sq = map(list, zip(*trials))
         stretch = max(stretches)
         rows.append(
             {

@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 import statistics
@@ -22,7 +23,14 @@ from repro.graphs import generators
 from repro.protocols.eid import run_eid, run_general_eid
 from repro.sim.state import NetworkState
 from repro.protocols.base import PhaseRunner
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments import artifacts
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e8", "run_e9"]
 
@@ -30,9 +38,38 @@ __all__ = ["run_e8", "run_e9"]
 def _ring_family(profile: Profile):
     latencies = [1, 4, 16] if profile == "quick" else [1, 2, 4, 8, 16, 32]
     for ell in latencies:
-        yield ell, generators.ring_of_cliques(
-            6, 5, inter_latency=ell, rng=random.Random(0)
+        yield ell, artifacts.cached_graph(
+            ("ring_of_cliques", 6, 5, ell, 0),
+            lambda ell=ell: generators.ring_of_cliques(
+                6, 5, inter_latency=ell, rng=random.Random(0)
+            ),
         )
+
+
+def _eid_trial(graph, diameter: int, seed: int) -> tuple[int, bool]:
+    """One seed-ladder trial: (rounds, all-to-all completed)."""
+    runner = PhaseRunner(graph)
+    report = run_eid(graph, diameter, seed=seed, runner=runner)
+    everyone = set(graph.nodes())
+    complete = all(everyone <= runner.state.rumors(v) for v in everyone)
+    return report.rounds, complete
+
+
+def _general_eid_trial(graph, diameter: int, seed: int) -> dict:
+    """One seed-ladder trial comparing known-D EID against General EID."""
+    known = run_eid(graph, diameter, seed=seed)
+    unknown = run_general_eid(graph, seed=seed)
+    return {
+        "seed": seed,
+        "D": diameter,
+        "final_k": unknown.final_estimate,
+        "eid(D)_rounds": known.rounds,
+        "general_rounds": unknown.rounds,
+        "overhead": unknown.rounds / known.rounds,
+        "complete_at": unknown.first_complete_round,
+        "detect_lag": unknown.rounds
+        - (unknown.first_complete_round or unknown.rounds),
+    }
 
 
 @register("E8")
@@ -42,17 +79,10 @@ def run_e8(profile: Profile = "quick") -> ExperimentTable:
     rows = []
     for ell, graph in _ring_family(profile):
         n = graph.num_nodes
-        diameter = graph.weighted_diameter()
+        diameter = artifacts.cached_weighted_diameter(graph)
         budget = diameter * math.log2(n) ** 3
-        rounds_runs, complete_runs = [], []
-        for seed in seeds:
-            runner = PhaseRunner(graph)
-            report = run_eid(graph, diameter, seed=seed, runner=runner)
-            rounds_runs.append(report.rounds)
-            everyone = set(graph.nodes())
-            complete_runs.append(
-                all(everyone <= runner.state.rumors(v) for v in everyone)
-            )
+        trials = map_trials(functools.partial(_eid_trial, graph, diameter), seeds)
+        rounds_runs, complete_runs = map(list, zip(*trials))
         measured = statistics.fmean(rounds_runs)
         rows.append(
             {
@@ -107,24 +137,11 @@ def run_e9(profile: Profile = "quick") -> ExperimentTable:
         )
     rows = []
     for label, graph in graphs:
-        diameter = graph.weighted_diameter()
-        for seed in seeds:
-            known = run_eid(graph, diameter, seed=seed)
-            unknown = run_general_eid(graph, seed=seed)
-            rows.append(
-                {
-                    "graph": label,
-                    "seed": seed,
-                    "D": diameter,
-                    "final_k": unknown.final_estimate,
-                    "eid(D)_rounds": known.rounds,
-                    "general_rounds": unknown.rounds,
-                    "overhead": unknown.rounds / known.rounds,
-                    "complete_at": unknown.first_complete_round,
-                    "detect_lag": unknown.rounds
-                    - (unknown.first_complete_round or unknown.rounds),
-                }
-            )
+        diameter = artifacts.cached_weighted_diameter(graph)
+        for trial in map_trials(
+            functools.partial(_general_eid_trial, graph, diameter), seeds
+        ):
+            rows.append({"graph": label, **trial})
     overheads = [r["overhead"] for r in rows]
     return ExperimentTable(
         experiment_id="E9",

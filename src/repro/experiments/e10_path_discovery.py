@@ -19,7 +19,8 @@ from repro.graphs import generators
 from repro.protocols.base import PhaseRunner
 from repro.protocols.dtg import ldtg_factory
 from repro.protocols.path_discovery import run_path_discovery, run_t_sequence
-from repro.experiments.harness import ExperimentTable, Profile, register
+from repro.experiments import artifacts
+from repro.experiments.harness import ExperimentTable, Profile, map_trials, register
 
 __all__ = ["run_e10"]
 
@@ -41,41 +42,45 @@ def _naive_repeated_dtg(graph, diameter: int) -> int:
     return runner.total_rounds
 
 
+def _schedule_config(ell: int) -> dict:
+    """One config trial (module-level so it pickles for REPRO_JOBS)."""
+    graph = artifacts.cached_graph(
+        ("ring_of_cliques", 5, 4, ell, 0),
+        lambda: generators.ring_of_cliques(
+            5, 4, inter_latency=ell, rng=random.Random(0)
+        ),
+    )
+    n = graph.num_nodes
+    diameter = artifacts.cached_weighted_diameter(graph)
+    # Stand-alone T(k) with k = next power of two >= D (Lemma 24 audit).
+    k = 1 << max(0, (diameter - 1).bit_length())
+    runner = PhaseRunner(graph)
+    t_rounds = run_t_sequence(runner, graph, k, tag="e10")
+    everyone = set(graph.nodes())
+    covered = all(everyone <= runner.state.rumors(v) for v in everyone)
+    # Full Path Discovery (unknown D).
+    report = run_path_discovery(graph)
+    naive_rounds = _naive_repeated_dtg(graph, diameter)
+    budget = diameter * math.log2(n) ** 2 * max(1.0, math.log2(diameter))
+    return {
+        "inter_latency": ell,
+        "D": diameter,
+        "T(k)_rounds": t_rounds,
+        "T(k)_covers": covered,
+        "pathdisc_rounds": report.rounds,
+        "final_k": report.final_estimate,
+        "naive_rounds": naive_rounds,
+        "speedup_vs_naive": naive_rounds / t_rounds,
+        "D·log²n·logD": budget,
+        "pathdisc/budget": report.rounds / budget,
+    }
+
+
 @register("E10")
 def run_e10(profile: Profile = "quick") -> ExperimentTable:
     """Appendix E: T(k)/Path Discovery time and the naive baseline."""
     latencies = [2, 8] if profile == "quick" else [2, 4, 8, 16]
-    rows = []
-    for ell in latencies:
-        graph = generators.ring_of_cliques(
-            5, 4, inter_latency=ell, rng=random.Random(0)
-        )
-        n = graph.num_nodes
-        diameter = graph.weighted_diameter()
-        # Stand-alone T(k) with k = next power of two >= D (Lemma 24 audit).
-        k = 1 << max(0, (diameter - 1).bit_length())
-        runner = PhaseRunner(graph)
-        t_rounds = run_t_sequence(runner, graph, k, tag="e10")
-        everyone = set(graph.nodes())
-        covered = all(everyone <= runner.state.rumors(v) for v in everyone)
-        # Full Path Discovery (unknown D).
-        report = run_path_discovery(graph)
-        naive_rounds = _naive_repeated_dtg(graph, diameter)
-        budget = diameter * math.log2(n) ** 2 * max(1.0, math.log2(diameter))
-        rows.append(
-            {
-                "inter_latency": ell,
-                "D": diameter,
-                "T(k)_rounds": t_rounds,
-                "T(k)_covers": covered,
-                "pathdisc_rounds": report.rounds,
-                "final_k": report.final_estimate,
-                "naive_rounds": naive_rounds,
-                "speedup_vs_naive": naive_rounds / t_rounds,
-                "D·log²n·logD": budget,
-                "pathdisc/budget": report.rounds / budget,
-            }
-        )
+    rows = map_trials(_schedule_config, latencies)
     return ExperimentTable(
         experiment_id="E10",
         title="Appendix E — T(k) schedule and Path Discovery vs the naive O(D²log²n)",

@@ -26,9 +26,39 @@ from repro.analysis.bounds import compute_bounds
 from repro.graphs import generators
 from repro.graphs.latency_models import bimodal_latency
 from repro.protocols.unified import run_unified
-from repro.experiments.harness import ExperimentTable, Profile, register
+from repro.experiments.harness import ExperimentTable, Profile, map_trials, register
 
 __all__ = ["run_e11"]
+
+
+def _regime_rows(spec: tuple) -> list[dict]:
+    """One regime trial (module-level so it pickles for REPRO_JOBS)."""
+    label, expected_branch, graph = spec
+    bounds = compute_bounds(graph, conductance_method="sweep")
+    spanner_bound = (bounds.diameter + bounds.max_degree) * bounds.log_n**3
+    pushpull_bound = bounds.push_pull_bound
+    analytic_winner = "spanner" if spanner_bound < pushpull_bound else "push-pull"
+    rows = []
+    for known in (True, False):
+        report = run_unified(graph, latencies_known=known, seed=0)
+        rows.append(
+            {
+                "regime": label,
+                "latencies_known": known,
+                "bound_spanner": spanner_bound
+                if not known
+                else bounds.diameter * bounds.log_n**3,
+                "bound_pushpull": pushpull_bound,
+                "analytic_winner": analytic_winner,
+                "expected": expected_branch,
+                "analytic_matches": analytic_winner == expected_branch,
+                "measured_pushpull": report.push_pull_rounds,
+                "measured_spanner": report.spanner_rounds,
+                "measured_winner": report.winner,
+                "unified_rounds": report.rounds,
+            }
+        )
+    return rows
 
 
 def _regimes(profile: Profile):
@@ -58,31 +88,11 @@ def _regimes(profile: Profile):
 @register("E11")
 def run_e11(profile: Profile = "quick") -> ExperimentTable:
     """Theorem 20: the min() branch flips between regimes."""
-    rows = []
-    for label, expected_branch, graph in _regimes(profile):
-        bounds = compute_bounds(graph, conductance_method="sweep")
-        spanner_bound = (bounds.diameter + bounds.max_degree) * bounds.log_n**3
-        pushpull_bound = bounds.push_pull_bound
-        analytic_winner = "spanner" if spanner_bound < pushpull_bound else "push-pull"
-        for known in (True, False):
-            report = run_unified(graph, latencies_known=known, seed=0)
-            rows.append(
-                {
-                    "regime": label,
-                    "latencies_known": known,
-                    "bound_spanner": spanner_bound
-                    if not known
-                    else bounds.diameter * bounds.log_n**3,
-                    "bound_pushpull": pushpull_bound,
-                    "analytic_winner": analytic_winner,
-                    "expected": expected_branch,
-                    "analytic_matches": analytic_winner == expected_branch,
-                    "measured_pushpull": report.push_pull_rounds,
-                    "measured_spanner": report.spanner_rounds,
-                    "measured_winner": report.winner,
-                    "unified_rounds": report.rounds,
-                }
-            )
+    rows = [
+        row
+        for regime_rows in map_trials(_regime_rows, _regimes(profile))
+        for row in regime_rows
+    ]
     flips = all(r["analytic_matches"] for r in rows)
     return ExperimentTable(
         experiment_id="E11",

@@ -19,11 +19,43 @@ from __future__ import annotations
 import random
 
 from repro.conductance.exact import cut_conductance
-from repro.conductance.sweep import sweep_conductance
 from repro.graphs.gadgets import half_ring_cut, theorem8_ring
-from repro.experiments.harness import ExperimentTable, Profile, register
+from repro.experiments import artifacts
+from repro.experiments.harness import ExperimentTable, Profile, map_trials, register
 
 __all__ = ["run_e12"]
+
+
+def _audit_config(config: tuple[int, int, int]) -> dict:
+    """One config trial (module-level so it pickles for REPRO_JOBS)."""
+    layer_size, num_layers, ell = config
+    ring = theorem8_ring(layer_size, num_layers, ell, random.Random(1))
+    graph = ring.graph
+    s = layer_size
+    degrees = {graph.degree(v) for v in graph.nodes()}
+    regular = degrees == {3 * s - 1}
+    alpha = ring.alpha
+    cut = half_ring_cut(ring)
+    phi_cut = cut_conductance(graph, cut, max_latency=ell)
+    phi_sweep = artifacts.cached_sweep_conductance(graph, ell, seed=2)
+    phi_1 = artifacts.cached_sweep_conductance(graph, 1, seed=3)
+    critical_is_ell = phi_sweep / ell > phi_1 / 1
+    diameter = artifacts.cached_weighted_diameter(graph)
+    hops = num_layers // 2
+    return {
+        "s": s,
+        "k": num_layers,
+        "ell": ell,
+        "regular(3s-1)": regular,
+        "alpha": alpha,
+        "phi_ell(C)": phi_cut,
+        "phi_cut/alpha": phi_cut / alpha,
+        "phi_ell(sweep)": phi_sweep,
+        "phi_1(sweep)": phi_1,
+        "ell*_is_ell": critical_is_ell,
+        "D": diameter,
+        "D/hops": diameter / hops,
+    }
 
 
 @register("E12")
@@ -33,37 +65,7 @@ def run_e12(profile: Profile = "quick") -> ExperimentTable:
         configs = [(6, 6, 8), (8, 6, 16), (6, 8, 8)]
     else:
         configs = [(6, 6, 8), (8, 6, 16), (6, 8, 8), (12, 8, 32), (10, 10, 64)]
-    rows = []
-    for layer_size, num_layers, ell in configs:
-        ring = theorem8_ring(layer_size, num_layers, ell, random.Random(1))
-        graph = ring.graph
-        s = layer_size
-        degrees = {graph.degree(v) for v in graph.nodes()}
-        regular = degrees == {3 * s - 1}
-        alpha = ring.alpha
-        cut = half_ring_cut(ring)
-        phi_cut = cut_conductance(graph, cut, max_latency=ell)
-        phi_sweep = sweep_conductance(graph, ell, rng=random.Random(2))
-        phi_1 = sweep_conductance(graph, 1, rng=random.Random(3))
-        critical_is_ell = phi_sweep / ell > phi_1 / 1
-        diameter = graph.weighted_diameter()
-        hops = num_layers // 2
-        rows.append(
-            {
-                "s": s,
-                "k": num_layers,
-                "ell": ell,
-                "regular(3s-1)": regular,
-                "alpha": alpha,
-                "phi_ell(C)": phi_cut,
-                "phi_cut/alpha": phi_cut / alpha,
-                "phi_ell(sweep)": phi_sweep,
-                "phi_1(sweep)": phi_1,
-                "ell*_is_ell": critical_is_ell,
-                "D": diameter,
-                "D/hops": diameter / hops,
-            }
-        )
+    rows = map_trials(_audit_config, configs)
     ok = all(
         r["regular(3s-1)"] and r["ell*_is_ell"] and 0.3 <= r["phi_cut/alpha"] <= 3.0
         for r in rows

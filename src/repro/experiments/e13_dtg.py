@@ -20,7 +20,7 @@ from repro.graphs.latency_models import constant_latency
 from repro.protocols.base import PhaseRunner
 from repro.protocols.dtg import LDTGProtocol, ldtg_factory
 from repro.sim.runner import local_broadcast_complete
-from repro.experiments.harness import ExperimentTable, Profile, register
+from repro.experiments.harness import ExperimentTable, Profile, map_trials, register
 
 __all__ = ["run_e13"]
 
@@ -40,33 +40,34 @@ def _run_dtg(graph, ell: int):
     return runner.total_rounds, iterations, complete
 
 
+def _clique_config(n: int) -> dict:
+    """One size trial (module-level so it pickles for REPRO_JOBS)."""
+    # Cliques maximize the neighborhood each node must cover — the case
+    # where the binomial-tree doubling (and hence the log n iteration
+    # count) is actually visible.
+    graph = generators.clique(n, latency_model=constant_latency(1))
+    rounds_1, iterations, complete = _run_dtg(graph, 1)
+    # Same topology with every latency scaled to ℓ = 3.
+    scaled = generators.clique(n, latency_model=constant_latency(3))
+    rounds_3, _, complete_3 = _run_dtg(scaled, 3)
+    log_n = math.log2(n)
+    return {
+        "n": n,
+        "iterations": iterations,
+        "iters/log n": iterations / log_n,
+        "rounds(ℓ=1)": rounds_1,
+        "rounds/log²n": rounds_1 / log_n**2,
+        "rounds(ℓ=3)": rounds_3,
+        "ℓ-scaling": rounds_3 / rounds_1,
+        "complete": complete and complete_3,
+    }
+
+
 @register("E13")
 def run_e13(profile: Profile = "quick") -> ExperimentTable:
     """Figures 4-5: DTG iterations ~ log n, rounds ~ log² n, linear in ℓ."""
     sizes = [8, 16, 32, 64] if profile == "quick" else [8, 16, 32, 64, 128]
-    rows = []
-    for n in sizes:
-        # Cliques maximize the neighborhood each node must cover — the case
-        # where the binomial-tree doubling (and hence the log n iteration
-        # count) is actually visible.
-        graph = generators.clique(n, latency_model=constant_latency(1))
-        rounds_1, iterations, complete = _run_dtg(graph, 1)
-        # Same topology with every latency scaled to ℓ = 3.
-        scaled = generators.clique(n, latency_model=constant_latency(3))
-        rounds_3, _, complete_3 = _run_dtg(scaled, 3)
-        log_n = math.log2(n)
-        rows.append(
-            {
-                "n": n,
-                "iterations": iterations,
-                "iters/log n": iterations / log_n,
-                "rounds(ℓ=1)": rounds_1,
-                "rounds/log²n": rounds_1 / log_n**2,
-                "rounds(ℓ=3)": rounds_3,
-                "ℓ-scaling": rounds_3 / rounds_1,
-                "complete": complete and complete_3,
-            }
-        )
+    rows = map_trials(_clique_config, sizes)
     scaling = [r["ℓ-scaling"] for r in rows]
     return ExperimentTable(
         experiment_id="E13",

@@ -20,6 +20,7 @@ while our other approaches are not."  Two failure regimes:
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 
@@ -30,9 +31,48 @@ from repro.protocols.robustness import (
     spanner_cut_crashes,
 )
 from repro.sim.failures import CrashSchedule, MessageLoss
-from repro.experiments.harness import ExperimentTable, Profile, register, seeds_for
+from repro.experiments.harness import (
+    ExperimentTable,
+    Profile,
+    map_trials,
+    register,
+    seeds_for,
+)
 
 __all__ = ["run_e15"]
+
+
+def _loss_trial(graph, source, p: float, seed: int) -> tuple:
+    """One message-loss trial (module-level so it pickles for REPRO_JOBS)."""
+    pp = run_push_pull_under_failures(
+        graph, MessageLoss(p, seed=seed), source=source, seed=seed
+    )
+    sp = run_spanner_pipeline_under_failures(
+        graph, MessageLoss(p, seed=seed + 1), source=source, seed=seed
+    )
+    return pp.rounds, pp.coverage, sp.rounds, sp.coverage
+
+
+def _crash_trial(graph, source, f: int, seed: int) -> tuple:
+    """One random-crash trial (module-level so it pickles for REPRO_JOBS)."""
+    crashes = CrashSchedule.random_crashes(
+        graph.nodes(), f, by_round=3, rng=random.Random(seed), protect=[source]
+    )
+    pp = run_push_pull_under_failures(
+        graph, crashes, source=source, seed=seed, max_rounds=2000
+    )
+    sp = run_spanner_pipeline_under_failures(graph, crashes, source=source, seed=seed)
+    return pp.rounds, pp.coverage, sp.rounds, sp.coverage
+
+
+def _cut_trial(graph, source, seed: int) -> tuple:
+    """One adversarial spanner-cut trial (module-level so it pickles)."""
+    crashes, _victim, crash_count = spanner_cut_crashes(graph, seed, source)
+    pp = run_push_pull_under_failures(
+        graph, crashes, source=source, seed=seed, max_rounds=5000
+    )
+    sp = run_spanner_pipeline_under_failures(graph, crashes, source=source, seed=seed)
+    return pp.rounds, pp.coverage, sp.rounds, sp.coverage, crash_count
 
 
 @register("E15")
@@ -47,18 +87,8 @@ def run_e15(profile: Profile = "quick") -> ExperimentTable:
 
     loss_levels = [0.0, 0.2, 0.4] if profile == "quick" else [0.0, 0.1, 0.2, 0.4, 0.6]
     for p in loss_levels:
-        pp_rounds, pp_cov, sp_rounds, sp_cov = [], [], [], []
-        for seed in seeds:
-            pp = run_push_pull_under_failures(
-                graph, MessageLoss(p, seed=seed), source=source, seed=seed
-            )
-            sp = run_spanner_pipeline_under_failures(
-                graph, MessageLoss(p, seed=seed + 1), source=source, seed=seed
-            )
-            pp_rounds.append(pp.rounds)
-            pp_cov.append(pp.coverage)
-            sp_rounds.append(sp.rounds)
-            sp_cov.append(sp.coverage)
+        trials = map_trials(functools.partial(_loss_trial, graph, source, p), seeds)
+        pp_rounds, pp_cov, sp_rounds, sp_cov = map(list, zip(*trials))
         rows.append(
             {
                 "failure": f"loss p={p}",
@@ -71,22 +101,8 @@ def run_e15(profile: Profile = "quick") -> ExperimentTable:
 
     crash_counts = [2, 5] if profile == "quick" else [2, 5, 10]
     for f in crash_counts:
-        pp_rounds, pp_cov, sp_rounds, sp_cov = [], [], [], []
-        for seed in seeds:
-            crashes = CrashSchedule.random_crashes(
-                graph.nodes(), f, by_round=3, rng=random.Random(seed),
-                protect=[source],
-            )
-            pp = run_push_pull_under_failures(
-                graph, crashes, source=source, seed=seed, max_rounds=2000
-            )
-            sp = run_spanner_pipeline_under_failures(
-                graph, crashes, source=source, seed=seed
-            )
-            pp_rounds.append(pp.rounds)
-            pp_cov.append(pp.coverage)
-            sp_rounds.append(sp.rounds)
-            sp_cov.append(sp.coverage)
+        trials = map_trials(functools.partial(_crash_trial, graph, source, f), seeds)
+        pp_rounds, pp_cov, sp_rounds, sp_cov = map(list, zip(*trials))
         rows.append(
             {
                 "failure": f"random crash f={f}",
@@ -98,20 +114,8 @@ def run_e15(profile: Profile = "quick") -> ExperimentTable:
         )
 
     # Adversarial: sever one node's spanner neighborhood.
-    pp_rounds, pp_cov, sp_rounds, sp_cov, crash_sizes = [], [], [], [], []
-    for seed in seeds:
-        crashes, _victim, crash_count = spanner_cut_crashes(graph, seed, source)
-        pp = run_push_pull_under_failures(
-            graph, crashes, source=source, seed=seed, max_rounds=5000
-        )
-        sp = run_spanner_pipeline_under_failures(
-            graph, crashes, source=source, seed=seed
-        )
-        pp_rounds.append(pp.rounds)
-        pp_cov.append(pp.coverage)
-        sp_rounds.append(sp.rounds)
-        sp_cov.append(sp.coverage)
-        crash_sizes.append(crash_count)
+    trials = map_trials(functools.partial(_cut_trial, graph, source), seeds)
+    pp_rounds, pp_cov, sp_rounds, sp_cov, crash_sizes = map(list, zip(*trials))
     rows.append(
         {
             "failure": f"spanner-cut crash f={statistics.fmean(crash_sizes):.0f}",

@@ -105,51 +105,48 @@ def run_e16(profile: Profile = "quick") -> ExperimentTable:
     )
 
 
+def _payload_config(n: int) -> dict:
+    """One size trial (module-level so it pickles for REPRO_JOBS)."""
+    graph = generators.random_regular(n, 6, rng=random.Random(n))
+    # Push--pull one-to-all broadcast: a single rumor spreads.
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+    state = NetworkState(graph.nodes())
+    state.add_rumor(source, rumor)
+    make_rng = per_node_rng_factory(7)
+    engine = Engine(
+        graph,
+        lambda node: PushPullProtocol(make_rng(node)),
+        state=state,
+    )
+    done = broadcast_complete(rumor)
+    while not done(engine):
+        engine.step()
+    pp_max = engine.metrics.max_payload_rumors
+    pp_avg = engine.metrics.rumor_tokens_sent / max(1, 2 * engine.metrics.exchanges)
+    # DTG local broadcast (the spanner pipeline's workhorse): whole
+    # rumor sets travel.
+    runner = PhaseRunner(graph)
+    phase_engine = runner.run_phase(ldtg_factory(graph, 1), latencies_known=True)
+    dtg_max = phase_engine.metrics.max_payload_rumors
+    dtg_avg = phase_engine.metrics.rumor_tokens_sent / max(
+        1, 2 * phase_engine.metrics.exchanges
+    )
+    return {
+        "n": n,
+        "pushpull_max_payload": pp_max,
+        "pushpull_avg_payload": pp_avg,
+        "dtg_max_payload": dtg_max,
+        "dtg_avg_payload": dtg_avg,
+        "dtg_max/n": dtg_max / n,
+    }
+
+
 @register("E17")
 def run_e17(profile: Profile = "quick") -> ExperimentTable:
     """Conclusion: message sizes — push--pull small, DTG/spanner large."""
     sizes = [16, 32] if profile == "quick" else [16, 32, 64, 128]
-    rows = []
-    for n in sizes:
-        graph = generators.random_regular(n, 6, rng=random.Random(n))
-        # Push--pull one-to-all broadcast: a single rumor spreads.
-        source = graph.nodes()[0]
-        rumor = ("rumor", source)
-        state = NetworkState(graph.nodes())
-        state.add_rumor(source, rumor)
-        make_rng = per_node_rng_factory(7)
-        engine = Engine(
-            graph,
-            lambda node: PushPullProtocol(make_rng(node)),
-            state=state,
-        )
-        done = broadcast_complete(rumor)
-        while not done(engine):
-            engine.step()
-        pp_max = engine.metrics.max_payload_rumors
-        pp_avg = engine.metrics.rumor_tokens_sent / max(
-            1, 2 * engine.metrics.exchanges
-        )
-        # DTG local broadcast (the spanner pipeline's workhorse): whole
-        # rumor sets travel.
-        runner = PhaseRunner(graph)
-        phase_engine = runner.run_phase(
-            ldtg_factory(graph, 1), latencies_known=True
-        )
-        dtg_max = phase_engine.metrics.max_payload_rumors
-        dtg_avg = phase_engine.metrics.rumor_tokens_sent / max(
-            1, 2 * phase_engine.metrics.exchanges
-        )
-        rows.append(
-            {
-                "n": n,
-                "pushpull_max_payload": pp_max,
-                "pushpull_avg_payload": pp_avg,
-                "dtg_max_payload": dtg_max,
-                "dtg_avg_payload": dtg_avg,
-                "dtg_max/n": dtg_max / n,
-            }
-        )
+    rows = map_trials(_payload_config, sizes)
     return ExperimentTable(
         experiment_id="E17",
         title="Conclusion — message sizes: push--pull stays small, DTG ships sets",

@@ -13,10 +13,11 @@ the rows/series a systems paper's evaluation section reports.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.errors import ExperimentError
 
@@ -188,23 +189,61 @@ def trial_jobs() -> int:
     return jobs
 
 
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def _force_serial_worker() -> None:
+    # Worker initializer: a trial that itself calls map_trials (an
+    # experiment helper reused inside a trial) must run serially — nested
+    # pools would fork a pool per worker.
+    os.environ["REPRO_JOBS"] = "1"
+
+
+def _shared_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process pool shared by every ``map_trials`` call in this process.
+
+    Experiments issue many small fan-outs (one per parameter config), so
+    paying worker startup per call would swamp the trials themselves; the
+    pool is created once, resized if ``REPRO_JOBS`` changes between calls,
+    and shut down at interpreter exit.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_force_serial_worker
+        )
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+@atexit.register
+def _shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
 def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
     """Map ``fn`` over independent trials, preserving input order.
 
     Runs serially when :func:`trial_jobs` is 1, otherwise fans the trials
-    over a :class:`~concurrent.futures.ProcessPoolExecutor`.  ``pool.map``
-    returns results in input order regardless of completion order and each
-    trial re-seeds its own RNGs, so a parallel run produces bit-identical
-    tables to a serial one.  ``fn`` and the items must be picklable — use
-    a module-level function (or :func:`functools.partial` over one), not a
-    closure.
+    over the shared :class:`~concurrent.futures.ProcessPoolExecutor`.
+    ``pool.map`` returns results in input order regardless of completion
+    order and each trial re-seeds its own RNGs, so a parallel run produces
+    bit-identical tables to a serial one.  ``fn`` and the items must be
+    picklable — use a module-level function (or :func:`functools.partial`
+    over one), not a closure.
     """
     items = list(items)
     jobs = trial_jobs()
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    return list(_shared_pool(jobs).map(fn, items))
 
 
 def run_experiment(

@@ -19,10 +19,13 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
+
+import numpy as np
 
 from repro.errors import DisconnectedGraphError, GraphError
 
@@ -79,6 +82,8 @@ class LatencyGraph:
         # Bumped on every mutation; lazy index-array caches check it.
         self._version = 0
         self._adjacency_cache: Optional[tuple[int, list[list[int]], list[list[int]]]] = None
+        self._edge_cache: Optional[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._fingerprint_cache: Optional[tuple[int, str]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -176,6 +181,66 @@ class LatencyGraph:
             latencies.append(list(row.values()))
         self._adjacency_cache = (self._version, neighbors, latencies)
         return neighbors, latencies
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense-id edge list as parallel numpy arrays ``(us, vs, latencies)``.
+
+        Each undirected edge appears once with ``us[i] < vs[i]`` (dense-id
+        order), rows ordered by tail insertion order — a deterministic,
+        content-defined layout.  Cached per graph version; callers must not
+        modify the arrays.  This is the base layout the vectorized
+        conductance sweep (and anything else that wants whole-graph edge
+        arithmetic) builds on.
+        """
+        cache = self._edge_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2], cache[3]
+        index = self._index
+        us: list[int] = []
+        vs: list[int] = []
+        lats: list[int] = []
+        for u, nbrs in self._adj.items():
+            ui = index[u]
+            for v, latency in nbrs.items():
+                vi = index[v]
+                if ui < vi:
+                    us.append(ui)
+                    vs.append(vi)
+                    lats.append(latency)
+        arrays = (
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(lats, dtype=np.int64),
+        )
+        self._edge_cache = (self._version, *arrays)
+        return arrays
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph (nodes, dense ids, edges).
+
+        Two graphs share a fingerprint iff they have the same node
+        sequence (by ``repr``, in insertion order — so dense ids match
+        too) and the same dense-id edge/latency arrays.  Artifact caches
+        key derived products (spanners, distance maps, conductance
+        profiles) on this digest, which makes the cache content-addressed
+        rather than trusting callers to label graphs correctly.  Cached
+        per graph version.
+        """
+        cache = self._fingerprint_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(f"n={self.num_nodes}".encode())
+        for node in self._node_list:
+            digest.update(repr(node).encode())
+            digest.update(b"\x00")
+        us, vs, lats = self.edge_arrays()
+        digest.update(us.tobytes())
+        digest.update(vs.tobytes())
+        digest.update(lats.tobytes())
+        value = digest.hexdigest()
+        self._fingerprint_cache = (self._version, value)
+        return value
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -464,6 +529,15 @@ class LatencyGraph:
         for u, v, data in nxg.edges(data=True):
             graph.add_edge(u, v, int(data.get(latency_attr, default)))
         return graph
+
+    def __getstate__(self) -> dict:
+        # Drop lazy caches so pickled graphs (process-pool trial fan-out)
+        # ship only the structure; workers rebuild caches on first use.
+        state = self.__dict__.copy()
+        state["_adjacency_cache"] = None
+        state["_edge_cache"] = None
+        state["_fingerprint_cache"] = None
+        return state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LatencyGraph):

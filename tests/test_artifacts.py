@@ -1,0 +1,130 @@
+"""Tests for the content-keyed artifact cache (repro.experiments.artifacts)."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.experiments import artifacts
+from repro.graphs import generators
+from repro.graphs.latency_graph import LatencyGraph
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    artifacts.clear()
+    yield
+    artifacts.clear()
+
+
+def _ring(ell=4, seed=0):
+    return generators.ring_of_cliques(4, 4, inter_latency=ell, rng=random.Random(seed))
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        g = _ring()
+        assert g.fingerprint() == g.fingerprint()
+
+    def test_equal_content_equal_fingerprint(self):
+        assert _ring().fingerprint() == _ring().fingerprint()
+
+    def test_mutation_changes_fingerprint(self):
+        g = _ring()
+        before = g.fingerprint()
+        g.add_edge(0, 5, 99)
+        assert g.fingerprint() != before
+
+    def test_different_latency_different_fingerprint(self):
+        assert _ring(ell=4).fingerprint() != _ring(ell=8).fingerprint()
+
+    def test_pickling_drops_caches_but_keeps_content(self):
+        g = _ring()
+        fingerprint = g.fingerprint()
+        g.edge_arrays()
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone.fingerprint() == fingerprint
+        assert clone.num_edges == g.num_edges
+
+
+class TestGenericCache:
+    def test_build_called_once(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert artifacts.cached("k", 1, build) == "value"
+        assert artifacts.cached("k", 1, build) == "value"
+        assert len(calls) == 1
+        assert artifacts.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_kind_separates_namespaces(self):
+        artifacts.cached("a", 1, lambda: "first")
+        assert artifacts.cached("b", 1, lambda: "second") == "second"
+        assert artifacts.stats()["entries"] == 2
+
+    def test_clear_resets(self):
+        artifacts.cached("a", 1, lambda: "x")
+        artifacts.clear()
+        assert artifacts.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestGraphRecipes:
+    def test_same_recipe_same_object(self):
+        first = artifacts.cached_graph(("ring", 4, 4, 4, 0), _ring)
+        second = artifacts.cached_graph(("ring", 4, 4, 4, 0), _ring)
+        assert first is second
+
+    def test_unhashable_recipe_rejected(self):
+        with pytest.raises(TypeError):
+            artifacts.cached_graph(("ring", [4, 4]), _ring)
+
+
+class TestDerivedProducts:
+    def test_spanner_cached_by_content_and_params(self):
+        g = _ring()
+        spanner = artifacts.cached_spanner(g, 2, seed=7)
+        assert artifacts.cached_spanner(g, 2, seed=7) is spanner
+        # Same content, different object: still a hit (content-keyed).
+        assert artifacts.cached_spanner(_ring(), 2, seed=7) is spanner
+        # Different parameters miss.
+        assert artifacts.cached_spanner(g, 3, seed=7) is not spanner
+        assert artifacts.cached_spanner(g, 2, seed=8) is not spanner
+        assert artifacts.cached_spanner(g, 2, seed=7, n_hat=10_000) is not spanner
+
+    def test_spanner_matches_direct_construction(self):
+        from repro.protocols.spanner import baswana_sen_spanner
+
+        g = _ring()
+        cached = artifacts.cached_spanner(g, 2, seed=7)
+        direct = baswana_sen_spanner(g, 2, random.Random(7))
+        assert cached.num_edges == direct.num_edges
+        assert cached.max_out_degree() == direct.max_out_degree()
+
+    def test_mutation_invalidates_derived_entries(self):
+        g = LatencyGraph(edges=[(0, 1, 1), (1, 2, 1)])
+        assert artifacts.cached_weighted_diameter(g) == 2
+        g.add_edge(0, 2, 5)
+        g.add_edge(2, 3, 1)
+        # New content -> new key -> fresh computation, not a stale hit.
+        assert artifacts.cached_weighted_diameter(g) == g.weighted_diameter()
+
+    def test_distance_maps_and_conductance(self):
+        g = _ring()
+        source = g.nodes()[0]
+        assert artifacts.cached_hop_distances(g, source) == g.hop_distances(source)
+        assert artifacts.cached_weighted_distances(g, source) == g.weighted_distances(
+            source
+        )
+        from repro.conductance.sweep import sweep_conductance, sweep_conductance_profile
+
+        assert artifacts.cached_sweep_conductance(g, 4, seed=2) == sweep_conductance(
+            g, 4, rng=random.Random(2)
+        )
+        assert artifacts.cached_conductance_profile(g) == sweep_conductance_profile(g)
+        # Second lookups are hits.
+        hits_before = artifacts.stats()["hits"]
+        artifacts.cached_conductance_profile(g)
+        assert artifacts.stats()["hits"] == hits_before + 1

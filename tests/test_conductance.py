@@ -7,11 +7,16 @@ import pytest
 
 from repro.conductance.edge_induced import StronglyEdgeInducedGraph
 from repro.conductance.exact import cut_conductance, exact_conductance_profile
-from repro.conductance.sweep import sweep_conductance, sweep_conductance_profile
+from repro.conductance.sweep import (
+    sweep_conductance,
+    sweep_conductance_cut,
+    sweep_conductance_profile,
+)
 from repro.conductance.weighted import conductance_profile, weighted_conductance
 from repro.errors import ConductanceError
 from repro.graphs import generators
 from repro.graphs.latency_graph import LatencyGraph
+from repro.graphs.latency_models import uniform_latency
 
 
 def two_triangles_bridge(bridge_latency: int = 1) -> LatencyGraph:
@@ -134,6 +139,77 @@ class TestSweep:
     def test_deterministic_by_default(self):
         g = generators.erdos_renyi(15, 0.3, rng=random.Random(7))
         assert sweep_conductance(g, 1) == sweep_conductance(g, 1)
+
+    def test_witness_cut_realizes_value(self):
+        # The sweep value is not just a number: it is the conductance of a
+        # concrete cut, re-scorable by the exact evaluator.
+        g = generators.erdos_renyi(
+            15, 0.3, latency_model=uniform_latency(1, 4), rng=random.Random(7)
+        )
+        for ell in g.distinct_latencies():
+            result = sweep_conductance_cut(g, ell)
+            assert result.cut
+            assert cut_conductance(g, result.cut, max_latency=ell) == result.value
+
+    def test_subset_profile_reproduces_full_profile(self):
+        # Regression: each threshold derives its candidate rng from a stable
+        # base seed, so phi_ell never depends on which OTHER thresholds were
+        # requested.  (The old code threaded one rng through all thresholds.)
+        g = generators.erdos_renyi(
+            16, 0.3, latency_model=uniform_latency(1, 6), rng=random.Random(3)
+        )
+        full = sweep_conductance_profile(g)
+        thresholds = sorted(full)
+        subset = sweep_conductance_profile(g, latencies=thresholds[1::2])
+        for ell, value in subset.items():
+            assert value == full[ell]
+
+    def test_subset_profile_reproduces_with_caller_rng(self):
+        # A caller-supplied rng contributes exactly one draw (the base
+        # seed), so the subset-restriction property must survive it too.
+        g = generators.erdos_renyi(
+            16, 0.3, latency_model=uniform_latency(1, 6), rng=random.Random(3)
+        )
+        full = sweep_conductance_profile(g, rng=random.Random(99))
+        thresholds = sorted(full)
+        subset = sweep_conductance_profile(
+            g, latencies=thresholds[::2], rng=random.Random(99)
+        )
+        for ell, value in subset.items():
+            assert value == full[ell]
+
+    def test_profile_matches_single_threshold_calls(self):
+        # The profile's shared per-graph arrays must not change any value
+        # relative to independent single-threshold sweeps with the same
+        # derived rng.
+        g = generators.erdos_renyi(
+            14, 0.35, latency_model=uniform_latency(1, 5), rng=random.Random(11)
+        )
+        profile = sweep_conductance_profile(g)
+        for ell, value in profile.items():
+            single = sweep_conductance(g, ell, rng=random.Random(f"sweep:0:{ell}"))
+            assert single == value
+
+    def test_isolated_vertex(self):
+        # Degree conventions must agree between the spectral embedding and
+        # the prefix evaluation: an isolated vertex has zero volume (raw
+        # Definition 1 degrees) and coordinate 0 in the embedding, so it
+        # can neither crash the solver nor perturb any phi value.
+        g = two_triangles_bridge()
+        g.add_node("isolated")
+        value = sweep_conductance(g, 1)
+        exact = exact_conductance_profile(g)[1]
+        assert value == exact == pytest.approx(1 / 7)
+        witness = sweep_conductance_cut(g, 1)
+        assert cut_conductance(g, witness.cut, max_latency=1) == witness.value
+
+    def test_isolated_vertex_profile(self):
+        g = two_triangles_bridge(bridge_latency=4)
+        g.add_node("isolated")
+        profile = sweep_conductance_profile(g)
+        assert set(profile) == {1, 4}
+        assert profile[1] == 0.0
+        assert profile[4] > 0.0
 
 
 class TestWeightedConductance:

@@ -14,6 +14,7 @@ import random
 from hypothesis import given, settings
 
 from repro.conductance.exact import cut_conductance, exact_conductance_profile
+from repro.conductance.sweep import sweep_conductance_cut, sweep_conductance_profile
 from repro.conductance.weighted import weighted_conductance
 from repro.graphs.generators import clique, dumbbell, ring_of_cliques, star
 from repro.testing import connected_latency_graphs
@@ -90,6 +91,37 @@ class TestAgainstRandomGraphs:
         assert result.phi_star == phi_star
         assert result.critical_latency == critical
         assert result.profile == oracle
+
+    @given(connected_latency_graphs(max_nodes=8, max_latency=6))
+    @settings(max_examples=20, deadline=None)
+    def test_vectorized_sweep_against_exact_all_thresholds(self, graph):
+        """The vectorized sweep vs ``exact.py`` across *all* distinct thresholds.
+
+        Exactness contract (the sweep is an upper bound, not a minimizer):
+        at every threshold the sweep's witness cut, re-scored by the exact
+        evaluator, must reproduce the sweep value bit-for-bit, and the
+        value must never undercut the exact optimum — float-exact
+        comparisons, no tolerance.
+        """
+        exact = exact_conductance_profile(graph)
+        profile = sweep_conductance_profile(graph)
+        assert set(profile) == set(exact)
+        for ell in graph.distinct_latencies():
+            result = sweep_conductance_cut(
+                graph, ell, rng=random.Random(f"sweep:0:{ell}")
+            )
+            # Profile and single-threshold entry points agree exactly.
+            assert profile[ell] == result.value
+            # The witness realizes the reported value in exact arithmetic.
+            if result.cut:
+                assert (
+                    cut_conductance(graph, result.cut, max_latency=ell)
+                    == result.value
+                )
+            else:
+                assert result.value == 0.0
+            # Never below the true optimum (sweep cuts are real cuts).
+            assert result.value >= exact[ell]
 
     @given(connected_latency_graphs(min_nodes=3, max_nodes=10, max_latency=6))
     @settings(max_examples=15, deadline=None)

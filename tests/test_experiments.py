@@ -109,6 +109,18 @@ class TestHarness:
         monkeypatch.setenv("REPRO_JOBS", "2")
         assert map_trials(str, [3, 1, 2]) == ["3", "1", "2"]
 
+    @pytest.mark.parametrize("experiment_id", ["E1", "E5", "E12"])
+    def test_parallel_rows_bit_identical_to_serial(self, experiment_id, monkeypatch):
+        # Three newly parallelized experiments (a guessing-game seed
+        # ladder, a gossip seed ladder, and a config fan-out) must produce
+        # bit-identical tables under REPRO_JOBS=2.
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        serial = run_experiment(experiment_id, "quick")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = run_experiment(experiment_id, "quick")
+        assert parallel.rows == serial.rows
+        assert parallel.conclusion == serial.conclusion
+
     def test_table_renders(self):
         table = ExperimentTable(
             experiment_id="X",
