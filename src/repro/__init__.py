@@ -27,6 +27,7 @@ Quickstart::
     print(run_push_pull(graph, source=0, seed=7))
 """
 
+from repro import obs
 from repro.analysis import GraphBounds, compute_bounds
 from repro.conductance import (
     StronglyEdgeInducedGraph,
@@ -94,6 +95,7 @@ __all__ = [
     "default_checkers",
     "gadgets",
     "generators",
+    "obs",
     "run_eid",
     "run_flooding",
     "run_general_eid",

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro analyze --topology ring-of-cliques --cliques 6 \\
         --clique-size 8 --inter-latency 12
     python -m repro simulate --protocol push-pull --topology clique --n 32
+    python -m repro trace --protocol push-pull --topology clique --n 8 --limit 20
+    python -m repro profile E6 --profile quick
     python -m repro game --m 32 --predicate random --p 0.2 --strategy oblivious
 
 Every command is a thin shim over the library API; the CLI exists so the
@@ -404,6 +406,101 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import CounterSink, JsonlSink, MemorySink, Recorder, event_to_json
+    from repro.protocols import run_general_eid, run_path_discovery, run_push_pull
+
+    graph = build_topology(args)
+    _maybe_save(graph, args)
+    memory = MemorySink()
+    counters = CounterSink()
+    sinks = [memory, counters]
+    jsonl_sink = None
+    if args.jsonl:
+        jsonl_sink = JsonlSink(args.jsonl)
+        sinks.append(jsonl_sink)
+    protocol = args.protocol
+    with Recorder(*sinks) as recorder:
+        if protocol == "push-pull":
+            result = run_push_pull(
+                graph, mode=args.mode, seed=args.seed,
+                telemetry=True, recorder=recorder,
+            )
+            summary = str(result)
+            telemetry = result.telemetry
+            if telemetry is not None and telemetry.in_flight_curve:
+                summary += f"; peak in-flight {telemetry.max_in_flight()}"
+        elif protocol == "general-eid":
+            report = run_general_eid(graph, seed=args.seed, recorder=recorder)
+            summary = (
+                f"general-eid: complete at {report.first_complete_round}, "
+                f"terminated at {report.rounds} over {len(report.phases)} phases "
+                f"(k={report.final_estimate})"
+            )
+        elif protocol == "path-discovery":
+            report = run_path_discovery(graph, recorder=recorder)
+            summary = (
+                f"path-discovery: complete at {report.first_complete_round}, "
+                f"terminated at {report.rounds} over {len(report.phases)} phases "
+                f"(k={report.final_estimate})"
+            )
+        else:
+            raise ReproError(f"unknown protocol {protocol!r} for trace")
+    events = memory.events
+    shown = events if args.limit is None else events[: args.limit]
+    for event in shown:
+        print(event_to_json(event))
+    if args.limit is not None and len(events) > args.limit:
+        print(f"... ({len(events) - args.limit} more events not shown)")
+    kinds = " ".join(f"{kind}={n}" for kind, n in sorted(counters.by_kind.items()))
+    print(f"events: {recorder.events_recorded} ({kinds})")
+    print(
+        f"rumors learned: {counters.rumors_learned}; "
+        f"lost initiations: {counters.lost_initiations}; "
+        f"max in-flight: {counters.max_in_flight}"
+    )
+    print(summary)
+    if jsonl_sink is not None:
+        print(f"wrote {jsonl_sink.lines_written} events to {args.jsonl}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    from repro.obs import reset_spans, span_aggregates
+
+    reset_spans()
+    table = run_experiment(args.experiment_id, args.profile, checked=args.checked)
+    print(table)
+    aggregates = span_aggregates()
+    print()
+    if not aggregates:
+        print("no profiling spans recorded")
+        return 0
+    name_width = max(len("span"), max(len(name) for name in aggregates))
+    print(
+        f"{'span'.ljust(name_width)}  {'count':>7}  {'total s':>9}  "
+        f"{'mean ms':>9}  {'max ms':>9}"
+    )
+    for name, agg in sorted(
+        aggregates.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        print(
+            f"{name.ljust(name_width)}  {agg['count']:>7}  "
+            f"{agg['seconds']:>9.3f}  {agg['mean_seconds'] * 1e3:>9.3f}  "
+            f"{agg['max_seconds'] * 1e3:>9.3f}"
+        )
+    manifest = table.manifest or {}
+    provenance = " ".join(
+        f"{key}={manifest[key]}"
+        for key in ("git_rev", "python", "repro_jobs", "captured_at")
+        if manifest.get(key) is not None
+    )
+    if provenance:
+        print(f"\nmanifest: {provenance}")
+    return 0
+
+
 def _cmd_game(args: argparse.Namespace) -> int:
     from repro.analysis.stats import summarize
     from repro.lowerbounds.game import GuessingGame
@@ -499,6 +596,39 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--curve", action="store_true",
                           help="print the informed-node sparkline")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = commands.add_parser(
+        "trace", help="run one protocol with the event recorder attached"
+    )
+    _add_topology_arguments(trace)
+    trace.add_argument(
+        "--protocol",
+        default="push-pull",
+        choices=["push-pull", "general-eid", "path-discovery"],
+    )
+    trace.add_argument(
+        "--mode", default="broadcast", choices=["broadcast", "all_to_all", "local"]
+    )
+    trace.add_argument(
+        "--limit", type=int, default=40, metavar="N",
+        help="print at most N events (default 40); use a large value for all",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the full canonical JSONL stream to PATH",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    profile_cmd = commands.add_parser(
+        "profile", help="run one experiment and print its profiling spans"
+    )
+    profile_cmd.add_argument("experiment_id")
+    profile_cmd.add_argument("--profile", default="quick", choices=["quick", "full"])
+    profile_cmd.add_argument(
+        "--checked", action="store_true",
+        help="attach the model-invariant checkers to every engine",
+    )
+    profile_cmd.set_defaults(handler=_cmd_profile)
 
     game = commands.add_parser("game", help="play the guessing game")
     game.add_argument("--m", type=int, default=32)

@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.errors import ConductanceError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.profile import span
 
 __all__ = [
     "SweepCut",
@@ -313,8 +314,9 @@ def sweep_conductance_cut(
     extra_candidates: int = 3,
 ) -> SweepCut:
     """Like :func:`sweep_conductance` but also returns the witnessing cut."""
-    context = _SweepContext(graph)
-    return context.best_cut(max_latency, rng or random.Random(0), extra_candidates)
+    with span("conductance.sweep"):
+        context = _SweepContext(graph)
+        return context.best_cut(max_latency, rng or random.Random(0), extra_candidates)
 
 
 def sweep_conductance(
@@ -360,17 +362,20 @@ def sweep_conductance_profile(
     full profile's values exactly.  A caller-supplied ``rng`` contributes
     exactly one draw (the base seed), keeping that property.
     """
-    context = _SweepContext(graph)
-    if latencies is not None:
-        thresholds = sorted(set(latencies))
-    else:
-        thresholds = [int(ell) for ell in np.unique(context.sorted_latencies)]
-    if not thresholds:
-        raise ConductanceError("no latency thresholds to evaluate (edgeless graph?)")
-    base_seed = rng.randrange(2**32) if rng is not None else 0
-    return {
-        ell: context.best_cut(
-            ell, random.Random(f"sweep:{base_seed}:{ell}"), extra_candidates
-        ).value
-        for ell in thresholds
-    }
+    with span("conductance.profile"):
+        context = _SweepContext(graph)
+        if latencies is not None:
+            thresholds = sorted(set(latencies))
+        else:
+            thresholds = [int(ell) for ell in np.unique(context.sorted_latencies)]
+        if not thresholds:
+            raise ConductanceError(
+                "no latency thresholds to evaluate (edgeless graph?)"
+            )
+        base_seed = rng.randrange(2**32) if rng is not None else 0
+        return {
+            ell: context.best_cut(
+                ell, random.Random(f"sweep:{base_seed}:{ell}"), extra_candidates
+            ).value
+            for ell in thresholds
+        }

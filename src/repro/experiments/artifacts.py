@@ -36,7 +36,9 @@ dozens of artifacts, not millions); :func:`clear` resets it, and
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Optional
+
+from repro.obs.manifest import run_manifest
 
 __all__ = [
     "cached",
@@ -48,16 +50,24 @@ __all__ = [
     "cached_sweep_conductance",
     "cached_conductance_profile",
     "clear",
+    "provenance",
     "stats",
 ]
 
 _CACHE: dict[tuple, Any] = {}
+#: Per-entry build provenance: the run manifest captured at build time.
+_PROVENANCE: dict[tuple, dict[str, Any]] = {}
 _HITS = 0
 _MISSES = 0
 
 
 def cached(kind: str, key: Hashable, build: Callable[[], Any]) -> Any:
-    """Memoize ``build()`` under ``(kind, key)``; the generic entry point."""
+    """Memoize ``build()`` under ``(kind, key)``; the generic entry point.
+
+    On a miss, a :func:`~repro.obs.manifest.run_manifest` describing the
+    build (kind, key, environment) is stamped alongside the entry —
+    readable back via :func:`provenance`.
+    """
     global _HITS, _MISSES
     full_key = (kind, key)
     try:
@@ -65,15 +75,22 @@ def cached(kind: str, key: Hashable, build: Callable[[], Any]) -> Any:
     except KeyError:
         _MISSES += 1
         value = _CACHE[full_key] = build()
+        _PROVENANCE[full_key] = run_manifest(artifact_kind=kind, artifact_key=repr(key))
         return value
     _HITS += 1
     return value
+
+
+def provenance(kind: str, key: Hashable) -> Optional[dict[str, Any]]:
+    """The build manifest of a cached entry (``None`` if never built here)."""
+    return _PROVENANCE.get((kind, key))
 
 
 def clear() -> None:
     """Drop every cached artifact and reset the hit/miss counters."""
     global _HITS, _MISSES
     _CACHE.clear()
+    _PROVENANCE.clear()
     _HITS = 0
     _MISSES = 0
 

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.errors import ExperimentError
+from repro.obs.profile import merge_spans, span, span_snapshot, spans_since
+from repro.obs.manifest import run_manifest
 
 __all__ = [
     "ExperimentTable",
@@ -74,6 +77,13 @@ class ExperimentTable:
         What the paper predicts this table should show.
     conclusion:
         Free-text verdict filled by the experiment (e.g. fitted slope).
+    manifest:
+        Run provenance (:func:`repro.obs.manifest.run_manifest`) stamped by
+        :func:`run_experiment`: git revision, interpreter, ``REPRO_JOBS``,
+        profile, plus the aggregated profiling spans of the run.
+        Environment-dependent by design, so bit-identity comparisons
+        (serial vs parallel tables) look at ``rows``/``conclusion``, never
+        the manifest.
     """
 
     experiment_id: str
@@ -82,6 +92,7 @@ class ExperimentTable:
     rows: list[dict[str, Any]]
     expectation: str = ""
     conclusion: str = ""
+    manifest: Optional[dict[str, Any]] = None
 
     def column(self, name: str) -> list[Any]:
         """All values of one column, in row order."""
@@ -122,6 +133,14 @@ class ExperimentTable:
             lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
         if self.conclusion:
             lines.append(f"conclusion: {self.conclusion}")
+        if self.manifest is not None:
+            provenance = " ".join(
+                f"{key}={self.manifest[key]}"
+                for key in ("git_rev", "python", "repro_jobs", "profile")
+                if self.manifest.get(key) is not None
+            )
+            if provenance:
+                lines.append(f"manifest: {provenance}")
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -228,6 +247,17 @@ def _shutdown_pool() -> None:
         _POOL = None
 
 
+def _run_trial_with_spans(fn: Callable[[_T], _R], item: _T):
+    # Pool-worker wrapper: run the trial and ship the profiling spans it
+    # produced back alongside the result, so the parent can merge worker
+    # telemetry into its own registry (workers are separate processes with
+    # separate span registries).  Module-level so it pickles.
+    before = span_snapshot()
+    with span("harness.trial"):
+        result = fn(item)
+    return result, spans_since(before)
+
+
 def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
     """Map ``fn`` over independent trials, preserving input order.
 
@@ -238,12 +268,25 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
     bit-identical tables to a serial one.  ``fn`` and the items must be
     picklable — use a module-level function (or :func:`functools.partial`
     over one), not a closure.
+
+    Either way every trial is timed under the ``harness.trial`` profiling
+    span, and in the parallel case each worker's span delta is merged back
+    into the parent registry — span *counts* are identical between serial
+    and parallel runs of the same trials.
     """
     items = list(items)
     jobs = trial_jobs()
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    return list(_shared_pool(jobs).map(fn, items))
+        results = []
+        for item in items:
+            with span("harness.trial"):
+                results.append(fn(item))
+        return results
+    wrapped = functools.partial(_run_trial_with_spans, fn)
+    pairs = list(_shared_pool(jobs).map(wrapped, items))
+    for _, delta in pairs:
+        merge_spans(delta)
+    return [result for result, _ in pairs]
 
 
 def run_experiment(
@@ -260,12 +303,27 @@ def run_experiment(
     """
     validate_profile(profile)
     fn = get_experiment(experiment_id)
-    if not checked:
-        return fn(profile)
-    from repro.sim import invariants
+    spans_before = span_snapshot()
+    with span(f"experiment.{experiment_id}"):
+        if not checked:
+            table = fn(profile)
+        else:
+            from repro.sim import invariants
 
-    with invariants.checked():
-        return fn(profile)
+            with invariants.checked():
+                table = fn(profile)
+    table.manifest = run_manifest(
+        experiment=experiment_id,
+        profile=profile,
+        checked=checked,
+        spans={
+            name: {"count": count, "seconds": total, "max_seconds": maximum}
+            for name, (count, total, maximum) in sorted(
+                spans_since(spans_before).items()
+            )
+        },
+    )
+    return table
 
 
 def _ensure_loaded() -> None:

@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import DisconnectedGraphError, GraphError
+from repro.obs.profile import span
 
 Node = Hashable
 Edge = tuple[Node, Node]
@@ -379,29 +380,30 @@ class LatencyGraph:
         Unreachable nodes are absent from the returned mapping.
         """
         self._require_node(source)
-        neighbors, latencies = self.adjacency_arrays()
-        dist = [math.inf] * len(self._node_list)
-        start = self._index[source]
-        dist[start] = 0
-        # Dense indices are their own tie-breakers: the heap never has to
-        # compare (possibly unorderable) node objects.
-        heap: list[tuple[int, int]] = [(0, start)]
-        push, pop = heapq.heappush, heapq.heappop
-        while heap:
-            d, u = pop(heap)
-            if d > dist[u]:
-                continue
-            row, lat = neighbors[u], latencies[u]
-            for k in range(len(row)):
-                v = row[k]
-                nd = d + lat[k]
-                if nd < dist[v]:
-                    dist[v] = nd
-                    push(heap, (nd, v))
-        node_list = self._node_list
-        return {
-            node_list[i]: d for i, d in enumerate(dist) if d is not math.inf
-        }
+        with span("graph.dijkstra"):
+            neighbors, latencies = self.adjacency_arrays()
+            dist = [math.inf] * len(self._node_list)
+            start = self._index[source]
+            dist[start] = 0
+            # Dense indices are their own tie-breakers: the heap never has to
+            # compare (possibly unorderable) node objects.
+            heap: list[tuple[int, int]] = [(0, start)]
+            push, pop = heapq.heappush, heapq.heappop
+            while heap:
+                d, u = pop(heap)
+                if d > dist[u]:
+                    continue
+                row, lat = neighbors[u], latencies[u]
+                for k in range(len(row)):
+                    v = row[k]
+                    nd = d + lat[k]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        push(heap, (nd, v))
+            node_list = self._node_list
+            return {
+                node_list[i]: d for i, d in enumerate(dist) if d is not math.inf
+            }
 
     def weighted_distance(self, u: Node, v: Node) -> int:
         """Shortest latency-weighted distance between ``u`` and ``v``.
@@ -451,7 +453,8 @@ class LatencyGraph:
             if rng is None:
                 raise GraphError("sampled diameter requires an rng")
             sources = rng.sample(nodes, sample_sources)
-        return max(self.weighted_eccentricity(s) for s in sources)
+        with span("graph.weighted_diameter"):
+            return max(self.weighted_eccentricity(s) for s in sources)
 
     def hop_distances(self, source: Node) -> dict[Node, int]:
         """Single-source hop (unweighted) distances via BFS."""

@@ -1,0 +1,87 @@
+"""``repro.obs`` — structured run telemetry, event recording, profiling.
+
+Three independent pieces, designed so each costs nothing unless used:
+
+* **Event streams** (:mod:`repro.obs.events`, :mod:`repro.obs.recorder`) —
+  the engine feeds typed per-round events (initiations, deliveries,
+  merges/coverage deltas, wakeups, blocked/rejected initiations, round
+  summaries) to a :class:`Recorder` with pluggable sinks.  Disabled by
+  default: the engine pays one ``is None`` check per site.
+* **Profiling spans** (:mod:`repro.obs.profile`) — ``with span("dijkstra")``
+  context managers on coarse operations, aggregated process-globally and
+  merged across ``map_trials`` workers.
+* **Run manifests** (:mod:`repro.obs.manifest`) — provenance dicts (git
+  rev, jobs, seed, graph fingerprint, config) attached to experiment
+  tables and artifact-cache entries.
+
+Per-run series land on results as :class:`RunTelemetry`
+(:mod:`repro.obs.telemetry`).  See ``docs/OBSERVABILITY.md`` for the
+event schema and the overhead numbers.
+"""
+
+from repro.obs.events import (
+    BlockedInitiationEvent,
+    DeliveryEvent,
+    Event,
+    InitiationEvent,
+    RejectedInitiationEvent,
+    RoundEvent,
+    VoidExchangeEvent,
+    WakeupEvent,
+    event_to_dict,
+    event_to_json,
+    events_to_jsonl,
+    node_key,
+)
+from repro.obs.manifest import MANIFEST_SCHEMA, git_revision, run_manifest
+from repro.obs.profile import (
+    merge_spans,
+    reset_spans,
+    span,
+    span_aggregates,
+    span_snapshot,
+    spans_since,
+)
+from repro.obs.recorder import (
+    CounterSink,
+    JsonlSink,
+    MemorySink,
+    Recorder,
+    RingBufferSink,
+    Sink,
+    replay_into,
+)
+from repro.obs.telemetry import PhaseTiming, RunTelemetry
+
+__all__ = [
+    "BlockedInitiationEvent",
+    "CounterSink",
+    "DeliveryEvent",
+    "Event",
+    "InitiationEvent",
+    "JsonlSink",
+    "MANIFEST_SCHEMA",
+    "MemorySink",
+    "PhaseTiming",
+    "Recorder",
+    "RejectedInitiationEvent",
+    "RingBufferSink",
+    "RoundEvent",
+    "RunTelemetry",
+    "Sink",
+    "VoidExchangeEvent",
+    "WakeupEvent",
+    "event_to_dict",
+    "event_to_json",
+    "events_to_jsonl",
+    "git_revision",
+    "merge_spans",
+    "node_key",
+    "replay_into",
+    "reset_spans",
+    "run_manifest",
+    "span",
+    "span_aggregates",
+    "span_snapshot",
+    "spans_since",
+]

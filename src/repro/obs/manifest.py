@@ -1,0 +1,66 @@
+"""Run manifests: the provenance record attached to experiment outputs.
+
+A manifest answers "what produced this table / cached artifact?" without
+re-running anything: git revision, interpreter, machine, the
+``REPRO_JOBS`` fan-out setting, plus whatever the caller knows (seed,
+graph fingerprint, experiment id, config).  ``run_experiment`` attaches
+one to every :class:`~repro.experiments.harness.ExperimentTable`, and the
+artifact cache stamps one onto every entry it builds.
+
+Manifests deliberately carry wall-clock and environment facts, so they
+are *not* part of any bit-identity comparison — golden traces and the
+serial-vs-parallel table tests compare event streams and rows, never
+manifests.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+import platform
+import subprocess
+import time
+from typing import Any, Optional
+
+__all__ = ["git_revision", "run_manifest", "MANIFEST_SCHEMA"]
+
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+@functools.lru_cache(maxsize=1)
+def git_revision() -> Optional[str]:
+    """The repository's short HEAD revision (cached; ``None`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None
+
+
+def run_manifest(**extra: Any) -> dict[str, Any]:
+    """A fresh manifest dict: environment facts plus caller-supplied fields.
+
+    Caller fields (``seed=...``, ``graph_fingerprint=...``, ``config=...``,
+    ``experiment=...``) override nothing — environment keys are reserved
+    and caller keys shadowing them raise to keep manifests trustworthy.
+    """
+    base: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repro_jobs": os.environ.get("REPRO_JOBS", "").strip() or "1",
+        "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    clash = set(base) & set(extra)
+    if clash:
+        raise ValueError(f"manifest fields {sorted(clash)} are reserved")
+    base.update(extra)
+    return base

@@ -16,6 +16,9 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.profile import span
+from repro.obs.recorder import Recorder
+from repro.obs.telemetry import PhaseTiming
 from repro.sim.engine import Engine, NodeProtocol
 from repro.sim.state import NetworkState
 
@@ -53,6 +56,11 @@ class PhaseRunner:
         :class:`~repro.sim.engine.Engine`.  Differential tests substitute
         :class:`~repro.testing.reference.ReferenceEngine` here to run
         whole composite protocols against the naive model.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder` threaded into every
+        phase's engine.  Passed as an extra ``recorder=`` keyword only
+        when set, so factories that do not know about recording (e.g. the
+        reference engine) keep working untouched.
     """
 
     def __init__(
@@ -61,9 +69,11 @@ class PhaseRunner:
         state: Optional[NetworkState] = None,
         watch: Optional[Callable[[NetworkState], bool]] = None,
         engine_factory: Optional[Callable[..., Engine]] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.graph = graph
         self.engine_factory = engine_factory if engine_factory is not None else Engine
+        self.recorder = recorder
         if state is None:
             state = NetworkState(graph.nodes())
             state.seed_self_rumors()
@@ -71,6 +81,8 @@ class PhaseRunner:
         self.total_rounds = 0
         self.total_exchanges = 0
         self.total_messages = 0
+        #: Per-phase logical cost and wall clock, in execution order.
+        self.phases: list[PhaseTiming] = []
         self.first_complete_round: Optional[int] = None
         self._watch = watch
         if watch is not None and watch(self.state):
@@ -88,25 +100,36 @@ class PhaseRunner:
         Returns the finished engine so callers can inspect protocol
         instances (e.g. collect measured latencies after discovery).
         """
+        extra = {} if self.recorder is None else {"recorder": self.recorder}
         engine = self.engine_factory(
             self.graph,
             protocol_factory,
             state=self.state,
             latencies_known=latencies_known,
+            **extra,
         )
-        while not engine.all_done():
-            if engine.round >= max_rounds:
-                raise SimulationError(
-                    f"{name} exceeded max_rounds={max_rounds} within one phase"
-                )
-            engine.step()
-            self.total_rounds += 1
-            if (
-                self._watch is not None
-                and self.first_complete_round is None
-                and self._watch(self.state)
-            ):
-                self.first_complete_round = self.total_rounds
+        with span(f"phase.{name}") as timer:
+            while not engine.all_done():
+                if engine.round >= max_rounds:
+                    raise SimulationError(
+                        f"{name} exceeded max_rounds={max_rounds} within one phase"
+                    )
+                engine.step()
+                self.total_rounds += 1
+                if (
+                    self._watch is not None
+                    and self.first_complete_round is None
+                    and self._watch(self.state)
+                ):
+                    self.first_complete_round = self.total_rounds
+        self.phases.append(
+            PhaseTiming(
+                name=name,
+                rounds=engine.round,
+                exchanges=engine.metrics.exchanges,
+                seconds=timer.seconds,
+            )
+        )
         self.total_exchanges += engine.metrics.exchanges
         self.total_messages += engine.metrics.messages
         # Last look for any attached invariant checkers before the phase's

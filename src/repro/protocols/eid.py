@@ -30,6 +30,8 @@ from typing import Callable, Optional
 
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.recorder import Recorder
+from repro.obs.telemetry import PhaseTiming
 from repro.sim.state import NetworkState
 from repro.protocols.base import PhaseRunner
 from repro.protocols.dtg import ldtg_factory
@@ -60,12 +62,18 @@ class EIDReport:
         The directed spanner built for this execution.
     diameter_estimate:
         The ``k`` this execution ran with.
+    phases:
+        Per-phase round/exchange/wall-clock timings
+        (:class:`~repro.obs.telemetry.PhaseTiming`), in execution order.
+        Wall clock is environment noise, so the field is excluded from
+        equality.
     """
 
     rounds: int
     exchanges: int
     spanner: DirectedSpanner
     diameter_estimate: int
+    phases: tuple[PhaseTiming, ...] = dataclasses.field(default=(), compare=False)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -107,6 +115,9 @@ class GeneralEIDReport:
     first_complete_round:
         Cumulative round at which all-to-all dissemination actually held
         (before the protocol could *know* it held).
+    phases:
+        Per-phase timings across every guess-and-double iteration
+        (``compare=False`` — wall clock is environment noise).
     """
 
     rounds: int
@@ -114,6 +125,7 @@ class GeneralEIDReport:
     final_estimate: int
     iterations: int
     first_complete_round: Optional[int]
+    phases: tuple[PhaseTiming, ...] = dataclasses.field(default=(), compare=False)
 
 
 def _node_rumor_fingerprint(state: NetworkState, node: Node, universe: set) -> int:
@@ -169,6 +181,7 @@ def run_eid(
     runner: Optional[PhaseRunner] = None,
     max_rounds: int = 5_000_000,
     engine_factory=None,
+    recorder: Optional[Recorder] = None,
 ) -> EIDReport:
     """Run EID(D) — Algorithm 3 — for a known diameter (estimate).
 
@@ -187,14 +200,21 @@ def run_eid(
     engine_factory:
         Engine constructor for the phases (ignored when ``runner`` is
         given); see :class:`~repro.protocols.base.PhaseRunner`.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder` for the phases'
+        engines (ignored when ``runner`` is given — pass it to the runner
+        instead).
     """
     if diameter < 1:
         raise ProtocolError(f"diameter must be >= 1, got {diameter}")
     if runner is None:
-        runner = PhaseRunner(graph, state=state, engine_factory=engine_factory)
+        runner = PhaseRunner(
+            graph, state=state, engine_factory=engine_factory, recorder=recorder
+        )
     n_hat = n_hat if n_hat is not None else graph.num_nodes
     rounds_before = runner.total_rounds
     exchanges_before = runner.total_exchanges
+    phases_before = len(runner.phases)
     spanner, _ = _eid_phases(
         runner,
         graph,
@@ -209,6 +229,7 @@ def run_eid(
         exchanges=runner.total_exchanges - exchanges_before,
         spanner=spanner,
         diameter_estimate=diameter,
+        phases=tuple(runner.phases[phases_before:]),
     )
 
 
@@ -304,6 +325,7 @@ def run_general_eid(
     max_rounds: int = 5_000_000,
     require_unanimous: bool = True,
     engine_factory=None,
+    recorder: Optional[Recorder] = None,
 ) -> GeneralEIDReport:
     """Run General EID — Algorithm 4 — with an unknown diameter (Theorem 19).
 
@@ -326,7 +348,9 @@ def run_general_eid(
     def all_to_all_done(state: NetworkState) -> bool:
         return all(universe <= state.rumors(node) for node in nodes)
 
-    runner = PhaseRunner(graph, watch=all_to_all_done, engine_factory=engine_factory)
+    runner = PhaseRunner(
+        graph, watch=all_to_all_done, engine_factory=engine_factory, recorder=recorder
+    )
     # Hard cap: the diameter is at most (n - 1) * ℓ_max.
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1
@@ -366,4 +390,5 @@ def run_general_eid(
         final_estimate=k,
         iterations=iterations,
         first_complete_round=runner.first_complete_round,
+        phases=tuple(runner.phases),
     )

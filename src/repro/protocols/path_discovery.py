@@ -25,6 +25,8 @@ from typing import Optional
 
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.latency_graph import LatencyGraph
+from repro.obs.recorder import Recorder
+from repro.obs.telemetry import PhaseTiming
 from repro.sim.state import NetworkState
 from repro.protocols.base import PhaseRunner
 from repro.protocols.dtg import ldtg_factory
@@ -69,7 +71,8 @@ def run_t_sequence(
 class PathDiscoveryReport:
     """Outcome of a Path Discovery run.
 
-    Attributes mirror :class:`~repro.protocols.eid.GeneralEIDReport`.
+    Attributes mirror :class:`~repro.protocols.eid.GeneralEIDReport`,
+    including the ``compare=False`` per-phase timings.
     """
 
     rounds: int
@@ -77,6 +80,7 @@ class PathDiscoveryReport:
     final_estimate: int
     iterations: int
     first_complete_round: Optional[int]
+    phases: tuple[PhaseTiming, ...] = dataclasses.field(default=(), compare=False)
 
 
 def run_path_discovery(
@@ -84,6 +88,7 @@ def run_path_discovery(
     max_rounds: int = 5_000_000,
     require_unanimous: bool = True,
     engine_factory=None,
+    recorder: Optional[Recorder] = None,
 ) -> PathDiscoveryReport:
     """Run Path Discovery — Algorithm 6 — solving all-to-all dissemination.
 
@@ -96,7 +101,9 @@ def run_path_discovery(
     def all_to_all_done(state: NetworkState) -> bool:
         return all(universe <= state.rumors(node) for node in nodes)
 
-    runner = PhaseRunner(graph, watch=all_to_all_done, engine_factory=engine_factory)
+    runner = PhaseRunner(
+        graph, watch=all_to_all_done, engine_factory=engine_factory, recorder=recorder
+    )
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1
     iterations = 0
@@ -129,4 +136,5 @@ def run_path_discovery(
         final_estimate=k,
         iterations=iterations,
         first_complete_round=runner.first_complete_round,
+        phases=tuple(runner.phases),
     )

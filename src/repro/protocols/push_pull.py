@@ -17,6 +17,7 @@ import random
 from typing import Callable, Optional
 
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.recorder import Recorder
 from repro.sim.engine import Engine, NodeContext, NodeProtocol
 from repro.sim.metrics import DisseminationResult
 from repro.sim.runner import (
@@ -57,6 +58,8 @@ def run_push_pull(
     track_progress: bool = False,
     allow_incomplete: bool = False,
     fresh_snapshots: bool = False,
+    telemetry: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> DisseminationResult:
     """Run push--pull to completion and report the time.
 
@@ -83,6 +86,13 @@ def run_push_pull(
         out.
     fresh_snapshots:
         Snapshot-semantics ablation flag (see :class:`~repro.sim.Engine`).
+    telemetry:
+        Attach per-round series (coverage + in-flight curves) to the
+        result — see :func:`~repro.sim.runner.run_until_complete`.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder` receiving the
+        engine's typed event stream.  Neither flag perturbs the run: the
+        returned result compares equal to a plain run of the same seed.
     """
     state = NetworkState(graph.nodes())
     progress = None
@@ -111,6 +121,7 @@ def run_push_pull(
         state=state,
         latencies_known=False,
         fresh_snapshots=fresh_snapshots,
+        recorder=recorder,
     )
     return run_until_complete(
         engine,
@@ -119,4 +130,5 @@ def run_push_pull(
         max_rounds=max_rounds,
         track_progress=progress,
         allow_incomplete=allow_incomplete,
+        telemetry=telemetry,
     )

@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.errors import ProtocolError
 from repro.graphs.latency_graph import LatencyGraph, Node, edge_key
+from repro.obs.profile import span
 
 __all__ = ["DirectedSpanner", "baswana_sen_spanner"]
 
@@ -148,6 +149,16 @@ def baswana_sen_spanner(
     DirectedSpanner
         Spanner with per-node out-edge lists.
     """
+    with span("spanner.baswana_sen"):
+        return _baswana_sen_spanner(graph, k, rng, n_hat)
+
+
+def _baswana_sen_spanner(
+    graph: LatencyGraph,
+    k: int,
+    rng: random.Random,
+    n_hat: Optional[int],
+) -> DirectedSpanner:
     if k < 1:
         raise ProtocolError(f"k must be >= 1, got {k}")
     nodes = graph.nodes()

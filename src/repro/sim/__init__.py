@@ -28,6 +28,8 @@ from repro.sim.runner import (
     local_broadcast_complete,
     run_until_complete,
 )
+from repro.obs.recorder import Recorder
+from repro.obs.telemetry import PhaseTiming, RunTelemetry
 from repro.sim.state import NetworkState, Note, Payload
 from repro.sim.trace import TraceEvent, TraceRecorder, render_timeline
 
@@ -52,7 +54,10 @@ __all__ = [
     "NodeProtocol",
     "Note",
     "Payload",
+    "PhaseTiming",
     "ProgramProtocol",
+    "Recorder",
+    "RunTelemetry",
     "SingleInitiationChecker",
     "SymmetricMergeChecker",
     "TraceEvent",

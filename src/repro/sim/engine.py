@@ -26,6 +26,16 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.events import (
+    BlockedInitiationEvent,
+    DeliveryEvent,
+    InitiationEvent,
+    RejectedInitiationEvent,
+    RoundEvent,
+    VoidExchangeEvent,
+    WakeupEvent,
+)
+from repro.obs.recorder import Recorder
 from repro.sim import invariants as _invariants
 from repro.sim.failures import FailureModel
 from repro.sim.invariants import DeliveryView, ExchangeView, InvariantChecker
@@ -225,6 +235,13 @@ class Engine:
         :func:`~repro.sim.invariants.checked` scope is active, and nothing
         otherwise.  Pass ``()`` to force checking off even inside a
         ``checked`` scope.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder` receiving typed
+        events (initiations, deliveries with coverage deltas, wakeups,
+        void exchanges, blocked/rejected initiations, per-round
+        summaries).  ``None`` (the default) costs the hot path exactly one
+        ``is None`` check per potential event site — the recorder-off run
+        is bit-identical to a recorder-on run of the same seed.
     """
 
     def __init__(
@@ -238,6 +255,7 @@ class Engine:
         max_incoming_per_round: Optional[int] = None,
         enforce_blocking: bool = False,
         checkers: Optional[Sequence[InvariantChecker]] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if max_incoming_per_round is not None and max_incoming_per_round < 1:
             raise SimulationError(
@@ -250,13 +268,17 @@ class Engine:
         self.failure_model = failure_model
         self.max_incoming_per_round = max_incoming_per_round
         self.enforce_blocking = enforce_blocking
+        self.recorder = recorder
+        self.metrics = EngineMetrics()
+        if enforce_blocking:
+            # Tracked-but-clean is 0; "never tracked" stays None.
+            self.metrics.blocked_initiations = 0
         #: Per-initiator count of the initiator's own exchanges still in
         #: flight.  Maintained only under ``enforce_blocking`` (its sole
         #: reader) and entries are deleted as soon as they drop to zero, so
         #: the dict never accumulates dead keys over a long run.
         self._in_flight_initiations: dict[Node, int] = {}
         self.round = 0
-        self.metrics = EngineMetrics()
         #: Exchanges initiated during the most recent :meth:`step`, as
         #: ``(initiator, responder)`` pairs — the hook the Lemma 3 reduction
         #: uses to turn edge activations into guessing-game guesses.
@@ -336,9 +358,10 @@ class Engine:
         self.last_initiations = []
         for checker in self._checkers:
             checker.on_round_start(self)
-        self._deliver_due()
+        delivered = self._deliver_due()
         if self._woken:
             self._wake_parked()
+        recorder = self.recorder
         incoming: dict[Node, int] = {}
         failure_model = self.failure_model
         protocols = self._protocols
@@ -369,12 +392,27 @@ class Engine:
                 accepted = incoming.get(target, 0)
                 if accepted >= self.max_incoming_per_round:
                     self.metrics.rejected_initiations += 1
+                    if recorder is not None:
+                        recorder.record(
+                            RejectedInitiationEvent(
+                                round=self.round, initiator=node, responder=target
+                            )
+                        )
                     continue  # the responder is saturated; round wasted
                 incoming[target] = accepted + 1
             self._initiate(node, target)
         self._active = survivors
         for checker in self._checkers:
             checker.on_round_end(self)
+        if recorder is not None:
+            recorder.record(
+                RoundEvent(
+                    round=self.round,
+                    initiations=len(self.last_initiations),
+                    deliveries=delivered,
+                    in_flight=self._pending_count,
+                )
+            )
         self.round += 1
         self.metrics.rounds = self.round
 
@@ -433,6 +471,13 @@ class Engine:
     def _initiate(self, initiator: Node, responder: Node) -> None:
         latency = self.graph.latency(initiator, responder)
         if self.enforce_blocking and self._in_flight_initiations.get(initiator, 0):
+            self.metrics.blocked_initiations += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    BlockedInitiationEvent(
+                        round=self.round, initiator=initiator, responder=responder
+                    )
+                )
             raise ProtocolError(
                 f"blocking violation: node {initiator!r} initiated while a "
                 "previous exchange of its own is still in flight"
@@ -441,6 +486,17 @@ class Engine:
         lost = self.failure_model is not None and self.failure_model.exchange_lost(
             initiator, responder, self.round
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                InitiationEvent(
+                    round=self.round,
+                    initiator=initiator,
+                    responder=responder,
+                    latency=latency,
+                    ping=ping_only,
+                    lost=lost,
+                )
+            )
         if self._checkers:
             self._log_event(
                 f"round {self.round}: {initiator!r} -> {responder!r} initiate "
@@ -506,13 +562,14 @@ class Engine:
         if sent > self.metrics.max_payload_rumors:
             self.metrics.max_payload_rumors = sent
 
-    def _deliver_due(self) -> None:
+    def _deliver_due(self) -> int:
         bucket = self._in_flight.pop(self.round, None)
         if bucket is None:
-            return
+            return 0
         self._pending_count -= len(bucket)
         for exchange in bucket:
             self._deliver(exchange)
+        return len(bucket)
 
     def _deliver(self, exchange: _InFlight) -> None:
         if self.enforce_blocking:
@@ -541,6 +598,15 @@ class Engine:
         if not responder_alive:
             # No response was ever produced: the exchange is void.
             self.metrics.lost_exchanges += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    VoidExchangeEvent(
+                        round=self.round,
+                        initiator=exchange.initiator,
+                        responder=exchange.responder,
+                        initiated_at=exchange.initiated_at,
+                    )
+                )
             if self._checkers:
                 self._log_event(
                     f"round {self.round}: exchange {exchange.initiator!r} -> "
@@ -561,9 +627,34 @@ class Engine:
             # vice versa (conservative initiation-time semantics).
             initiator_payload = exchange.initiator_payload
             responder_payload = exchange.responder_payload
+        recorder = self.recorder
+        if recorder is not None:
+            before_responder = self.state.rumor_count(exchange.responder)
+            before_initiator = (
+                self.state.rumor_count(exchange.initiator) if initiator_alive else 0
+            )
         self.state.merge(exchange.responder, initiator_payload)
         if initiator_alive:
             self.state.merge(exchange.initiator, responder_payload)
+        if recorder is not None:
+            recorder.record(
+                DeliveryEvent(
+                    round=self.round,
+                    initiator=exchange.initiator,
+                    responder=exchange.responder,
+                    initiated_at=exchange.initiated_at,
+                    ping=exchange.ping_only,
+                    initiator_alive=initiator_alive,
+                    learned_by_initiator=(
+                        self.state.rumor_count(exchange.initiator) - before_initiator
+                        if initiator_alive
+                        else 0
+                    ),
+                    learned_by_responder=(
+                        self.state.rumor_count(exchange.responder) - before_responder
+                    ),
+                )
+            )
         if self._checkers:
             self._log_event(
                 f"round {self.round}: {exchange.initiator!r} <-> "
@@ -595,3 +686,5 @@ class Engine:
                 # done: re-activate it for this round's scan.
                 parked.discard(node)
                 self._woken.append(node)
+                if recorder is not None:
+                    recorder.record(WakeupEvent(round=self.round, node=node))

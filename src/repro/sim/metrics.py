@@ -6,6 +6,7 @@ import dataclasses
 from typing import Optional
 
 from repro.graphs.latency_graph import Edge
+from repro.obs.telemetry import RunTelemetry
 
 __all__ = ["EngineMetrics", "DisseminationResult"]
 
@@ -37,6 +38,13 @@ class EngineMetrics:
         responder).
     rejected_initiations:
         Initiations refused under the bounded-in-degree model.
+    blocked_initiations:
+        Initiations that violated the blocking model.  ``None`` means the
+        engine ran with ``enforce_blocking=False`` and blocking was never
+        tracked — deliberately distinct from ``0`` ("tracked, and no node
+        ever violated").  Under ``enforce_blocking=True`` the counter is
+        bumped *before* the engine raises, so a post-mortem inspection of
+        a failed run still shows the violation.
     """
 
     rounds: int = 0
@@ -47,6 +55,22 @@ class EngineMetrics:
     max_payload_rumors: int = 0
     lost_exchanges: int = 0
     rejected_initiations: int = 0
+    blocked_initiations: Optional[int] = None
+
+    def __str__(self) -> str:
+        blocked = (
+            "n/a (blocking not enforced)"
+            if self.blocked_initiations is None
+            else str(self.blocked_initiations)
+        )
+        return (
+            f"rounds={self.rounds} exchanges={self.exchanges} "
+            f"messages={self.messages} edges={len(self.activated_edges)} "
+            f"rumor_tokens={self.rumor_tokens_sent} "
+            f"max_payload={self.max_payload_rumors} "
+            f"lost={self.lost_exchanges} rejected={self.rejected_initiations} "
+            f"blocked={blocked}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +92,15 @@ class DisseminationResult:
         rumor) — recorded only when the runner is asked to track it.
     protocol:
         Human-readable name of the protocol that produced this result.
+    blocked_initiations:
+        Blocking-model violation count — ``None`` when the engine did not
+        enforce blocking (the counter was never maintained), mirroring
+        :attr:`EngineMetrics.blocked_initiations`.
+    telemetry:
+        Optional per-round series (:class:`~repro.obs.telemetry.RunTelemetry`)
+        recorded when the runner was asked for telemetry.  Excluded from
+        equality so telemetry-on and telemetry-off runs of the same seed
+        compare equal.
     """
 
     rounds: int
@@ -76,10 +109,15 @@ class DisseminationResult:
     messages: int
     protocol: str
     informed_history: Optional[tuple[int, ...]] = None
+    blocked_initiations: Optional[int] = None
+    telemetry: Optional[RunTelemetry] = dataclasses.field(default=None, compare=False)
 
     def __str__(self) -> str:
         status = "complete" if self.complete else "INCOMPLETE"
-        return (
+        text = (
             f"{self.protocol}: {self.rounds} rounds ({status}), "
             f"{self.exchanges} exchanges, {self.messages} messages"
         )
+        if self.blocked_initiations is not None:
+            text += f", {self.blocked_initiations} blocked initiations"
+        return text

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.telemetry import RunTelemetry
 from repro.sim.engine import Engine
 from repro.sim.metrics import DisseminationResult
 
@@ -88,6 +89,7 @@ def run_until_complete(
     max_rounds: int = 1_000_000,
     track_progress: Optional[Callable[[Engine], int]] = None,
     allow_incomplete: bool = False,
+    telemetry: bool = False,
 ) -> DisseminationResult:
     """Run ``engine`` until ``predicate`` holds; package the result.
 
@@ -107,8 +109,15 @@ def run_until_complete(
     allow_incomplete:
         If ``True``, exhausting the budget returns an incomplete result
         instead of raising :class:`~repro.errors.SimulationError`.
+    telemetry:
+        If ``True``, attach a :class:`~repro.obs.telemetry.RunTelemetry`
+        to the result: the coverage curve (``track_progress`` samples, if
+        any) plus the end-of-round in-flight backlog curve.  Telemetry is
+        a ``compare=False`` field, so a telemetry-on result still compares
+        equal to the telemetry-off run of the same seed.
     """
     history: list[int] = []
+    in_flight: list[int] = []
     complete = True
     while not predicate(engine):
         if engine.round >= max_rounds:
@@ -121,6 +130,8 @@ def run_until_complete(
         if track_progress is not None:
             history.append(track_progress(engine))
         engine.step()
+        if telemetry:
+            in_flight.append(engine.pending_exchanges())
     if track_progress is not None:
         history.append(track_progress(engine))
     # Last look for any attached invariant checkers (duck-typed so the
@@ -128,6 +139,12 @@ def run_until_complete(
     finish = getattr(engine, "finish_checks", None)
     if finish is not None:
         finish()
+    run_telemetry = None
+    if telemetry:
+        run_telemetry = RunTelemetry(
+            coverage_curve=tuple(history) if track_progress is not None else None,
+            in_flight_curve=tuple(in_flight),
+        )
     return DisseminationResult(
         rounds=engine.round,
         complete=complete,
@@ -135,4 +152,6 @@ def run_until_complete(
         messages=engine.metrics.messages,
         protocol=protocol_name,
         informed_history=tuple(history) if track_progress is not None else None,
+        blocked_initiations=engine.metrics.blocked_initiations,
+        telemetry=run_telemetry,
     )

@@ -173,6 +173,10 @@ class ReferenceEngine:
         self.enforce_blocking = enforce_blocking
         self.round = 0
         self.metrics = EngineMetrics()
+        if enforce_blocking:
+            # Mirror the production engine: tracked-but-clean is 0, "never
+            # tracked" stays None (run_differential compares full metrics).
+            self.metrics.blocked_initiations = 0
         self.last_initiations: list[tuple[Node, Node]] = []
         self._sequence = 0
         self._pending: list[_PendingExchange] = []
@@ -261,6 +265,7 @@ class ReferenceEngine:
         if self.enforce_blocking and any(
             exchange.initiator == initiator for exchange in self._pending
         ):
+            self.metrics.blocked_initiations += 1
             raise ProtocolError(
                 f"blocking violation: node {initiator!r} initiated while a "
                 "previous exchange of its own is still in flight"

@@ -156,3 +156,138 @@ class TestCheck:
     def test_run_experiment_checked_flag(self, capsys):
         assert main(["run-experiment", "E6", "--checked"]) == 0
         assert "E6" in capsys.readouterr().out
+
+
+class _FakeDifferentialReport:
+    """Stand-in for a DifferentialReport (duck-typed by _cmd_check)."""
+
+    def __init__(self, equivalent, rounds=7, mismatches=()):
+        self.equivalent = equivalent
+        self.rounds = rounds
+        self.mismatches = list(mismatches)
+
+
+class _FakeReplayReport:
+    rounds = 7
+    events = ()
+
+
+class _FakeEIDReport:
+    rounds = 5
+
+
+def _stub_check_internals(monkeypatch, *, diff_ok=True, replay_ok=True):
+    """Make the expensive check oracles instant (and optionally failing)."""
+    import repro.protocols.eid as eid
+    import repro.testing as testing
+
+    diff = _FakeDifferentialReport(
+        diff_ok, mismatches=() if diff_ok else ["rumor sets diverge at round 3"]
+    )
+    monkeypatch.setattr(testing, "run_differential", lambda *a, **k: diff)
+    # Same object from both engine factories => fast == slow always holds.
+    shared_eid = _FakeEIDReport()
+    monkeypatch.setattr(eid, "run_general_eid", lambda *a, **k: shared_eid)
+    if replay_ok:
+        monkeypatch.setattr(
+            testing, "record_and_replay", lambda *a, **k: _FakeReplayReport()
+        )
+    else:
+        from repro.errors import SimulationError
+
+        def diverge(*a, **k):
+            raise SimulationError("replay diverged at round 9")
+
+        monkeypatch.setattr(testing, "record_and_replay", diverge)
+
+
+class TestCheckFailureBranches:
+    def test_differential_mismatch_fails_check(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch, diff_ok=False)
+        assert main(["check", "--experiments", "none"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL differential push-pull" in captured.out
+        assert "check FAILED" in captured.err
+        assert "rumor sets diverge at round 3" in captured.err
+
+    def test_replay_divergence_fails_check(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch, replay_ok=False)
+        assert main(["check", "--experiments", "none"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL replay determinism" in captured.out
+        assert "replay determinism: replay diverged at round 9" in captured.err
+
+    def test_checked_experiment_failure_fails_check(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch)
+        import repro.experiments as experiments
+        from repro.errors import SimulationError
+
+        def explode(*a, **k):
+            raise SimulationError("invariant violated: crashed node spoke")
+
+        monkeypatch.setattr(experiments, "run_experiment", explode)
+        assert main(["check", "--experiments", "E6"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL checked experiment E6 [quick]" in captured.out
+        assert "invariant violated: crashed node spoke" in captured.err
+
+    def test_stubbed_check_still_passes_clean(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch)
+        assert main(["check", "--experiments", "none"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_push_pull_prints_events_and_counters(self, capsys):
+        code = main(
+            ["trace", "--topology", "clique", "--n", "6", "--seed", "3",
+             "--limit", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        # The first lines are canonical JSON events.
+        import json as _json
+
+        first = _json.loads(lines[0])
+        assert first["kind"] in {"initiate", "deliver", "round"}
+        assert "... (" in out  # truncation marker past --limit
+        assert "events: " in out
+        assert "rumors learned: 5" in out
+        assert "push-pull[broadcast]" in out
+
+    def test_trace_writes_jsonl_stream(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--topology", "cycle", "--n", "5", "--seed", "1",
+             "--limit", "0", "--jsonl", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"to {path}" in out
+        written = path.read_text().splitlines()
+        assert written  # full stream regardless of --limit
+        import json as _json
+
+        assert all(_json.loads(line)["round"] >= 0 for line in written)
+
+    def test_trace_path_discovery(self, capsys):
+        code = main(
+            ["trace", "--protocol", "path-discovery", "--topology", "clique",
+             "--n", "4", "--limit", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "path-discovery: complete at" in out
+        assert "phases" in out
+
+
+class TestProfile:
+    def test_profile_prints_span_table_and_manifest(self, capsys):
+        assert main(["profile", "E6"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.E6" in out
+        assert "harness.trial" in out
+        assert "mean ms" in out
+        assert "manifest: " in out
+        assert "repro_jobs=" in out

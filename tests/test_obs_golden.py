@@ -1,0 +1,101 @@
+"""Golden-trace regression suite for the observability layer.
+
+Three small seeded runs — push--pull on a ring of cliques, EID on a
+spanner, Path Discovery on a Theorem 8 ring of gadgets — are recorded as
+canonical JSONL event streams and committed under ``tests/golden/``.
+Each test regenerates its stream from scratch and asserts **byte
+identity** with the committed file: any change to engine semantics,
+event fields, or the canonical serialization makes these fail loudly.
+
+To intentionally re-bless the streams after a deliberate change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs_golden.py
+
+and commit the diff (review it first — the diff *is* the semantic change).
+"""
+
+import json
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.graphs import gadgets, generators
+from repro.obs import Recorder, events_to_jsonl
+from repro.protocols.eid import run_eid
+from repro.protocols.path_discovery import run_path_discovery
+from repro.protocols.push_pull import run_push_pull
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def trace_push_pull() -> str:
+    """Push--pull one-to-all broadcast on G(P): a small ring of cliques."""
+    graph = generators.ring_of_cliques(3, 4, inter_latency=3, rng=random.Random(0))
+    recorder = Recorder.in_memory()
+    run_push_pull(graph, source=0, seed=1, recorder=recorder)
+    return events_to_jsonl(recorder.events)
+
+
+def trace_eid() -> str:
+    """EID(D) — DTG repetitions plus RR Broadcast over the built spanner."""
+    graph = generators.ring_of_cliques(3, 3, inter_latency=2, rng=random.Random(1))
+    recorder = Recorder.in_memory()
+    run_eid(graph, diameter=graph.weighted_diameter(), seed=0, recorder=recorder)
+    return events_to_jsonl(recorder.events)
+
+
+def trace_path_discovery() -> str:
+    """Path Discovery (T(k) guess-and-double) on a ring of Theorem 8 gadgets."""
+    ring = gadgets.theorem8_ring(2, 3, 3, random.Random(0))
+    recorder = Recorder.in_memory()
+    run_path_discovery(ring.graph, recorder=recorder)
+    return events_to_jsonl(recorder.events)
+
+
+TRACES = {
+    "push_pull_ring_of_cliques.jsonl": trace_push_pull,
+    "eid_spanner_broadcast.jsonl": trace_eid,
+    "path_discovery_theorem8_ring.jsonl": trace_path_discovery,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(TRACES))
+def test_golden_trace_byte_identical(filename):
+    generated = TRACES[filename]()
+    path = GOLDEN_DIR / filename
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_bytes(generated.encode("ascii"))
+        pytest.skip(f"re-blessed {filename}")
+    assert path.exists(), (
+        f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+    )
+    committed = path.read_bytes()
+    assert committed == generated.encode("ascii"), (
+        f"{filename} drifted from the committed golden stream — if the "
+        "change is intentional, re-bless with REPRO_UPDATE_GOLDEN=1 and "
+        "review the diff"
+    )
+
+
+@pytest.mark.parametrize("filename", sorted(TRACES))
+def test_golden_stream_is_canonical_jsonl(filename):
+    """Every committed line round-trips through the canonical encoder."""
+    path = GOLDEN_DIR / filename
+    assert path.exists()
+    lines = path.read_text("ascii").splitlines()
+    assert lines, "golden stream must not be empty"
+    kinds = set()
+    for line in lines:
+        record = json.loads(line)
+        assert line == json.dumps(
+            record, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+        kinds.add(record["kind"])
+        # Rounds are per-engine; multi-phase protocols reset them to 0 at
+        # each phase boundary, so only non-negativity is an invariant here.
+        assert record["round"] >= 0
+    # Every run at minimum initiates, delivers, and closes rounds.
+    assert {"initiate", "deliver", "round"} <= kinds
