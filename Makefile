@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples experiments clean
+.PHONY: install test bench bench-full examples experiments report regress clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +21,15 @@ examples:
 
 experiments:
 	$(PYTHON) -m repro run-experiment all
+
+# Render the full observability report for one experiment (markdown to
+# stdout); override with `make report EXPERIMENT=E12`.
+EXPERIMENT ?= E6
+report:
+	PYTHONPATH=src $(PYTHON) -m repro report $(EXPERIMENT) --profile quick
+
+regress:
+	PYTHONPATH=src $(PYTHON) -m repro regress --suite all
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

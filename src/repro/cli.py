@@ -9,7 +9,10 @@ Usage (after ``pip install -e .``)::
         --clique-size 8 --inter-latency 12
     python -m repro simulate --protocol push-pull --topology clique --n 32
     python -m repro trace --protocol push-pull --topology clique --n 8 --limit 20
+    python -m repro trace --protocol push-pull --topology clique --n 8 --stats
     python -m repro profile E6 --profile quick
+    python -m repro report E6 --profile quick --output report.md
+    python -m repro regress --suite all
     python -m repro game --m 32 --predicate random --p 0.2 --strategy oblivious
 
 Every command is a thin shim over the library API; the CLI exists so the
@@ -447,11 +450,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         else:
             raise ReproError(f"unknown protocol {protocol!r} for trace")
     events = memory.events
-    shown = events if args.limit is None else events[: args.limit]
-    for event in shown:
-        print(event_to_json(event))
-    if args.limit is not None and len(events) > args.limit:
-        print(f"... ({len(events) - args.limit} more events not shown)")
+    if args.stats:
+        from repro.obs.traces import Trace
+
+        stats = Trace.from_events(events).stats()
+        width = max((len(kind) for kind in stats["by_kind"]), default=4)
+        for kind, count in sorted(stats["by_kind"].items()):
+            print(f"{kind.ljust(width)}  {count}")
+        print(
+            f"max round: {stats['max_round']}; phases: {stats['phases']}; "
+            f"unique activated edges: {stats['unique_edges']}"
+        )
+        if "delivery_latency" in stats:
+            latency = stats["delivery_latency"]
+            print(
+                f"delivery latency (rounds): min {latency['min']} / "
+                f"mean {latency['mean']} / max {latency['max']}"
+            )
+    else:
+        shown = events if args.limit is None else events[: args.limit]
+        for event in shown:
+            print(event_to_json(event))
+        if args.limit is not None and len(events) > args.limit:
+            print(f"... ({len(events) - args.limit} more events not shown)")
     kinds = " ".join(f"{kind}={n}" for kind, n in sorted(counters.by_kind.items()))
     print(f"events: {recorder.events_recorded} ({kinds})")
     print(
@@ -501,6 +522,70 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.errors import ObservabilityError
+    from repro.obs.report import experiment_report, render_trace_report
+
+    if args.trace is not None:
+        from repro.obs.traces import Trace
+
+        text = render_trace_report(Trace.load(args.trace), title=str(args.trace))
+    elif args.experiment_id is not None:
+        text = experiment_report(
+            args.experiment_id,
+            args.profile,
+            checked=args.checked,
+            include_timings=args.timings,
+            gate=not args.no_gate,
+        )
+    else:
+        raise ObservabilityError(
+            "report needs an experiment id (e.g. E6) or --trace PATH"
+        )
+    if args.output:
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.regress import (
+        DEFAULT_NOISE_FLOOR,
+        DEFAULT_THRESHOLD,
+        GATE_SUITES,
+        gate_suites,
+    )
+
+    suites = GATE_SUITES if args.suite == "all" else (args.suite,)
+    reports = gate_suites(
+        suites,
+        threshold=DEFAULT_THRESHOLD if args.threshold is None else args.threshold,
+        noise_floor=(
+            DEFAULT_NOISE_FLOOR if args.noise_floor is None else args.noise_floor
+        ),
+        skip_missing=args.skip_missing,
+        strict=args.strict,
+    )
+    for report in reports:
+        print(report.summary())
+    if not reports:
+        print("no benchmark reports found; nothing gated")
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote machine-readable verdicts to {args.json}")
+    return 1 if any(report.regressed for report in reports) else 0
+
+
 def _cmd_game(args: argparse.Namespace) -> int:
     from repro.analysis.stats import summarize
     from repro.lowerbounds.game import GuessingGame
@@ -537,9 +622,14 @@ def _cmd_game(args: argparse.Namespace) -> int:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Gossiping with Latencies — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -617,6 +707,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jsonl", default=None, metavar="PATH",
         help="also write the full canonical JSONL stream to PATH",
     )
+    trace.add_argument(
+        "--stats", action="store_true",
+        help="print per-kind event counts and trace analytics instead of "
+             "the raw event stream",
+    )
     trace.set_defaults(handler=_cmd_trace)
 
     profile_cmd = commands.add_parser(
@@ -629,6 +724,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach the model-invariant checkers to every engine",
     )
     profile_cmd.set_defaults(handler=_cmd_profile)
+
+    report = commands.add_parser(
+        "report",
+        help="run one experiment (or load a trace) and render a markdown report",
+    )
+    report.add_argument(
+        "experiment_id", nargs="?", default=None,
+        help="experiment index id (e.g. E6); omit when using --trace",
+    )
+    report.add_argument("--profile", default="quick", choices=["quick", "full"])
+    report.add_argument(
+        "--checked", action="store_true",
+        help="attach the model-invariant checkers to every engine",
+    )
+    report.add_argument(
+        "--timings", action="store_true",
+        help="include wall-clock span columns (non-deterministic)",
+    )
+    report.add_argument(
+        "--no-gate", action="store_true",
+        help="skip the regression-gate section",
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="render a trace-analytics report for a JSONL event stream "
+             "instead of running an experiment",
+    )
+    report.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the markdown to PATH instead of stdout",
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    regress = commands.add_parser(
+        "regress",
+        help="gate BENCH_*.json benchmark reports against committed baselines",
+    )
+    regress.add_argument(
+        "--suite", default="all", choices=["all", "engine", "conductance"]
+    )
+    regress.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative budget (default 1.25 = 25%% over baseline)",
+    )
+    regress.add_argument(
+        "--noise-floor", type=float, default=None, metavar="SECONDS",
+        help="absolute slack in seconds below which differences never flag",
+    )
+    regress.add_argument(
+        "--skip-missing", action="store_true",
+        help="skip suites whose BENCH report has not been generated",
+    )
+    regress.add_argument(
+        "--strict", action="store_true",
+        help="fail baseline workloads absent from the current report "
+             "(full-suite runs only; quick CI reports are profile subsets)",
+    )
+    regress.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable verdicts to PATH",
+    )
+    regress.set_defaults(handler=_cmd_regress)
 
     game = commands.add_parser("game", help="play the guessing game")
     game.add_argument("--m", type=int, default=32)

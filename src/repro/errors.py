@@ -37,3 +37,7 @@ class GameError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or harness invocation was invalid."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused (bad metric, trace, or gate input)."""

@@ -39,6 +39,7 @@ import random
 from typing import Any, Callable, Hashable, Optional
 
 from repro.obs.manifest import run_manifest
+from repro.obs.metrics import default_registry
 
 __all__ = [
     "cached",
@@ -74,10 +75,16 @@ def cached(kind: str, key: Hashable, build: Callable[[], Any]) -> Any:
         value = _CACHE[full_key]
     except KeyError:
         _MISSES += 1
+        default_registry().counter(
+            "artifact_cache_misses_total", "artifact-cache misses by kind"
+        ).inc(kind=kind)
         value = _CACHE[full_key] = build()
         _PROVENANCE[full_key] = run_manifest(artifact_kind=kind, artifact_key=repr(key))
         return value
     _HITS += 1
+    default_registry().counter(
+        "artifact_cache_hits_total", "artifact-cache hits by kind"
+    ).inc(kind=kind)
     return value
 
 

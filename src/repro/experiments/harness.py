@@ -21,6 +21,12 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.errors import ExperimentError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_metrics,
+    metrics_since,
+    metrics_snapshot,
+)
 from repro.obs.profile import merge_spans, span, span_snapshot, spans_since
 from repro.obs.manifest import run_manifest
 
@@ -84,6 +90,12 @@ class ExperimentTable:
         Environment-dependent by design, so bit-identity comparisons
         (serial vs parallel tables) look at ``rows``/``conclusion``, never
         the manifest.
+    metrics:
+        Canonical dump (:meth:`~repro.obs.metrics.MetricsRegistry.collect`
+        shape) of the metrics this run produced — the default-registry
+        delta scoped to the experiment, workers' deltas already merged in.
+        Unlike the manifest's spans, these are clock-free and therefore
+        identical between serial and ``REPRO_JOBS=N`` runs.
     """
 
     experiment_id: str
@@ -93,6 +105,7 @@ class ExperimentTable:
     expectation: str = ""
     conclusion: str = ""
     manifest: Optional[dict[str, Any]] = None
+    metrics: Optional[dict[str, Any]] = None
 
     def column(self, name: str) -> list[Any]:
         """All values of one column, in row order."""
@@ -248,14 +261,15 @@ def _shutdown_pool() -> None:
 
 
 def _run_trial_with_spans(fn: Callable[[_T], _R], item: _T):
-    # Pool-worker wrapper: run the trial and ship the profiling spans it
-    # produced back alongside the result, so the parent can merge worker
-    # telemetry into its own registry (workers are separate processes with
-    # separate span registries).  Module-level so it pickles.
-    before = span_snapshot()
+    # Pool-worker wrapper: run the trial and ship the profiling spans and
+    # metrics it produced back alongside the result, so the parent can
+    # merge worker telemetry into its own registries (workers are separate
+    # processes with separate registries).  Module-level so it pickles.
+    spans_before = span_snapshot()
+    metrics_before = metrics_snapshot()
     with span("harness.trial"):
         result = fn(item)
-    return result, spans_since(before)
+    return result, spans_since(spans_before), metrics_since(metrics_before)
 
 
 def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
@@ -270,9 +284,10 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
     over one), not a closure.
 
     Either way every trial is timed under the ``harness.trial`` profiling
-    span, and in the parallel case each worker's span delta is merged back
-    into the parent registry — span *counts* are identical between serial
-    and parallel runs of the same trials.
+    span, and in the parallel case each worker's span and metrics deltas
+    are merged back into the parent registries — span *counts* and all
+    metric values are identical between serial and parallel runs of the
+    same trials (metrics never read a clock).
     """
     items = list(items)
     jobs = trial_jobs()
@@ -283,10 +298,11 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
                 results.append(fn(item))
         return results
     wrapped = functools.partial(_run_trial_with_spans, fn)
-    pairs = list(_shared_pool(jobs).map(wrapped, items))
-    for _, delta in pairs:
-        merge_spans(delta)
-    return [result for result, _ in pairs]
+    triples = list(_shared_pool(jobs).map(wrapped, items))
+    for _, span_delta, metrics_delta in triples:
+        merge_spans(span_delta)
+        merge_metrics(metrics_delta)
+    return [result for result, _, _ in triples]
 
 
 def run_experiment(
@@ -304,6 +320,7 @@ def run_experiment(
     validate_profile(profile)
     fn = get_experiment(experiment_id)
     spans_before = span_snapshot()
+    metrics_before = metrics_snapshot()
     with span(f"experiment.{experiment_id}"):
         if not checked:
             table = fn(profile)
@@ -312,6 +329,9 @@ def run_experiment(
 
             with invariants.checked():
                 table = fn(profile)
+    scoped = MetricsRegistry()
+    scoped.merge(metrics_since(metrics_before))
+    table.metrics = scoped.collect()
     table.manifest = run_manifest(
         experiment=experiment_id,
         profile=profile,

@@ -14,6 +14,18 @@ Three independent pieces, designed so each costs nothing unless used:
   rev, jobs, seed, graph fingerprint, config) attached to experiment
   tables and artifact-cache entries.
 
+On top of the recording tier sits the analysis tier:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — a deterministic, clock-free
+  Counter/Gauge/Histogram registry with Prometheus exposition, merged
+  across ``map_trials`` workers like spans;
+* **Trace analytics** (:mod:`repro.obs.traces`) — query/derive/diff over
+  recorded JSONL event streams;
+* **Regression gating** (:mod:`repro.obs.regress`) — machine-checkable
+  verdicts comparing ``BENCH_*.json`` against committed baselines;
+* **Reports** (:mod:`repro.obs.report`) — the ``repro report`` markdown
+  renderer tying all of the above together.
+
 Per-run series land on results as :class:`RunTelemetry`
 (:mod:`repro.obs.telemetry`).  See ``docs/OBSERVABILITY.md`` for the
 event schema and the overhead numbers.
@@ -34,6 +46,18 @@ from repro.obs.events import (
     node_key,
 )
 from repro.obs.manifest import MANIFEST_SCHEMA, git_revision, run_manifest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    default_registry,
+    merge_metrics,
+    metrics_since,
+    metrics_snapshot,
+    reset_metrics,
+)
 from repro.obs.profile import (
     merge_spans,
     reset_spans,
@@ -51,33 +75,68 @@ from repro.obs.recorder import (
     Sink,
     replay_into,
 )
+from repro.obs.regress import (
+    GATE_SUITES,
+    RegressionReport,
+    WorkloadVerdict,
+    compare_benchmarks,
+    gate_suite,
+    gate_suites,
+)
+from repro.obs.report import (
+    render_experiment_report,
+    render_trace_report,
+)
 from repro.obs.telemetry import PhaseTiming, RunTelemetry
+from repro.obs.traces import Trace, TraceDiff, diff_traces, load_trace
 
 __all__ = [
     "BlockedInitiationEvent",
+    "Counter",
     "CounterSink",
     "DeliveryEvent",
     "Event",
+    "GATE_SUITES",
+    "Gauge",
+    "Histogram",
     "InitiationEvent",
     "JsonlSink",
     "MANIFEST_SCHEMA",
     "MemorySink",
+    "MetricsRegistry",
+    "MetricsSink",
     "PhaseTiming",
     "Recorder",
+    "RegressionReport",
     "RejectedInitiationEvent",
     "RingBufferSink",
     "RoundEvent",
     "RunTelemetry",
     "Sink",
+    "Trace",
+    "TraceDiff",
     "VoidExchangeEvent",
     "WakeupEvent",
+    "WorkloadVerdict",
+    "compare_benchmarks",
+    "default_registry",
+    "diff_traces",
     "event_to_dict",
     "event_to_json",
     "events_to_jsonl",
+    "gate_suite",
+    "gate_suites",
     "git_revision",
+    "load_trace",
+    "merge_metrics",
     "merge_spans",
+    "metrics_since",
+    "metrics_snapshot",
     "node_key",
+    "render_experiment_report",
+    "render_trace_report",
     "replay_into",
+    "reset_metrics",
     "reset_spans",
     "run_manifest",
     "span",

@@ -95,6 +95,7 @@ class JsonlSink:
         else:
             self._file = target
             self._owns_file = False
+        self._closed = False
         self.lines_written = 0
 
     def write(self, event: Event) -> None:
@@ -103,9 +104,16 @@ class JsonlSink:
         self.lines_written += 1
 
     def close(self) -> None:
+        """Idempotent: safe to call repeatedly, and safe when the
+        underlying file was already closed elsewhere (the common
+        double-close is ``Recorder.__exit__`` followed by an explicit
+        ``close()``)."""
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_file:
             self._file.close()
-        else:
+        elif not self._file.closed:
             self._file.flush()
 
 

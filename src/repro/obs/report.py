@@ -1,0 +1,298 @@
+"""Deterministic markdown reports for runs, experiments, and the gate.
+
+``repro report`` (the CLI face of this module) renders everything the
+observability layer knows about one run or experiment into a single
+markdown document: the reproduced table, its provenance manifest, the
+metrics-registry dump, the span profile, trace-derived series (coverage
+curve as a sparkline, delivery-latency distribution, edge churn), and
+the perf-regression-gate verdicts.
+
+Determinism contract: for a fixed seed the rendered bytes are identical
+across invocations *except* for lines derived from manifest timestamp
+fields (``captured_at``) — the property the report test pins.  That is
+why wall-clock span/phase timings are excluded unless explicitly asked
+for with ``include_timings=True``: counts are deterministic, seconds are
+environment noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.obs.regress import RegressionReport
+from repro.obs.traces import Trace
+
+__all__ = [
+    "markdown_table",
+    "ascii_sparkline",
+    "render_experiment_report",
+    "render_trace_report",
+    "render_regression_section",
+    "experiment_report",
+]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+#: Manifest keys whose values are wall-clock timestamps — rendered, but
+#: exempt from the byte-determinism contract (and easy to strip: the key
+#: name appears on the line).
+TIMESTAMP_FIELDS = ("captured_at",)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A GitHub-flavored markdown table with stringified cells."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def ascii_sparkline(series: Sequence[float], width: int = 60) -> str:
+    """A one-line sparkline of ``series`` scaled to its own maximum."""
+    if not series:
+        return "(empty)"
+    if len(series) > width:
+        step = (len(series) - 1) / (width - 1) if width > 1 else 0
+        samples = [series[round(i * step)] for i in range(width)]
+    else:
+        samples = list(series)
+    top = max(samples)
+    if top <= 0:
+        return _BARS[0] * len(samples)
+    return "".join(
+        _BARS[min(len(_BARS) - 1, int(value / top * (len(_BARS) - 1) + 1e-9))]
+        for value in samples
+    )
+
+
+def _manifest_section(manifest: Mapping[str, Any]) -> list[str]:
+    lines = ["## Manifest", ""]
+    rows = []
+    for key in sorted(manifest):
+        if key == "spans":
+            continue  # rendered as its own section
+        value = manifest[key]
+        if isinstance(value, dict):
+            value = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+        rows.append((key, value))
+    lines.append(markdown_table(("field", "value"), rows))
+    return lines
+
+
+def _metrics_section(metrics: Mapping[str, Any]) -> list[str]:
+    """Render a canonical registry dump (:meth:`MetricsRegistry.collect`)."""
+    lines = ["## Metrics", ""]
+    scalar_rows = []
+    histogram_rows = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        for cell in entry.get("values", ()):
+            labels = ",".join(f'{k}="{v}"' for k, v in sorted(cell["labels"].items()))
+            if entry["type"] == "histogram":
+                count = cell["count"]
+                mean = cell["sum"] / count if count else 0.0
+                histogram_rows.append((name, labels, count, f"{mean:.4g}"))
+            else:
+                scalar_rows.append((name, entry["type"], labels, cell["value"]))
+    if scalar_rows:
+        lines.append(markdown_table(("metric", "type", "labels", "value"), scalar_rows))
+    if histogram_rows:
+        lines.append("")
+        lines.append(
+            markdown_table(("histogram", "labels", "count", "mean"), histogram_rows)
+        )
+    if not scalar_rows and not histogram_rows:
+        lines.append("(no metrics recorded)")
+    return lines
+
+
+def _span_section(spans: Mapping[str, Any], include_timings: bool) -> list[str]:
+    lines = ["## Span profile", ""]
+    if not spans:
+        lines.append("(no spans recorded)")
+        return lines
+    if include_timings:
+        rows = [
+            (
+                name,
+                agg["count"],
+                f"{agg['seconds']:.3f}",
+                f"{agg['seconds'] / agg['count'] * 1e3:.3f}",
+                f"{agg['max_seconds'] * 1e3:.3f}",
+            )
+            for name, agg in sorted(spans.items())
+        ]
+        lines.append(
+            markdown_table(("span", "count", "total s", "mean ms", "max ms"), rows)
+        )
+    else:
+        rows = [(name, agg["count"]) for name, agg in sorted(spans.items())]
+        lines.append(markdown_table(("span", "count"), rows))
+        lines.append("")
+        lines.append(
+            "_Wall-clock columns omitted for determinism; re-run with "
+            "`--timings` to include them._"
+        )
+    return lines
+
+
+def render_regression_section(reports: Sequence[RegressionReport]) -> list[str]:
+    lines = ["## Regression gate", ""]
+    if not reports:
+        lines.append(
+            "(no benchmark reports found — run `pytest benchmarks/` or "
+            "`python -m repro.benchmarking` first)"
+        )
+        return lines
+    rows = []
+    for report in reports:
+        for v in sorted(report.workloads, key=lambda v: v.name):
+            rows.append(
+                (
+                    report.suite,
+                    v.name,
+                    v.status.upper() if v.failed else v.status,
+                    "-" if v.ratio is None else f"{v.ratio:.2f}x",
+                    "-" if v.budget_seconds is None else f"{v.budget_seconds:.4f}s",
+                )
+            )
+    lines.append(
+        markdown_table(("suite", "workload", "status", "vs baseline", "budget"), rows)
+    )
+    overall = "REGRESSED" if any(r.regressed for r in reports) else "ok"
+    lines.append("")
+    lines.append(f"**Overall verdict: {overall}**")
+    return lines
+
+
+def render_experiment_report(
+    table,
+    regressions: Optional[Sequence[RegressionReport]] = None,
+    include_timings: bool = False,
+) -> str:
+    """The full markdown report for one :class:`ExperimentTable`."""
+    lines = [f"# repro report — {table.experiment_id}: {table.title}", ""]
+    lines.append("## Result")
+    lines.append("")
+    lines.append(markdown_table(table.columns, [
+        [row.get(col, "") for col in table.columns] for row in table.rows
+    ]))
+    if table.expectation:
+        lines.append("")
+        lines.append(f"**Expectation:** {table.expectation}")
+    if table.conclusion:
+        lines.append("")
+        lines.append(f"**Conclusion:** {table.conclusion}")
+    if table.manifest:
+        lines.append("")
+        lines.extend(_manifest_section(table.manifest))
+    metrics = getattr(table, "metrics", None)
+    if metrics is not None:
+        lines.append("")
+        lines.extend(_metrics_section(metrics))
+    spans = (table.manifest or {}).get("spans")
+    if spans is not None:
+        lines.append("")
+        lines.extend(_span_section(spans, include_timings))
+    if regressions is not None:
+        lines.append("")
+        lines.extend(render_regression_section(regressions))
+    return "\n".join(lines) + "\n"
+
+
+def render_trace_report(trace: Trace, title: str = "trace") -> str:
+    """The markdown report for one recorded event stream."""
+    stats = trace.stats()
+    lines = [f"# repro report — {title}", ""]
+    lines.append("## Stats")
+    lines.append("")
+    rows = [
+        ("events", stats["events"]),
+        ("max round", stats["max_round"]),
+        ("phases", stats["phases"]),
+        ("unique activated edges", stats["unique_edges"]),
+    ]
+    if "delivery_latency" in stats:
+        lat = stats["delivery_latency"]
+        rows.append(
+            ("delivery latency (rounds)",
+             f"min {lat['min']} / mean {lat['mean']} / max {lat['max']}")
+        )
+    lines.append(markdown_table(("quantity", "value"), rows))
+    lines.append("")
+    lines.append("## Events by kind")
+    lines.append("")
+    lines.append(
+        markdown_table(("kind", "count"), sorted(stats["by_kind"].items()))
+    )
+    curve = trace.coverage_curve()
+    if curve:
+        lines.append("")
+        lines.append("## Coverage curve")
+        lines.append("")
+        lines.append("```")
+        lines.append(ascii_sparkline(curve))
+        lines.append("```")
+        lines.append("")
+        lines.append(
+            f"{curve[0]} → {curve[-1]} rumors known over {len(curve)} rounds."
+        )
+    latencies = trace.delivery_latencies()
+    if latencies:
+        histogram: dict[int, int] = {}
+        for value in latencies:
+            histogram[value] = histogram.get(value, 0) + 1
+        lines.append("")
+        lines.append("## Delivery latency distribution")
+        lines.append("")
+        lines.append(
+            markdown_table(
+                ("latency (rounds)", "deliveries"), sorted(histogram.items())
+            )
+        )
+    churn = trace.activated_edge_churn()
+    if churn:
+        series = [churn.get(r, 0) for r in range(trace.max_round() + 1)]
+        lines.append("")
+        lines.append("## Activated-edge churn")
+        lines.append("")
+        lines.append("```")
+        lines.append(ascii_sparkline(series))
+        lines.append("```")
+        lines.append("")
+        lines.append(
+            f"{sum(churn.values())} unique edges first activated across "
+            f"{len(series)} rounds."
+        )
+    blocked = trace.blocked_initiation_rate()
+    if blocked:
+        lines.append("")
+        lines.append(f"Blocked-initiation rate: {blocked:.4f}")
+    return "\n".join(lines) + "\n"
+
+
+def experiment_report(
+    experiment_id: str,
+    profile: str = "quick",
+    checked: bool = False,
+    include_timings: bool = False,
+    gate: bool = True,
+) -> str:
+    """Run one experiment and render its full report (the CLI workhorse)."""
+    from repro.experiments.harness import run_experiment
+    from repro.obs.regress import gate_suites
+
+    table = run_experiment(experiment_id, profile, checked=checked)
+    regressions = gate_suites(skip_missing=True) if gate else None
+    return render_experiment_report(
+        table, regressions=regressions, include_timings=include_timings
+    )

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.metrics import default_registry
 from repro.obs.telemetry import RunTelemetry
 from repro.sim.engine import Engine
 from repro.sim.metrics import DisseminationResult
@@ -145,6 +146,18 @@ def run_until_complete(
             coverage_curve=tuple(history) if track_progress is not None else None,
             in_flight_curve=tuple(in_flight),
         )
+    # Coarse per-run metrics: clock-free, so serial and REPRO_JOBS=N runs
+    # of the same seeds report identical totals after the worker merge.
+    registry = default_registry()
+    registry.counter("sim_runs_total", "completed run_until_complete calls").inc(
+        protocol=protocol_name
+    )
+    registry.counter("sim_rounds_total", "simulated rounds across all runs").inc(
+        engine.round, protocol=protocol_name
+    )
+    registry.counter(
+        "sim_exchanges_total", "completed exchanges across all runs"
+    ).inc(engine.metrics.exchanges, protocol=protocol_name)
     return DisseminationResult(
         rounds=engine.round,
         complete=complete,

@@ -54,10 +54,36 @@ def trace_path_discovery() -> str:
     return events_to_jsonl(recorder.events)
 
 
+def trace_push_pull_string_ids() -> str:
+    """Push--pull on a Theorem 8 ring relabeled with *string* node ids.
+
+    The other golden runs all use integer nodes; this one drives string
+    identities through ``node_key`` and the canonical serialization end
+    to end (E12's gadget topology, relabeled ``v<i>``).
+    """
+    from repro.graphs.latency_graph import LatencyGraph
+
+    ring = gadgets.theorem8_ring(2, 3, 3, random.Random(0))
+    relabel = {node: f"v{node}" for node in ring.graph.nodes()}
+    graph = LatencyGraph(
+        nodes=[relabel[node] for node in ring.graph.nodes()],
+        edges=[
+            (relabel[u], relabel[v], latency)
+            for u, v, latency in ring.graph.edges()
+        ],
+    )
+    recorder = Recorder.in_memory()
+    run_push_pull(
+        graph, source=relabel[ring.graph.nodes()[0]], seed=2, recorder=recorder
+    )
+    return events_to_jsonl(recorder.events)
+
+
 TRACES = {
     "push_pull_ring_of_cliques.jsonl": trace_push_pull,
     "eid_spanner_broadcast.jsonl": trace_eid,
     "path_discovery_theorem8_ring.jsonl": trace_path_discovery,
+    "push_pull_theorem8_ring_string_ids.jsonl": trace_push_pull_string_ids,
 }
 
 

@@ -117,6 +117,29 @@ class TestSinks:
         assert not buffer.closed
         assert buffer.getvalue() == '{"kind":"wakeup","node":0,"round":2}\n'
 
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write(WakeupEvent(round=0, node=1))
+        sink.close()
+        sink.close()  # second close must be a no-op, not a ValueError
+        assert path.read_text() == '{"kind":"wakeup","node":1,"round":0}\n'
+
+    def test_jsonl_sink_close_tolerates_externally_closed_file(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.write(WakeupEvent(round=0, node=1))
+        buffer.close()  # owner closed the borrowed file first
+        sink.close()  # must not flush a closed file
+
+    def test_recorder_exit_then_explicit_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        with Recorder(sink) as recorder:
+            recorder.record(WakeupEvent(round=0, node=2))
+        sink.close()  # Recorder.__exit__ already closed it
+        assert path.read_text() == '{"kind":"wakeup","node":2,"round":0}\n'
+
     def test_counter_sink_aggregates(self):
         sink = CounterSink()
         sink.write(InitiationEvent(round=0, initiator=0, responder=1, latency=1))
