@@ -1,0 +1,59 @@
+"""Engine-backend microbenchmarks: scalar vs vector on shared graphs.
+
+Times the ``engine_vector`` suite from :mod:`repro.benchmarking` — the
+scalar and vector backends running the *same* seeded push--pull
+workloads on the *same* cached graph — and writes
+``benchmarks/results/BENCH_engine_vector.json``.  When the committed
+baseline (``BENCH_engine_vector_baseline.json``) is present the report
+embeds per-workload speedup factors for the regression gate
+(``repro regress --suite engine_vector``).
+
+Runs standalone — ``pytest benchmarks/test_bench_engine_vector.py`` — so
+CI can smoke the quick profile without the pytest-benchmark plugin.  Set
+``REPRO_PROFILE=full`` for the acceptance workloads (the n=10^4
+scalar/vector comparison points and the n=10^5 / n=2.5·10^5 vector-only
+scale runs).
+"""
+
+from repro.benchmarking import (
+    BENCH_ENGINE_VECTOR_PATH,
+    ENGINE_VECTOR_BASELINE_PATH,
+    run_microbenchmarks,
+    write_report,
+)
+
+
+def test_engine_vector_microbenchmarks(capsys, profile):
+    report = write_report(
+        run_microbenchmarks(profile, suite="engine_vector"),
+        out_path=BENCH_ENGINE_VECTOR_PATH,
+        baseline_path=ENGINE_VECTOR_BASELINE_PATH,
+    )
+    with capsys.disabled():
+        print()
+        for name, entry in sorted(report["workloads"].items()):
+            line = f"{name}: {entry['seconds']:.3f}s"
+            speedup = report.get("speedup", {}).get(name)
+            if speedup:
+                line += f"  ({speedup:.1f}x vs committed baseline)"
+            print(line)
+        print(f"report written to {BENCH_ENGINE_VECTOR_PATH}")
+    assert BENCH_ENGINE_VECTOR_PATH.exists()
+    assert report["workloads"], "no workloads were timed"
+    assert all(entry["seconds"] > 0 for entry in report["workloads"].values())
+
+
+def test_quick_profile_has_shared_comparison_point(profile):
+    # Whatever the profile, the suite must pit both backends against each
+    # other on at least one identical (graph, seed, mode) workload —
+    # that pairing is what makes the committed numbers a *comparison*.
+    from repro.benchmarking import engine_vector_microbenchmarks
+
+    names = [w.name for w in engine_vector_microbenchmarks(profile)]
+    scalar_points = {
+        n.replace("_scalar_", "_") for n in names if "_scalar_" in n
+    }
+    vector_points = {
+        n.replace("_vector_", "_") for n in names if "_vector_" in n
+    }
+    assert scalar_points & vector_points, names

@@ -1,12 +1,15 @@
 """Microbenchmarks: the wall-clock trajectory of the hot paths.
 
 This module defines small, stable sets of workloads and a runner that
-times them and writes JSON reports under ``benchmarks/results/``.  Two
+times them and writes JSON reports under ``benchmarks/results/``.  Three
 suites exist:
 
 * ``engine`` — the simulation core (push--pull dissemination, raw
   :class:`~repro.sim.state.NetworkState` churn, done-node scheduling
   overhead); writes ``BENCH_engine.json``.
+* ``engine_vector`` — scalar vs vector engine backends on the same
+  graphs, plus vector-only scale runs up to ``n = 10^5`` and beyond;
+  writes ``BENCH_engine_vector.json``.
 * ``conductance`` — the analysis pipeline (the ``φ_ℓ`` sweep-cut profile
   behind Definitions 1-2, single-threshold sweeps, ``φ*``/``ℓ*``);
   writes ``BENCH_conductance.json``.
@@ -41,6 +44,7 @@ from typing import Any, Callable, Optional
 __all__ = [
     "Workload",
     "engine_microbenchmarks",
+    "engine_vector_microbenchmarks",
     "conductance_microbenchmarks",
     "microbenchmark_suite",
     "run_microbenchmarks",
@@ -50,6 +54,8 @@ __all__ = [
     "BASELINE_PATH",
     "BENCH_CONDUCTANCE_PATH",
     "CONDUCTANCE_BASELINE_PATH",
+    "BENCH_ENGINE_VECTOR_PATH",
+    "ENGINE_VECTOR_BASELINE_PATH",
     "SUITES",
 ]
 
@@ -58,8 +64,10 @@ BENCH_PATH = RESULTS_DIR / "BENCH_engine.json"
 BASELINE_PATH = RESULTS_DIR / "BENCH_engine_baseline.json"
 BENCH_CONDUCTANCE_PATH = RESULTS_DIR / "BENCH_conductance.json"
 CONDUCTANCE_BASELINE_PATH = RESULTS_DIR / "BENCH_conductance_baseline.json"
+BENCH_ENGINE_VECTOR_PATH = RESULTS_DIR / "BENCH_engine_vector.json"
+ENGINE_VECTOR_BASELINE_PATH = RESULTS_DIR / "BENCH_engine_vector_baseline.json"
 
-SUITES = ("engine", "conductance")
+SUITES = ("engine", "engine_vector", "conductance")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,6 +194,106 @@ def engine_microbenchmarks(profile: str) -> list[Workload]:
 
 
 @functools.lru_cache(maxsize=None)
+def _vector_bench_graph(n: int, avg_degree: float, max_latency: int):
+    """The shared engine-backend benchmark graph: connected ER, 1..max_latency.
+
+    Sampled with :func:`~repro.graphs.generators.erdos_renyi_fast` (the
+    per-pair sampler is ``O(n²)`` and infeasible at ``n = 10^5``) and
+    memoized so scalar and vector workloads time the *engines* on the very
+    same graph, not graph construction.
+    """
+    import random
+
+    from repro.graphs import generators
+    from repro.graphs.latency_models import uniform_latency
+
+    return generators.erdos_renyi_fast(
+        n,
+        avg_degree / n,
+        latency_model=uniform_latency(1, max_latency),
+        rng=random.Random(0),
+    )
+
+
+def _backend_pushpull_workload(
+    backend: str, n: int, avg_degree: float, repeats: int, mode: str = "broadcast"
+) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.protocols.push_pull import run_push_pull
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        result = run_push_pull(graph, mode=mode, seed=0, backend=backend)
+        return {
+            "rounds": result.rounds,
+            "exchanges": result.exchanges,
+            "n": n,
+            "backend": backend,
+        }
+
+    return Workload(
+        name=f"pushpull_{mode}_{backend}_er_n{n}",
+        description=(
+            f"push--pull {mode} on the {backend} backend over fast-sampled "
+            f"Erdős–Rényi G({n}, {avg_degree}/n) with uniform latencies 1..8, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _backend_flooding_workload(n: int, avg_degree: float, repeats: int) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.protocols.flooding import run_flooding
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        result = run_flooding(graph, backend="vector")
+        return {"rounds": result.rounds, "exchanges": result.exchanges, "n": n}
+
+    return Workload(
+        name=f"flooding_vector_er_n{n}",
+        description=(
+            f"round-robin flooding on the vector backend over fast-sampled "
+            f"Erdős–Rényi G({n}, {avg_degree}/n) with uniform latencies 1..8, "
+            "seed 0 (scale smoke toward n = 10^6)"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
+    """The engine-backend comparison suite (scalar vs vector).
+
+    The ``full`` profile holds the PR acceptance workloads: the scalar and
+    vector backends on the *same* ``G(n = 10^4)`` graph (broadcast and
+    all-to-all speedup points), plus vector-only scale runs at
+    ``n = 10^5`` (push--pull) and ``n = 2.5·10^5`` (flooding) that the
+    scalar engine cannot reach in benchmark-friendly time.
+    """
+    from repro.experiments.harness import validate_profile
+
+    validate_profile(profile)
+    if profile == "quick":
+        return [
+            _backend_pushpull_workload("scalar", n=2000, avg_degree=16.0, repeats=3),
+            _backend_pushpull_workload("vector", n=2000, avg_degree=16.0, repeats=3),
+            _backend_pushpull_workload("vector", n=20_000, avg_degree=16.0, repeats=1),
+        ]
+    return [
+        _backend_pushpull_workload("scalar", n=10_000, avg_degree=16.0, repeats=1),
+        _backend_pushpull_workload("vector", n=10_000, avg_degree=16.0, repeats=3),
+        _backend_pushpull_workload(
+            "scalar", n=10_000, avg_degree=16.0, repeats=1, mode="all_to_all"
+        ),
+        _backend_pushpull_workload(
+            "vector", n=10_000, avg_degree=16.0, repeats=1, mode="all_to_all"
+        ),
+        _backend_pushpull_workload("vector", n=100_000, avg_degree=16.0, repeats=1),
+        _backend_flooding_workload(n=250_000, avg_degree=8.0, repeats=1),
+    ]
+
+
+@functools.lru_cache(maxsize=None)
 def _bench_graph(n: int, p: float, max_latency: int):
     """The shared conductance-benchmark graph: connected ER, 1..max_latency.
 
@@ -294,12 +402,24 @@ def conductance_microbenchmarks(profile: str) -> list[Workload]:
     ]
 
 
+_SUITE_BUILDERS: dict[str, Callable[[str], list[Workload]]] = {
+    "engine": lambda profile: engine_microbenchmarks(profile),
+    "engine_vector": lambda profile: engine_vector_microbenchmarks(profile),
+    "conductance": lambda profile: conductance_microbenchmarks(profile),
+}
+
+_SUITE_PATHS: dict[str, tuple[pathlib.Path, pathlib.Path]] = {
+    "engine": (BENCH_PATH, BASELINE_PATH),
+    "engine_vector": (BENCH_ENGINE_VECTOR_PATH, ENGINE_VECTOR_BASELINE_PATH),
+    "conductance": (BENCH_CONDUCTANCE_PATH, CONDUCTANCE_BASELINE_PATH),
+}
+
+
 def microbenchmark_suite(suite: str, profile: str) -> list[Workload]:
-    """The workloads of one named suite (``engine`` or ``conductance``)."""
+    """The workloads of one named suite (see :data:`SUITES`)."""
     if suite not in SUITES:
         raise ValueError(f"unknown benchmark suite {suite!r}; use one of {SUITES}")
-    builder = engine_microbenchmarks if suite == "engine" else conductance_microbenchmarks
-    return builder(profile)
+    return _SUITE_BUILDERS[suite](profile)
 
 
 # ----------------------------------------------------------------------
@@ -413,11 +533,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--out", default=None, help="override the output path")
     args = parser.parse_args(argv)
 
-    bench_path, baseline_path = (
-        (BENCH_PATH, BASELINE_PATH)
-        if args.suite == "engine"
-        else (BENCH_CONDUCTANCE_PATH, CONDUCTANCE_BASELINE_PATH)
-    )
+    bench_path, baseline_path = _SUITE_PATHS[args.suite]
     profiles = ["quick", "full"] if args.profile == "both" else [args.profile]
     merged: dict[str, Any] = {}
     for profile in profiles:

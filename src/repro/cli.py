@@ -5,6 +5,9 @@ Usage (after ``pip install -e .``)::
     python -m repro list-experiments
     python -m repro run-experiment E5 --profile quick
     python -m repro check --experiments E6 --profile quick
+    python -m repro check --backend vector
+    python -m repro simulate --protocol push-pull --topology clique --n 256 \\
+        --backend vector
     python -m repro analyze --topology ring-of-cliques --cliques 6 \\
         --clique-size 8 --inter-latency 12
     python -m repro simulate --protocol push-pull --topology clique --n 32
@@ -192,13 +195,20 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _check_differential(seed: int) -> list[str]:
-    """Engine vs ReferenceEngine on representative graphs/protocols."""
+def _check_differential(seed: int, backend: str = "scalar") -> list[str]:
+    """Engine vs ReferenceEngine on representative graphs/protocols.
+
+    With ``backend="vector"`` the candidate side is the array backend,
+    which is additionally pitted against the scalar engine directly
+    (three-way agreement); the phase-structured General EID leg is
+    skipped because composites are not vector-eligible (docs/MODEL.md §8).
+    """
     from repro.graphs import generators
     from repro.protocols.base import per_node_rng_factory
     from repro.protocols.eid import run_general_eid
     from repro.protocols.flooding import FloodingProtocol
     from repro.protocols.push_pull import PushPullProtocol
+    from repro.sim.engine import Engine
     from repro.sim.runner import broadcast_complete
     from repro.sim.state import NetworkState
     from repro.testing import ReferenceEngine, run_differential
@@ -210,6 +220,11 @@ def _check_differential(seed: int) -> list[str]:
         ("star", generators.star(12)),
         ("erdos-renyi", generators.erdos_renyi(16, 0.3, rng=random.Random(seed))),
     ]
+    # The candidate engine is always compared against the reference oracle;
+    # on the vector backend it is also compared against the scalar engine.
+    legs = [(ReferenceEngine, "reference")]
+    if backend == "vector":
+        legs.append((Engine, "scalar"))
     for graph_name, graph in graphs:
         source = graph.nodes()[0]
         rumor = ("rumor", source)
@@ -229,18 +244,28 @@ def _check_differential(seed: int) -> list[str]:
             ("flooding", lambda rumor=rumor: (lambda node: FloodingProtocol(None))),
         ]
         for protocol_name, make_factory in protocols:
-            report = run_differential(
-                graph,
-                make_factory=make_factory,
-                make_state=make_state,
-                predicate=broadcast_complete(rumor),
-            )
-            label = f"differential {protocol_name} on {graph_name}"
-            if report.equivalent:
-                print(f"ok   {label} ({report.rounds} rounds)")
-            else:
-                failures.append(f"{label}: {'; '.join(report.mismatches[:3])}")
-                print(f"FAIL {label}")
+            for reference_cls, leg_name in legs:
+                report = run_differential(
+                    graph,
+                    make_factory=make_factory,
+                    make_state=make_state,
+                    predicate=broadcast_complete(rumor),
+                    reference_cls=reference_cls,
+                    backend=backend,
+                )
+                label = (
+                    f"differential {protocol_name} on {graph_name} "
+                    f"({backend} vs {leg_name})"
+                )
+                if report.equivalent:
+                    print(f"ok   {label} ({report.rounds} rounds)")
+                else:
+                    failures.append(f"{label}: {'; '.join(report.mismatches[:3])}")
+                    print(f"FAIL {label}")
+    if backend == "vector":
+        print("skip differential general-eid (composite protocols are not "
+              "vector-eligible; see docs/MODEL.md §8)")
+        return failures
     # Composite protocol: the whole General EID pipeline on both engines.
     graph = generators.ring_of_cliques(3, 4, inter_latency=5)
     fast = run_general_eid(graph, seed=seed)
@@ -300,8 +325,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.errors import SimulationError
     from repro.experiments import all_experiments, run_experiment
 
+    backend = getattr(args, "backend", "scalar")
     failures: list[str] = []
-    failures.extend(_check_differential(args.seed))
+    failures.extend(_check_differential(args.seed, backend=backend))
     failures.extend(_check_replay(args.seed))
 
     if args.experiments == "all":
@@ -631,6 +657,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--backend", default="scalar", choices=["scalar", "vector"],
+        help="engine backend every protocol runner defaults to; 'vector' "
+             "(numpy array rounds) only accepts oblivious protocols "
+             "(default: scalar)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(
@@ -659,6 +691,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--profile", default="quick", choices=["quick", "full"])
     check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--backend", default=argparse.SUPPRESS, choices=["scalar", "vector"],
+        help="engine backend under test (also accepted before the "
+             "subcommand; default: scalar)",
+    )
     check.set_defaults(handler=_cmd_check)
 
     analyze = commands.add_parser(
@@ -685,6 +722,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--unknown-latencies", action="store_true")
     simulate.add_argument("--curve", action="store_true",
                           help="print the informed-node sparkline")
+    simulate.add_argument(
+        "--backend", default=argparse.SUPPRESS, choices=["scalar", "vector"],
+        help="engine backend (also accepted before the subcommand; "
+             "'vector' requires an oblivious protocol; default: scalar)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     trace = commands.add_parser(
@@ -762,7 +804,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="gate BENCH_*.json benchmark reports against committed baselines",
     )
     regress.add_argument(
-        "--suite", default="all", choices=["all", "engine", "conductance"]
+        "--suite", default="all",
+        choices=["all", "engine", "engine_vector", "conductance"],
     )
     regress.add_argument(
         "--threshold", type=float, default=None,
@@ -805,7 +848,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        from repro.sim.vector import engine_backend
+
+        # The selected backend becomes the ambient default for every
+        # engine the command constructs (scalar unless --backend vector).
+        with engine_backend(getattr(args, "backend", "scalar")):
+            return args.handler(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -14,6 +14,7 @@ the rows/series a systems paper's evaluation section reports.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import dataclasses
 import functools
 import os
@@ -306,7 +307,10 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
 
 
 def run_experiment(
-    experiment_id: str, profile: Profile = "quick", checked: bool = False
+    experiment_id: str,
+    profile: Profile = "quick",
+    checked: bool = False,
+    backend: Optional[str] = None,
 ) -> ExperimentTable:
     """Run one experiment, optionally under full model-invariant checking.
 
@@ -316,19 +320,28 @@ def run_experiment(
     :func:`repro.sim.invariants.checked` scope — a run that violates the
     model raises :class:`~repro.errors.SimulationError` instead of
     producing a quietly wrong table.
+
+    ``backend`` selects the engine backend every protocol runner inside
+    the experiment defaults to (via the
+    :func:`repro.sim.vector.engine_backend` scope); ``None`` leaves the
+    ambient default in place.  Only experiments built from oblivious
+    protocols can run on the vector backend.
     """
     validate_profile(profile)
     fn = get_experiment(experiment_id)
     spans_before = span_snapshot()
     metrics_before = metrics_snapshot()
-    with span(f"experiment.{experiment_id}"):
-        if not checked:
-            table = fn(profile)
-        else:
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(span(f"experiment.{experiment_id}"))
+        if backend is not None:
+            from repro.sim.vector import engine_backend
+
+            stack.enter_context(engine_backend(backend))
+        if checked:
             from repro.sim import invariants
 
-            with invariants.checked():
-                table = fn(profile)
+            stack.enter_context(invariants.checked())
+        table = fn(profile)
     scoped = MetricsRegistry()
     scoped.merge(metrics_since(metrics_before))
     table.metrics = scoped.collect()
@@ -336,6 +349,7 @@ def run_experiment(
         experiment=experiment_id,
         profile=profile,
         checked=checked,
+        backend=backend,
         spans={
             name: {"count": count, "seconds": total, "max_seconds": maximum}
             for name, (count, total, maximum) in sorted(

@@ -27,6 +27,7 @@ __all__ = [
     "binary_tree",
     "complete_bipartite",
     "erdos_renyi",
+    "erdos_renyi_fast",
     "random_regular",
     "random_geometric",
     "watts_strogatz",
@@ -230,6 +231,69 @@ def erdos_renyi(
             _assign(graph, a, b, model, rng)
     for u, v in itertools.combinations(range(n), 2):
         if not graph.has_edge(u, v) and rng.random() < p:
+            _assign(graph, u, v, model, rng)
+    return graph
+
+
+def erdos_renyi_fast(
+    n: int,
+    p: float,
+    latency_model: Optional[LatencyModel] = None,
+    rng: Optional[random.Random] = None,
+    ensure_connected: bool = True,
+) -> LatencyGraph:
+    """Erdős–Rényi ``G(n, p)`` sampled in ``O(m)`` instead of ``O(n²)``.
+
+    :func:`erdos_renyi` flips a coin per node pair, which is infeasible at
+    the ``n = 10^5`` scales the vector-engine benchmarks run at (5·10^9
+    pairs).  This sampler draws the edge *count* ``m ~ Binomial(C(n,2), p)``
+    and then ``m`` distinct pair indices uniformly from the triangular
+    index space, so the work is proportional to the edges that exist.  The
+    distribution over graphs is exactly ``G(n, p)``; the *sample* for a
+    given seed differs from :func:`erdos_renyi`'s, so the two are not
+    drop-in replacements for seeded expectations.
+
+    As in :func:`erdos_renyi`, ``ensure_connected=True`` threads a random
+    Hamiltonian backbone path through the nodes first; sampled pairs that
+    collide with backbone edges are dropped (matching the slow sampler's
+    skip-existing rule).
+    """
+    import numpy as np
+
+    _check_n(n)
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = rng or random.Random(0)
+    model = resolve_model(latency_model)
+    npr = np.random.default_rng(rng.getrandbits(64))
+    graph = LatencyGraph(nodes=range(n))
+    if ensure_connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for a, b in zip(order, order[1:]):
+            _assign(graph, a, b, model, rng)
+    total = n * (n - 1) // 2
+    if total == 0 or p == 0.0:
+        return graph
+    m = total if p == 1.0 else int(npr.binomial(total, p))
+    if m == 0:
+        return graph
+    if m == total:
+        idx = np.arange(total, dtype=np.int64)
+    else:
+        # Rejection-free-ish distinct sampling: draw, dedup, top up.
+        idx = np.unique(npr.integers(0, total, size=m, dtype=np.int64))
+        while idx.size < m:
+            extra = npr.integers(0, total, size=m - idx.size, dtype=np.int64)
+            idx = np.unique(np.concatenate([idx, extra]))
+    # Invert the row-major triangular index exactly: pairs whose smaller
+    # endpoint is u occupy [starts[u], starts[u+1]).
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(np.arange(n - 1, 0, -1, dtype=np.int64), out=starts[1:])
+    us = np.searchsorted(starts, idx, side="right") - 1
+    vs = idx - starts[us] + us + 1
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if not graph.has_edge(u, v):
             _assign(graph, u, v, model, rng)
     return graph
 

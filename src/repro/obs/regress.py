@@ -10,7 +10,8 @@ the comparison into a machine-checkable verdict wired into CI:
   noise floor (sub-floor timings never flag: on shared CI boxes a 2x on
   a 5 ms workload is scheduler jitter, a 2x on 2 s is a regression);
 * :func:`gate_suite` / :func:`gate_suites` — load the report/baseline
-  pair for a named suite (``engine``, ``conductance``) straight from
+  pair for a named suite (``engine``, ``engine_vector``,
+  ``conductance``) straight from
   ``benchmarks/results/`` and gate them;
 * :meth:`RegressionReport.to_dict` — the machine-readable verdict CI
   archives, and :meth:`RegressionReport.summary` — the human account.
@@ -49,7 +50,7 @@ DEFAULT_THRESHOLD = 1.25
 DEFAULT_NOISE_FLOOR = 0.05
 
 #: Suites the file-level gates know how to locate.
-GATE_SUITES = ("engine", "conductance")
+GATE_SUITES = ("engine", "engine_vector", "conductance")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -235,6 +236,11 @@ def _suite_paths(suite: str) -> tuple[pathlib.Path, pathlib.Path]:
 
     if suite == "engine":
         return benchmarking.BENCH_PATH, benchmarking.BASELINE_PATH
+    if suite == "engine_vector":
+        return (
+            benchmarking.BENCH_ENGINE_VECTOR_PATH,
+            benchmarking.ENGINE_VECTOR_BASELINE_PATH,
+        )
     if suite == "conductance":
         return (
             benchmarking.BENCH_CONDUCTANCE_PATH,

@@ -24,7 +24,12 @@ from repro.protocols.path_discovery import (
     run_t_sequence,
     t_sequence,
 )
-from repro.protocols.push_pull import PushPullProtocol, run_push_pull
+from repro.protocols.push_pull import (
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    run_push_pull,
+)
 from repro.protocols.robustness import (
     RobustnessResult,
     run_push_pull_under_failures,
@@ -50,6 +55,8 @@ __all__ = [
     "LatencyDiscoveryProtocol",
     "PathDiscoveryReport",
     "PhaseRunner",
+    "PullProtocol",
+    "PushProtocol",
     "PushPullProtocol",
     "RRBroadcastProtocol",
     "RobustnessResult",

@@ -21,6 +21,7 @@ from repro.obs.recorder import Recorder
 from repro.obs.telemetry import PhaseTiming
 from repro.sim.engine import Engine, NodeProtocol
 from repro.sim.state import NetworkState
+from repro.sim.vector import resolve_engine_backend
 
 __all__ = ["per_node_rng_factory", "PhaseRunner"]
 
@@ -52,8 +53,8 @@ class PhaseRunner:
         Optional predicate over the state; :attr:`first_complete_round` is
         the cumulative round count when it first held.
     engine_factory:
-        Engine constructor used for every phase; defaults to
-        :class:`~repro.sim.engine.Engine`.  Differential tests substitute
+        Engine constructor used for every phase; defaults to the engine
+        backend named by ``backend``.  Differential tests substitute
         :class:`~repro.testing.reference.ReferenceEngine` here to run
         whole composite protocols against the naive model.
     recorder:
@@ -61,6 +62,12 @@ class PhaseRunner:
         phase's engine.  Passed as an extra ``recorder=`` keyword only
         when set, so factories that do not know about recording (e.g. the
         reference engine) keep working untouched.
+    backend:
+        Engine backend name used when ``engine_factory`` is omitted;
+        ``None`` defers to the ambient
+        :func:`~repro.sim.vector.engine_backend` scope (scalar by
+        default).  Note the vector backend only accepts oblivious
+        protocols, so phase-structured composites need the scalar one.
     """
 
     def __init__(
@@ -70,9 +77,14 @@ class PhaseRunner:
         watch: Optional[Callable[[NetworkState], bool]] = None,
         engine_factory: Optional[Callable[..., Engine]] = None,
         recorder: Optional[Recorder] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
-        self.engine_factory = engine_factory if engine_factory is not None else Engine
+        self.engine_factory = (
+            engine_factory
+            if engine_factory is not None
+            else resolve_engine_backend(backend)
+        )
         self.recorder = recorder
         if state is None:
             state = NetworkState(graph.nodes())

@@ -20,6 +20,7 @@ from repro.sim.engine import Engine, NodeContext, NodeProtocol
 from repro.sim.metrics import DisseminationResult
 from repro.sim.runner import broadcast_complete, run_until_complete
 from repro.sim.state import NetworkState
+from repro.sim.vector import VectorProgram, resolve_engine_backend
 
 __all__ = ["FloodingProtocol", "run_flooding"]
 
@@ -53,6 +54,15 @@ class FloodingProtocol(NodeProtocol):
         self._next += 1
         return target
 
+    def vector_program(self) -> VectorProgram:
+        """Oblivious: deterministic round-robin, optionally knows-gated."""
+        gate = (
+            ("knows", self._push_only_rumor)
+            if self._push_only_rumor is not None
+            else None
+        )
+        return VectorProgram(kind="round_robin", gate=gate, start=self._next)
+
 
 def run_flooding(
     graph: LatencyGraph,
@@ -60,14 +70,20 @@ def run_flooding(
     push_only: bool = False,
     max_rounds: int = 1_000_000,
     allow_incomplete: bool = False,
+    backend: Optional[str] = None,
 ) -> DisseminationResult:
-    """Broadcast one rumor from ``source`` by round-robin flooding."""
+    """Broadcast one rumor from ``source`` by round-robin flooding.
+
+    ``backend`` selects the engine implementation (``"scalar"`` or
+    ``"vector"``); ``None`` defers to the ambient
+    :func:`~repro.sim.vector.engine_backend` scope.
+    """
     if source is None:
         source = graph.nodes()[0]
     rumor = ("rumor", source)
     state = NetworkState(graph.nodes())
     state.add_rumor(source, rumor)
-    engine = Engine(
+    engine = resolve_engine_backend(backend)(
         graph,
         lambda node: FloodingProtocol(rumor if push_only else None),
         state=state,

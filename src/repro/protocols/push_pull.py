@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
+from typing import Hashable
+
 from repro.graphs.latency_graph import LatencyGraph, Node
 from repro.obs.recorder import Recorder
 from repro.sim.engine import Engine, NodeContext, NodeProtocol
@@ -27,9 +29,10 @@ from repro.sim.runner import (
     run_until_complete,
 )
 from repro.sim.state import NetworkState
+from repro.sim.vector import VectorProgram, resolve_engine_backend
 from repro.protocols.base import per_node_rng_factory
 
-__all__ = ["PushPullProtocol", "run_push_pull"]
+__all__ = ["PushPullProtocol", "PushProtocol", "PullProtocol", "run_push_pull"]
 
 
 class PushPullProtocol(NodeProtocol):
@@ -47,6 +50,61 @@ class PushPullProtocol(NodeProtocol):
             return None
         return self._rng.choice(self._neighbors)
 
+    def vector_program(self) -> VectorProgram:
+        """Oblivious: a uniform random neighbor, every round, no gate."""
+        return VectorProgram(kind="random", rng=self._rng)
+
+
+class PushProtocol(PushPullProtocol):
+    """Push-only gossip: only nodes already knowing ``rumor`` initiate.
+
+    The exchange itself stays bidirectional (responding is automatic in
+    the model), but uninformed nodes never spend their initiation — the
+    spread is driven purely by informed nodes pushing outward.
+    """
+
+    def __init__(self, rng: random.Random, rumor: Hashable) -> None:
+        super().__init__(rng)
+        self._rumor = rumor
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        if not self._neighbors:
+            return None
+        if not ctx.state.knows(ctx.node, self._rumor):
+            return None
+        return self._rng.choice(self._neighbors)
+
+    def vector_program(self) -> VectorProgram:
+        """Oblivious with a knows-gate: informed nodes pick randomly."""
+        return VectorProgram(
+            kind="random", rng=self._rng, gate=("knows", self._rumor)
+        )
+
+
+class PullProtocol(PushPullProtocol):
+    """Pull-only gossip: only nodes *not* knowing ``rumor`` initiate.
+
+    Uninformed nodes keep asking random neighbors until the rumor
+    arrives, then go quiet — the mirror image of :class:`PushProtocol`.
+    """
+
+    def __init__(self, rng: random.Random, rumor: Hashable) -> None:
+        super().__init__(rng)
+        self._rumor = rumor
+
+    def on_round(self, ctx: NodeContext) -> Optional[Node]:
+        if not self._neighbors:
+            return None
+        if ctx.state.knows(ctx.node, self._rumor):
+            return None
+        return self._rng.choice(self._neighbors)
+
+    def vector_program(self) -> VectorProgram:
+        """Oblivious with a not-knows-gate: uninformed nodes pick randomly."""
+        return VectorProgram(
+            kind="random", rng=self._rng, gate=("not_knows", self._rumor)
+        )
+
 
 def run_push_pull(
     graph: LatencyGraph,
@@ -60,6 +118,8 @@ def run_push_pull(
     fresh_snapshots: bool = False,
     telemetry: bool = False,
     recorder: Optional[Recorder] = None,
+    variant: str = "push-pull",
+    backend: Optional[str] = None,
 ) -> DisseminationResult:
     """Run push--pull to completion and report the time.
 
@@ -93,6 +153,16 @@ def run_push_pull(
         Optional :class:`~repro.obs.recorder.Recorder` receiving the
         engine's typed event stream.  Neither flag perturbs the run: the
         returned result compares equal to a plain run of the same seed.
+    variant:
+        ``"push-pull"`` (default: everyone initiates), ``"push"`` (only
+        informed nodes initiate), or ``"pull"`` (only uninformed nodes
+        initiate).  The gated variants need a single target rumor, so
+        they require ``mode="broadcast"``.
+    backend:
+        Engine backend name (``"scalar"`` or ``"vector"``).  ``None``
+        defers to the ambient :func:`~repro.sim.vector.engine_backend`
+        scope (scalar by default); both backends are result-identical
+        for the same seed.
     """
     state = NetworkState(graph.nodes())
     progress = None
@@ -115,9 +185,21 @@ def run_push_pull(
         raise ValueError(f"unknown mode {mode!r}")
 
     make_rng = per_node_rng_factory(seed)
-    engine = Engine(
+    if variant == "push-pull":
+        factory = lambda node: PushPullProtocol(make_rng(node))  # noqa: E731
+    elif variant in ("push", "pull"):
+        if mode != "broadcast":
+            raise ValueError(
+                f"variant {variant!r} needs a single target rumor; "
+                'only mode="broadcast" is supported'
+            )
+        cls = PushProtocol if variant == "push" else PullProtocol
+        factory = lambda node: cls(make_rng(node), rumor)  # noqa: E731
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    engine = resolve_engine_backend(backend)(
         graph,
-        lambda node: PushPullProtocol(make_rng(node)),
+        factory,
         state=state,
         latencies_known=False,
         fresh_snapshots=fresh_snapshots,
@@ -126,7 +208,7 @@ def run_push_pull(
     return run_until_complete(
         engine,
         predicate,
-        protocol_name=f"push-pull[{mode}]",
+        protocol_name=f"{variant}[{mode}]",
         max_rounds=max_rounds,
         track_progress=progress,
         allow_incomplete=allow_incomplete,

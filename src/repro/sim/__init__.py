@@ -32,10 +32,26 @@ from repro.obs.recorder import Recorder
 from repro.obs.telemetry import PhaseTiming, RunTelemetry
 from repro.sim.state import NetworkState, Note, Payload
 from repro.sim.trace import TraceEvent, TraceRecorder, render_timeline
+from repro.sim.vector import (
+    ENGINE_BACKENDS,
+    VectorEngine,
+    VectorProgram,
+    VectorState,
+    current_engine_backend,
+    engine_backend,
+    resolve_engine_backend,
+)
 
 __all__ = [
     "Command",
     "CompositeFailure",
+    "ENGINE_BACKENDS",
+    "VectorEngine",
+    "VectorProgram",
+    "VectorState",
+    "current_engine_backend",
+    "engine_backend",
+    "resolve_engine_backend",
     "CrashSchedule",
     "CrashedSilenceChecker",
     "Delivery",

@@ -4,8 +4,12 @@ Every theorem reproduced in this library (Theorems 12, 14, 19, 20) is only
 as trustworthy as the simulator's fidelity to the paper's synchronous
 non-blocking latency model.  This module turns the prose of
 ``docs/MODEL.md`` into executable checks: an :class:`InvariantChecker`
-plugs into :class:`~repro.sim.engine.Engine` (opt-in via
-``Engine(..., checkers=default_checkers())``) and observes every round,
+plugs into either engine backend — the scalar
+:class:`~repro.sim.engine.Engine` or the
+:class:`~repro.sim.vector.VectorEngine` (which drops to its sequential
+mirror path whenever checkers are attached, so I1–I5 observe the exact
+same per-exchange event stream on both backends) — opt-in via
+``Engine(..., checkers=default_checkers())``, and observes every round,
 initiation, and delivery.  A violation raises
 :class:`~repro.errors.SimulationError` carrying a round-stamped excerpt of
 the most recent events, so a broken engine refactor fails loudly at the
@@ -33,7 +37,8 @@ Usage::
 
     engine = Engine(graph, factory, checkers=default_checkers())
 
-    # or: force checking on every Engine built in a scope
+    # or: force checking on every engine built in a scope, whichever
+    # backend (``repro check --backend vector`` does exactly this)
     with checked():
         run_push_pull(graph, seed=0)
 """
@@ -114,7 +119,10 @@ class InvariantChecker:
 
     All hooks default to no-ops; subclasses override the ones they need
     and call :meth:`fail` on a violation.  One instance observes one
-    engine run.
+    engine run.  The ``engine`` the hooks receive is duck-typed: any
+    backend exposing ``graph``/``state``/``round``/``failure_model`` and
+    ``recent_checker_events()`` works (the scalar ``Engine`` and the
+    ``VectorEngine`` sequential path both do).
     """
 
     #: Short name used in violation messages.

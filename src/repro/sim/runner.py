@@ -57,6 +57,9 @@ def all_to_all_complete() -> Callable[[Engine], bool]:
         for node in nodes:
             if state.rumor_count(node) < n:
                 return False
+        knows_every = getattr(state, "knows_every", None)
+        if knows_every is not None:
+            return knows_every(nodes, nodes)
         everyone = set(nodes)
         return all(everyone <= state.rumors(node) for node in nodes)
 

@@ -198,6 +198,27 @@ class NetworkState:
             return 0
         return self._coverage[bit]
 
+    def knows_every(self, nodes: Iterable[Node], rumors: Iterable[Rumor]) -> bool:
+        """Whether every node in ``nodes`` knows every rumor in ``rumors``.
+
+        One integer mask test per node instead of materializing each
+        node's rumor frozenset — on an n-node all-to-all run the final
+        completeness check is O(n) bitmask ANDs rather than O(n²) set
+        inserts.
+        """
+        index = self._space.index
+        required = 0
+        for rumor in rumors:
+            bit = index.get(rumor)
+            if bit is None:
+                return False
+            required |= 1 << bit
+        masks = self._masks
+        node_index = self._node_index
+        return all(
+            masks[node_index[node]] & required == required for node in nodes
+        )
+
     # -- notes ----------------------------------------------------------
     def publish_note(self, origin: Node, **data: Any) -> None:
         """Write/overwrite ``origin``'s own note, bumping its version."""

@@ -1,0 +1,1199 @@
+"""Vectorized engine backend: whole-round array ops for oblivious protocols.
+
+The scalar :class:`~repro.sim.engine.Engine` walks every node with Python
+calls each round, which caps experiments near ``n ≈ 10⁴``.  This module
+provides a second backend, :class:`VectorEngine`, that advances an entire
+round as a handful of numpy array operations:
+
+* **State** lives in a :class:`VectorState` — a packed ``n × ceil(B/64)``
+  uint64 bitset matrix (``B`` = rumor-space size), so merging all of a
+  round's deliveries is one duplicate-safe segmented OR
+  (:func:`_scatter_or`) instead of per-exchange Python merges.
+* **Partner selection** reads a CSR layout built from
+  :meth:`~repro.graphs.latency_graph.LatencyGraph.adjacency_arrays`, with
+  neighbor slots ordered by ``repr`` — exactly the order the oblivious
+  protocols sort their neighbor lists in — so the same per-node
+  ``random.Random`` streams produce the same partners as the scalar run.
+* **Delivery buckets** are arrays of in-flight exchanges keyed by their
+  delivery round (latency slices of one round's initiations), mirroring
+  the scalar engine's ``dict.pop`` bucket scheme at array granularity.
+* **Metrics and coverage** come from array reductions: payload sizes via
+  popcounts, activated edges via a boolean edge-id array folded back into
+  the canonical :class:`~repro.sim.metrics.EngineMetrics` set on demand.
+
+Backend eligibility (see ``docs/MODEL.md`` §8): only **oblivious**
+protocols — whose partner choice does not depend on delivered knowledge
+beyond a fixed knows/not-knows gate, which never locally terminate, and
+which take no per-delivery actions — can be replayed as whole-round array
+ops.  Protocols declare eligibility by returning a :class:`VectorProgram`
+from a ``vector_program()`` method; anything else is rejected with a
+:class:`~repro.errors.SimulationError` naming the offending protocol.
+
+Exactness contract: for the same graph, seeds, and engine options, a
+``VectorEngine`` run is **field-identical** to the scalar ``Engine`` run —
+same per-node knowledge each round, same ``EngineMetrics``, same
+completion round.  The differential suite (``tests/test_vector_differential``)
+and the golden-trace parity suite enforce this.
+
+When a run needs observability or model features the array path cannot
+replay in order (invariant checkers, a recorder, a failure model,
+``fresh_snapshots``, ``enforce_blocking``, or note boards carried in from
+a previous phase), the engine transparently drops to a **sequential
+path** — a faithful per-exchange mirror of the scalar engine operating on
+the bitset state — so event streams stay byte-identical to the scalar
+backend's at small ``n``, and a recorder-off run keeps the zero-cost
+array fast path.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import dataclasses
+import random
+import weakref
+from typing import Any, Callable, Hashable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.events import (
+    BlockedInitiationEvent,
+    DeliveryEvent,
+    InitiationEvent,
+    RejectedInitiationEvent,
+    RoundEvent,
+    VoidExchangeEvent,
+)
+from repro.obs.recorder import Recorder
+from repro.sim import invariants as _invariants
+from repro.sim.engine import (
+    _CHECKER_LOG_SIZE,
+    _EMPTY_PAYLOAD,
+    Engine,
+    NodeContext,
+    NodeProtocol,
+    ProtocolFactory,
+    _InFlight,
+)
+from repro.sim.failures import FailureModel
+from repro.sim.invariants import DeliveryView, ExchangeView, InvariantChecker
+from repro.sim.metrics import EngineMetrics
+from repro.sim.state import NetworkState, Note, Payload, _RumorSpace
+
+__all__ = [
+    "VectorProgram",
+    "VectorState",
+    "VectorEngine",
+    "ENGINE_BACKENDS",
+    "current_engine_backend",
+    "engine_backend",
+    "resolve_engine_backend",
+]
+
+
+# ----------------------------------------------------------------------
+# Popcount: hardware instruction when numpy provides it, byte LUT otherwise.
+if hasattr(np, "bitwise_count"):
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a uint64 bit matrix (vectorized)."""
+        return np.bitwise_count(matrix).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT_LUT = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row popcount via a byte lookup table (numpy < 2 fallback)."""
+        return _POPCOUNT_LUT[matrix.view(np.uint8)].sum(axis=-1, dtype=np.int64)
+
+
+def _scatter_or(bits: np.ndarray, rows: np.ndarray, payloads: np.ndarray) -> None:
+    """OR each payload row into ``bits[row]``, duplicate-safe.
+
+    Plain fancy-index assignment (``bits[rows] |= payloads``) silently
+    keeps only one update per duplicated row index; a round's deliveries
+    routinely hit the same responder many times.  Sorting by row and
+    OR-reducing each segment first preserves every delivery in one pass.
+    """
+    if rows.shape[0] == 0:
+        return
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    sorted_payloads = payloads[order]
+    starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
+    merged = np.bitwise_or.reduceat(sorted_payloads, starts, axis=0)
+    bits[sorted_rows[starts]] |= merged
+
+
+def _randbelow_of(rng: random.Random) -> Callable[[int], int]:
+    """The primitive ``Random.choice(seq)`` consumes: ``_randbelow(len(seq))``.
+
+    Binding it once per node keeps the per-round Python cost of the random
+    cohorts to one call per initiating node; ``randrange`` consumes the
+    underlying stream identically and serves as the fallback.
+    """
+    return getattr(rng, "_randbelow", rng.randrange)
+
+
+#: CSR layouts are pure functions of a graph revision, and engines are
+#: routinely rebuilt over one memoized graph (benchmark repeats, seed
+#: ladders), so the repr-sort and edge-id mapping are cached per graph.
+#: Keyed by ``id(graph)`` (graphs are unhashable); a weakref callback
+#: evicts the entry when the graph is collected, before its id can be
+#: reused.
+_CSR_CACHE: dict[int, tuple] = {}
+
+
+def _csr_arrays(graph: LatencyGraph) -> tuple:
+    """``(deg, off, nbr, lat, eid, edge_tuples)`` for ``graph``, cached.
+
+    ``nbr`` holds each node's neighbors as dense ids in ``repr`` order —
+    the order the oblivious protocols sort their neighbor lists in — so a
+    slot index drawn from the same RNG stream lands on the same partner.
+    ``eid`` maps each CSR slot to its undirected edge id in
+    :meth:`~repro.graphs.latency_graph.LatencyGraph.edge_arrays` order,
+    and ``edge_tuples[e]`` is edge ``e`` as a canonical node-pair tuple.
+    """
+    version = getattr(graph, "_version", None)
+    key = id(graph)
+    cached = _CSR_CACHE.get(key)
+    if (
+        cached is not None
+        and version is not None
+        and cached[0] == version
+        and cached[1]() is graph
+    ):
+        return cached[2:]
+    order = graph.nodes()
+    n = len(order)
+    neighbor_ids, neighbor_lats = graph.adjacency_arrays()
+    reprs = [repr(node) for node in order]
+    deg = np.fromiter((len(row) for row in neighbor_ids), dtype=np.int64, count=n)
+    off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=off[1:])
+    nbr = np.zeros(int(off[-1]), dtype=np.int64)
+    lat = np.zeros(int(off[-1]), dtype=np.int64)
+    for i in range(n):
+        row = neighbor_ids[i]
+        if not row:
+            continue
+        slot_order = sorted(range(len(row)), key=lambda k: reprs[row[k]])
+        lrow = neighbor_lats[i]
+        nbr[off[i] : off[i + 1]] = [row[k] for k in slot_order]
+        lat[off[i] : off[i + 1]] = [lrow[k] for k in slot_order]
+    us, vs, _ = graph.edge_arrays()
+    keys = us * n + vs
+    key_order = np.argsort(keys, kind="stable")
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    lo = np.minimum(src, nbr)
+    hi = np.maximum(src, nbr)
+    eid = key_order[np.searchsorted(keys[key_order], lo * n + hi)]
+    # Canonical (u, v) node tuples per edge id, built once: rebuilding the
+    # activated-edges set then costs one list index per active edge.
+    edge_tuples = [
+        (order[u], order[v]) for u, v in zip(us.tolist(), vs.tolist())
+    ]
+    arrays = (deg, off, nbr, lat, eid, edge_tuples)
+    if version is not None:
+        try:
+            ref = weakref.ref(
+                graph, lambda _ref, key=key: _CSR_CACHE.pop(key, None)
+            )
+        except TypeError:  # pragma: no cover - non-weakref-able graph type
+            pass
+        else:
+            _CSR_CACHE[key] = (version, ref) + arrays
+    return arrays
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class VectorProgram:
+    """Declarative partner-selection rule an oblivious protocol exports.
+
+    Attributes
+    ----------
+    kind:
+        ``"random"`` — contact a uniform random neighbor (push--pull and
+        its gated push/pull variants) — or ``"round_robin"`` — cycle the
+        repr-sorted neighbor list deterministically (flooding).
+    rng:
+        For ``kind="random"``: the protocol's own per-node
+        :class:`random.Random`.  The backend consumes it exactly as
+        ``Random.choice`` over the repr-sorted neighbor list would, so
+        scalar and vector runs of the same seed pick the same partners.
+    gate:
+        ``None`` (always initiate) or ``("knows", rumor)`` /
+        ``("not_knows", rumor)``: the node only initiates in rounds where
+        the condition holds against the shared state.  Gated-out nodes
+        consume no randomness, matching the scalar protocols which return
+        early before touching their RNG.
+    start:
+        Initial round-robin offset, mirroring any counter the protocol
+        advanced before the engine adopted it.
+    """
+
+    kind: str
+    rng: Optional[random.Random] = None
+    gate: Optional[tuple[str, Hashable]] = None
+    start: int = 0
+
+
+# ----------------------------------------------------------------------
+class VectorState:
+    """Packed-bitset network state: one row of uint64 rumor bits per node.
+
+    Implements the full :class:`~repro.sim.state.NetworkState` API
+    (rumors, coverage, note boards, snapshot/merge interop via
+    :class:`~repro.sim.state.Payload`) over an ``n × words`` uint64
+    matrix, so the vector engine's array kernels and every scalar
+    consumer (completion predicates, invariant checkers, the sequential
+    mirror path) read the same storage.
+    """
+
+    __slots__ = ("_node_index", "_node_list", "_space", "_bits", "_notes")
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._node_index: dict[Node, int] = {}
+        self._node_list: list[Node] = []
+        for node in nodes:
+            if node not in self._node_index:
+                self._node_index[node] = len(self._node_list)
+                self._node_list.append(node)
+        self._space = _RumorSpace()
+        self._bits = np.zeros((len(self._node_list), 1), dtype=np.uint64)
+        self._notes: list[dict[Node, Note]] = [{} for _ in self._node_list]
+
+    @classmethod
+    def from_network_state(cls, state: NetworkState) -> "VectorState":
+        """A bitset copy of a scalar state (same tokens, same bit indices)."""
+        out = cls.__new__(cls)
+        out._node_index = dict(state._node_index)
+        out._node_list = list(state._node_list)
+        out._space = _RumorSpace()
+        out._space.index = dict(state._space.index)
+        out._space.tokens = list(state._space.tokens)
+        words = max(1, (len(out._space.tokens) + 63) // 64)
+        out._bits = np.zeros((len(out._node_list), words), dtype=np.uint64)
+        for i, mask in enumerate(state._masks):
+            if mask:
+                out._bits[i] = np.frombuffer(
+                    mask.to_bytes(words * 8, "little"), dtype=np.uint64
+                )
+        out._notes = [dict(board) for board in state._notes]
+        return out
+
+    # -- packed-row plumbing --------------------------------------------
+    def _row_mask(self, i: int) -> int:
+        """Row ``i`` as an arbitrary-precision Python-int bitmask."""
+        return int.from_bytes(self._bits[i].tobytes(), "little")
+
+    def _ensure_bit(self, bit: int) -> None:
+        """Grow the matrix (doubling words) until ``bit`` is addressable."""
+        words = self._bits.shape[1]
+        if bit < words * 64:
+            return
+        grown_words = words
+        while bit >= grown_words * 64:
+            grown_words *= 2
+        grown = np.zeros((self._bits.shape[0], grown_words), dtype=np.uint64)
+        grown[:, :words] = self._bits
+        self._bits = grown
+
+    def _or_row(self, i: int, mask: int) -> None:
+        if not mask:
+            return
+        self._ensure_bit(mask.bit_length() - 1)
+        words = self._bits.shape[1]
+        self._bits[i] |= np.frombuffer(
+            mask.to_bytes(words * 8, "little"), dtype=np.uint64
+        )
+
+    # -- NetworkState API -----------------------------------------------
+    def nodes(self) -> list[Node]:
+        """All nodes this state tracks, in insertion order."""
+        return list(self._node_list)
+
+    def add_rumor(self, node: Node, rumor: Hashable) -> None:
+        """Give ``node`` knowledge of ``rumor``."""
+        i = self._node_index[node]
+        bit = self._space.intern(rumor)
+        self._ensure_bit(bit)
+        word, offset = divmod(bit, 64)
+        self._bits[i, word] |= np.uint64(1 << offset)
+
+    def seed_self_rumors(self) -> None:
+        """Give every node its own id as a rumor (all-to-all dissemination)."""
+        for node in self._node_list:
+            self.add_rumor(node, node)
+
+    def rumors(self, node: Node) -> frozenset:
+        """The rumors ``node`` currently knows."""
+        return self._space.unpack(self._row_mask(self._node_index[node]))
+
+    def rumor_count(self, node: Node) -> int:
+        """How many rumors ``node`` knows (one vectorized popcount)."""
+        return int(_popcount_rows(self._bits[self._node_index[node]]))
+
+    def knows(self, node: Node, rumor: Hashable) -> bool:
+        """Whether ``node`` knows ``rumor``."""
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return False
+        word, offset = divmod(bit, 64)
+        if word >= self._bits.shape[1]:
+            return False
+        return bool(self._bits[self._node_index[node], word] & np.uint64(1 << offset))
+
+    def count_knowing(self, rumor: Hashable) -> int:
+        """How many nodes know ``rumor`` (one column reduction)."""
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return 0
+        word, offset = divmod(bit, 64)
+        if word >= self._bits.shape[1]:
+            return 0
+        return int(
+            np.count_nonzero(self._bits[:, word] & np.uint64(1 << offset))
+        )
+
+    def knows_every(
+        self, nodes: Iterable[Node], rumors: Iterable[Hashable]
+    ) -> bool:
+        """Whether every node in ``nodes`` knows every rumor in ``rumors``.
+
+        One vectorized mask comparison over the packed rows instead of
+        materializing per-node rumor frozensets (which is O(n²) on an
+        all-to-all completeness check).
+        """
+        index = self._space.index
+        words = self._bits.shape[1]
+        required = np.zeros(words, dtype=np.uint64)
+        for rumor in rumors:
+            bit = index.get(rumor)
+            if bit is None or bit >= words * 64:
+                return False
+            word, offset = divmod(bit, 64)
+            required[word] |= np.uint64(1 << offset)
+        rows = self._bits[[self._node_index[node] for node in nodes]]
+        return bool(((rows & required) == required).all())
+
+    # -- notes ----------------------------------------------------------
+    def publish_note(self, origin: Node, **data: Any) -> None:
+        """Write/overwrite ``origin``'s own note, bumping its version."""
+        i = self._node_index[origin]
+        old = self._notes[i].get(origin)
+        version = (old.version + 1) if old is not None else 1
+        self._notes[i][origin] = Note(
+            version=version, data=tuple(sorted(data.items()))
+        )
+
+    def note_of(self, reader: Node, origin: Node) -> Optional[Note]:
+        """The note of ``origin`` as currently known by ``reader`` (or ``None``)."""
+        return self._notes[self._node_index[reader]].get(origin)
+
+    def known_note_origins(self, reader: Node) -> list[Node]:
+        """All origins whose notes ``reader`` has seen."""
+        return list(self._notes[self._node_index[reader]])
+
+    def clear_notes(self) -> None:
+        """Drop every note board."""
+        for board in self._notes:
+            board.clear()
+
+    # -- exchange plumbing ----------------------------------------------
+    def snapshot(self, node: Node) -> Payload:
+        """An immutable snapshot of everything ``node`` knows right now."""
+        i = self._node_index[node]
+        return Payload(
+            notes=tuple(self._notes[i].items()),
+            mask=self._row_mask(i),
+            space=self._space,
+        )
+
+    def merge(self, node: Node, payload: Payload) -> bool:
+        """Merge a received snapshot; returns ``True`` if anything was new."""
+        i = self._node_index[node]
+        if payload._space is self._space and payload._mask is not None:
+            incoming = payload._mask
+        else:
+            incoming = 0
+            for rumor in payload.rumors:
+                incoming |= 1 << self._space.intern(rumor)
+        mine = self._row_mask(i)
+        changed = False
+        if incoming & ~mine:
+            self._or_row(i, incoming)
+            changed = True
+        board = self._notes[i]
+        for origin, note in payload.notes:
+            current = board.get(origin)
+            if current is None or note.version > current.version:
+                board[origin] = note
+                changed = True
+        return changed
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(slots=True)
+class _Batch:
+    """One latency bucket's worth of in-flight exchanges, as arrays.
+
+    Rows are in initiation order (initiator dense-id order within the
+    round); payload matrices are row snapshots taken at initiation time.
+    """
+
+    initiators: np.ndarray
+    responders: np.ndarray
+    initiator_payloads: np.ndarray
+    responder_payloads: np.ndarray
+
+
+class VectorEngine:
+    """Array-ops drop-in for :class:`~repro.sim.engine.Engine`.
+
+    Accepts the same constructor arguments and exposes the same run-facing
+    surface (``step``/``run``/``metrics``/``last_initiations``/
+    ``pending_exchanges``/``all_done``/``protocol``/``finish_checks``),
+    but requires every protocol instance to export a
+    :class:`VectorProgram` (oblivious protocols only — see module
+    docstring).  Runs with checkers, a recorder, a failure model,
+    ``fresh_snapshots``, ``enforce_blocking``, or inherited note boards
+    take the sequential mirror path; plain runs take the array fast path.
+    """
+
+    def __init__(
+        self,
+        graph: LatencyGraph,
+        protocol_factory: ProtocolFactory,
+        state: Optional[Any] = None,
+        latencies_known: bool = False,
+        fresh_snapshots: bool = False,
+        failure_model: Optional[FailureModel] = None,
+        max_incoming_per_round: Optional[int] = None,
+        enforce_blocking: bool = False,
+        checkers: Optional[Sequence[InvariantChecker]] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if max_incoming_per_round is not None and max_incoming_per_round < 1:
+            raise SimulationError(
+                f"max_incoming_per_round must be >= 1, got {max_incoming_per_round}"
+            )
+        self.graph = graph
+        if state is None:
+            self.state = VectorState(graph.nodes())
+        elif isinstance(state, VectorState):
+            self.state = state
+        elif isinstance(state, NetworkState):
+            self.state = VectorState.from_network_state(state)
+        else:
+            raise SimulationError(
+                "VectorEngine needs a NetworkState or VectorState, got "
+                f"{type(state).__name__}"
+            )
+        self.latencies_known = latencies_known
+        self.fresh_snapshots = fresh_snapshots
+        self.failure_model = failure_model
+        self.max_incoming_per_round = max_incoming_per_round
+        self.enforce_blocking = enforce_blocking
+        self.recorder = recorder
+        self._metrics = EngineMetrics()
+        if enforce_blocking:
+            self._metrics.blocked_initiations = 0
+        self._in_flight_initiations: dict[Node, int] = {}
+        self.round = 0
+        self._sequence = 0
+        self._order = graph.nodes()
+        n = graph.num_nodes
+        try:
+            self._row_of = np.fromiter(
+                (self.state._node_index[node] for node in self._order),
+                dtype=np.int64,
+                count=n,
+            )
+        except KeyError as exc:
+            raise SimulationError(
+                f"state does not track graph node {exc.args[0]!r}"
+            ) from None
+
+        self._protocols: dict[Node, NodeProtocol] = {}
+        self._contexts: dict[Node, NodeContext] = {}
+        for node in self._order:
+            self._protocols[node] = protocol_factory(node)
+            self._contexts[node] = NodeContext(self, node)
+        for node in self._order:
+            self._protocols[node].setup(self._contexts[node])
+        self._programs = [self._program_for(node) for node in self._order]
+
+        deg, off, nbr, lat, eid, edge_tuples = _csr_arrays(graph)
+        self._deg, self._off, self._nbr, self._lat = deg, off, nbr, lat
+        self._eid = eid
+        self._edge_tuples = edge_tuples
+        self._edge_active = np.zeros(len(edge_tuples), dtype=bool)
+        self._edges_dirty = False
+
+        # Selection cohorts: nodes sharing (kind, gate) advance together.
+        cohorts: dict[tuple, list[int]] = {}
+        for i, program in enumerate(self._programs):
+            if deg[i]:
+                cohorts.setdefault((program.kind, program.gate), []).append(i)
+        self._cohorts = []
+        for (kind, gate), ids_list in cohorts.items():
+            ids = np.array(ids_list, dtype=np.int64)
+            entry: dict[str, Any] = {
+                "kind": kind,
+                "gate": gate,
+                "ids": ids,
+                "degs": deg[ids],
+            }
+            if kind == "random":
+                rngs = [self._programs[i].rng for i in ids_list]
+                entry["draw"] = [_randbelow_of(rng) for rng in rngs]
+                entry["deg_list"] = [int(deg[i]) for i in ids_list]
+                # CPython's Random._randbelow draws getrandbits(k) with
+                # rejection; when every rng is a plain random.Random the
+                # fast path replays that primitive directly (one C call
+                # per node, vectorized rejection check) — same stream,
+                # no Python frame per draw.
+                base = getattr(random.Random, "_randbelow", None)
+                if base is not None and all(
+                    type(rng) is random.Random
+                    and rng._randbelow.__func__ is base
+                    for rng in rngs
+                ):
+                    entry["gk"] = [
+                        (rng.getrandbits, d.bit_length())
+                        for rng, d in zip(rngs, entry["deg_list"])
+                    ]
+            self._cohorts.append(entry)
+        self._rr_next = np.fromiter(
+            (program.start for program in self._programs), dtype=np.int64, count=n
+        )
+
+        if checkers is None:
+            checkers = (
+                _invariants.default_checkers()
+                if _invariants.checking_enabled()
+                else ()
+            )
+        self._checkers: tuple[InvariantChecker, ...] = tuple(checkers)
+        self._checker_log: collections.deque[str] = collections.deque(
+            maxlen=_CHECKER_LOG_SIZE
+        )
+
+        # Fast path only when nothing needs per-exchange ordering: checkers,
+        # recorder, failures, fresh snapshots, blocking, and inherited note
+        # boards all observe (or perturb) individual exchanges.
+        self._sequential = bool(
+            self._checkers
+            or recorder is not None
+            or failure_model is not None
+            or fresh_snapshots
+            or enforce_blocking
+            or any(self.state._notes)
+        )
+        self._words = self.state._bits.shape[1]
+        self._in_flight: dict[int, list[_InFlight]] = {}
+        self._buckets: dict[int, list[_Batch]] = {}
+        self._pending_count = 0
+        self._last_pairs: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._last_list: Optional[list[tuple[Node, Node]]] = []
+        for checker in self._checkers:
+            checker.on_attach(self)
+
+    # ------------------------------------------------------------------
+    #: Protocol classes that already passed the structural eligibility
+    #: checks (class-level, so validating n instances costs one set probe
+    #: per node after the first engine sees the class).
+    _ELIGIBLE_CLASSES: set = set()
+
+    @classmethod
+    def _validate_class(cls, protocol_cls: type) -> None:
+        """Structural (class-level) vector-eligibility checks, memoized."""
+        if protocol_cls in cls._ELIGIBLE_CLASSES:
+            return
+        name = protocol_cls.__name__
+        if getattr(protocol_cls, "vector_program", None) is None:
+            raise SimulationError(
+                f"protocol {name} is not vector-backend eligible: it declares "
+                "no vector_program() (only oblivious protocols can run on the "
+                "vector backend; see docs/MODEL.md §8)"
+            )
+        if protocol_cls.is_done is not NodeProtocol.is_done:
+            raise SimulationError(
+                f"protocol {name} overrides is_done(); the vector backend only "
+                "runs oblivious protocols, which never terminate locally"
+            )
+        if protocol_cls.on_deliver is not NodeProtocol.on_deliver:
+            raise SimulationError(
+                f"protocol {name} overrides on_deliver(); the vector backend "
+                "cannot replay per-delivery protocol callbacks"
+            )
+        cls._ELIGIBLE_CLASSES.add(protocol_cls)
+
+    def _program_for(self, node: Node) -> VectorProgram:
+        """Extract and validate one protocol's :class:`VectorProgram`."""
+        protocol = self._protocols[node]
+        cls = type(protocol)
+        name = cls.__name__
+        self._validate_class(cls)
+        if not getattr(protocol, "sends_payload", True):
+            raise SimulationError(
+                f"protocol {name} is ping-only (sends_payload=False); the "
+                "vector backend only ships rumor payloads"
+            )
+        program = protocol.vector_program()
+        if not isinstance(program, VectorProgram):
+            raise SimulationError(
+                f"{name}.vector_program() must return a VectorProgram, got "
+                f"{type(program).__name__}"
+            )
+        if program.kind not in ("random", "round_robin"):
+            raise SimulationError(
+                f"unknown vector program kind {program.kind!r} from {name}"
+            )
+        if program.kind == "random" and program.rng is None:
+            raise SimulationError(
+                f"{name} declares kind='random' but carries no rng"
+            )
+        if program.gate is not None and program.gate[0] not in (
+            "knows",
+            "not_knows",
+        ):
+            raise SimulationError(
+                f"unknown vector program gate {program.gate[0]!r} from {name}"
+            )
+        return program
+
+    # -- Engine-compatible surface --------------------------------------
+    @property
+    def metrics(self) -> EngineMetrics:
+        """Engine counters; activated edges are folded in lazily."""
+        if self._edges_dirty:
+            edge_tuples = self._edge_tuples
+            self._metrics.activated_edges = {
+                edge_tuples[e]
+                for e in np.flatnonzero(self._edge_active).tolist()
+            }
+            self._edges_dirty = False
+        return self._metrics
+
+    @property
+    def last_initiations(self) -> list[tuple[Node, Node]]:
+        """This round's ``(initiator, responder)`` pairs (lazy on fast path)."""
+        if self._last_list is None:
+            node_at = self.graph.node_at
+            initiators, responders = self._last_pairs
+            self._last_list = [
+                (node_at(a), node_at(b))
+                for a, b in zip(initiators.tolist(), responders.tolist())
+            ]
+        return self._last_list
+
+    def protocol(self, node: Node) -> NodeProtocol:
+        """The protocol instance for ``node`` (for post-run inspection)."""
+        return self._protocols[node]
+
+    def all_done(self) -> bool:
+        """Oblivious protocols never terminate: done only without live nodes."""
+        if self.failure_model is None:
+            return not self._order
+        return all(
+            self.failure_model.node_crashed(node, self.round)
+            for node in self._order
+        )
+
+    def pending_exchanges(self) -> int:
+        """Number of exchanges still in flight."""
+        return self._pending_count
+
+    def recent_checker_events(self) -> list[str]:
+        """The most recent logged events (the violation trace excerpt)."""
+        return list(self._checker_log)
+
+    def _log_event(self, event: str) -> None:
+        if self._checkers:
+            self._checker_log.append(event)
+
+    def run(
+        self,
+        until: Optional[Callable[["VectorEngine"], bool]] = None,
+        max_rounds: int = 1_000_000,
+    ) -> int:
+        """Run until ``until(engine)`` is true (checked before each round)."""
+        predicate = until if until is not None else (lambda engine: engine.all_done())
+        while not predicate(self):
+            if self.round >= max_rounds:
+                raise SimulationError(
+                    f"simulation exceeded max_rounds={max_rounds} "
+                    f"(round={self.round}, pending={self._pending_count})"
+                )
+            self.step()
+        self.finish_checks()
+        return self.round
+
+    def finish_checks(self) -> None:
+        """Give every attached invariant checker a final end-of-run look."""
+        for checker in self._checkers:
+            checker.on_run_end(self)
+
+    def step(self) -> None:
+        """Execute one round: deliver due exchanges, then collect initiations."""
+        if self._sequential:
+            self._step_sequential()
+        else:
+            self._step_fast()
+
+    # -- fast path: one round = a handful of array ops ------------------
+    def _gate_passes(self, ids: np.ndarray, gate: tuple) -> np.ndarray:
+        condition, rumor = gate
+        bit = self.state._space.index.get(rumor)
+        if bit is None:
+            knows = np.zeros(ids.shape[0], dtype=bool)
+        else:
+            word, offset = divmod(bit, 64)
+            column = self.state._bits[self._row_of[ids], word]
+            knows = (column & np.uint64(1 << offset)) != 0
+        return ~knows if condition == "not_knows" else knows
+
+    def _step_fast(self) -> None:
+        bits = self.state._bits
+        if bits.shape[1] != self._words:
+            raise SimulationError(
+                "rumor space grew mid-run; the vector fast path assumes a "
+                "fixed rumor universe (oblivious protocols never intern new "
+                "rumors after setup)"
+            )
+        # Deliver everything due this round with one segmented OR.
+        batches = self._buckets.pop(self.round, None)
+        if batches is not None:
+            rows = []
+            payloads = []
+            delivered = 0
+            for batch in batches:
+                delivered += batch.initiators.shape[0]
+                rows.append(self._row_of[batch.responders])
+                payloads.append(batch.initiator_payloads)
+                rows.append(self._row_of[batch.initiators])
+                payloads.append(batch.responder_payloads)
+            self._pending_count -= delivered
+            _scatter_or(bits, np.concatenate(rows), np.vstack(payloads))
+
+        # Partner selection, cohort by cohort.  Gated-out and degree-0
+        # nodes consume no randomness, exactly like the scalar protocols.
+        chosen_ids = []
+        chosen_slots = []
+        for cohort in self._cohorts:
+            ids = cohort["ids"]
+            degs = cohort["degs"]
+            take = None
+            if cohort["gate"] is not None:
+                passes = self._gate_passes(ids, cohort["gate"])
+                if not passes.all():
+                    take = np.flatnonzero(passes)
+                    ids = ids[take]
+                    degs = degs[take]
+                if ids.shape[0] == 0:
+                    continue
+            if cohort["kind"] == "random":
+                deg_list = cohort["deg_list"]
+                gk = cohort.get("gk")
+                if gk is not None:
+                    # First draw for every node in one pass, then redraw
+                    # the rejected ones (r >= deg) exactly as CPython's
+                    # _randbelow rejection loop would.  Streams are
+                    # per-node, so batching the first draws cannot reorder
+                    # any single node's consumption.
+                    if take is None:
+                        sel = range(len(gk))
+                    else:
+                        sel = take.tolist()
+                    picks = np.fromiter(
+                        (gk[t][0](gk[t][1]) for t in sel),
+                        dtype=np.int64,
+                        count=ids.shape[0],
+                    )
+                    for j in np.flatnonzero(picks >= degs).tolist():
+                        t = j if take is None else sel[j]
+                        g, k = gk[t]
+                        d = deg_list[t]
+                        v = g(k)
+                        while v >= d:
+                            v = g(k)
+                        picks[j] = v
+                    slots = self._off[ids] + picks
+                else:
+                    draw = cohort["draw"]
+                    if take is None:
+                        picks = [d(k) for d, k in zip(draw, deg_list)]
+                    else:
+                        picks = [draw[k](deg_list[k]) for k in take.tolist()]
+                    slots = self._off[ids] + np.asarray(picks, dtype=np.int64)
+            else:  # round_robin
+                counters = self._rr_next[ids]
+                slots = self._off[ids] + counters % degs
+                self._rr_next[ids] = counters + 1
+            chosen_ids.append(ids)
+            chosen_slots.append(slots)
+
+        if chosen_ids:
+            initiators = np.concatenate(chosen_ids)
+            slots = np.concatenate(chosen_slots)
+            if len(chosen_ids) > 1:
+                # Restore dense-id initiation order (the scalar scan order);
+                # the in-degree cap below is first-come-first-served in it.
+                order = np.argsort(initiators, kind="stable")
+                initiators = initiators[order]
+                slots = slots[order]
+        else:
+            initiators = slots = np.zeros(0, dtype=np.int64)
+        responders = self._nbr[slots]
+        latencies = self._lat[slots]
+        edge_ids = self._eid[slots]
+
+        cap = self.max_incoming_per_round
+        if cap is not None and initiators.shape[0]:
+            by_target = np.argsort(responders, kind="stable")
+            targets = responders[by_target]
+            group_starts = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
+            sizes = np.diff(np.r_[group_starts, targets.shape[0]])
+            rank = (
+                np.arange(targets.shape[0], dtype=np.int64)
+                - np.repeat(group_starts, sizes)
+            )
+            accepted = np.empty(targets.shape[0], dtype=bool)
+            accepted[by_target] = rank < cap
+            rejected = int(targets.shape[0] - int(accepted.sum()))
+            if rejected:
+                self._metrics.rejected_initiations += rejected
+                initiators = initiators[accepted]
+                responders = responders[accepted]
+                latencies = latencies[accepted]
+                edge_ids = edge_ids[accepted]
+
+        count = int(initiators.shape[0])
+        self._last_pairs = (initiators, responders)
+        self._last_list = None
+        if count:
+            metrics = self._metrics
+            initiator_payloads = bits[self._row_of[initiators]]
+            responder_payloads = bits[self._row_of[responders]]
+            sent = _popcount_rows(initiator_payloads)
+            received = _popcount_rows(responder_payloads)
+            metrics.rumor_tokens_sent += int(sent.sum() + received.sum())
+            largest = int(max(sent.max(), received.max()))
+            if largest > metrics.max_payload_rumors:
+                metrics.max_payload_rumors = largest
+            metrics.exchanges += count
+            metrics.messages += 2 * count
+            self._edge_active[edge_ids] = True
+            self._edges_dirty = True
+            self._pending_count += count
+            self._sequence += count
+            unique_latencies = np.unique(latencies)
+            for latency in unique_latencies.tolist():
+                if unique_latencies.shape[0] == 1:
+                    pick: Any = slice(None)
+                else:
+                    pick = latencies == latency
+                self._buckets.setdefault(self.round + int(latency), []).append(
+                    _Batch(
+                        initiators=initiators[pick],
+                        responders=responders[pick],
+                        initiator_payloads=initiator_payloads[pick],
+                        responder_payloads=responder_payloads[pick],
+                    )
+                )
+        self.round += 1
+        self._metrics.rounds = self.round
+
+    # -- sequential path: the scalar engine's semantics, exchange by
+    # -- exchange, over the bitset state (checkers/recorder/failures) ----
+    def _step_sequential(self) -> None:
+        self._last_list = []
+        self._last_pairs = None
+        for checker in self._checkers:
+            checker.on_round_start(self)
+        delivered = self._deliver_due()
+        recorder = self.recorder
+        incoming: dict[Node, int] = {}
+        failure_model = self.failure_model
+        protocols = self._protocols
+        contexts = self._contexts
+        graph_adj = self.graph.adjacency_view()
+        for node in self._order:
+            if failure_model is not None and failure_model.node_crashed(
+                node, self.round
+            ):
+                continue
+            target = protocols[node].on_round(contexts[node])
+            if target is None:
+                continue
+            if target not in graph_adj.get(node, ()):
+                raise ProtocolError(
+                    f"node {node!r} tried to contact non-neighbor {target!r}"
+                )
+            if self.max_incoming_per_round is not None:
+                accepted = incoming.get(target, 0)
+                if accepted >= self.max_incoming_per_round:
+                    self._metrics.rejected_initiations += 1
+                    if recorder is not None:
+                        recorder.record(
+                            RejectedInitiationEvent(
+                                round=self.round, initiator=node, responder=target
+                            )
+                        )
+                    continue
+                incoming[target] = accepted + 1
+            self._initiate(node, target)
+        for checker in self._checkers:
+            checker.on_round_end(self)
+        if recorder is not None:
+            recorder.record(
+                RoundEvent(
+                    round=self.round,
+                    initiations=len(self._last_list),
+                    deliveries=delivered,
+                    in_flight=self._pending_count,
+                )
+            )
+        self.round += 1
+        self._metrics.rounds = self.round
+
+    def _initiate(self, initiator: Node, responder: Node) -> None:
+        latency = self.graph.latency(initiator, responder)
+        if self.enforce_blocking and self._in_flight_initiations.get(initiator, 0):
+            self._metrics.blocked_initiations += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    BlockedInitiationEvent(
+                        round=self.round, initiator=initiator, responder=responder
+                    )
+                )
+            raise ProtocolError(
+                f"blocking violation: node {initiator!r} initiated while a "
+                "previous exchange of its own is still in flight"
+            )
+        lost = self.failure_model is not None and self.failure_model.exchange_lost(
+            initiator, responder, self.round
+        )
+        if self.recorder is not None:
+            self.recorder.record(
+                InitiationEvent(
+                    round=self.round,
+                    initiator=initiator,
+                    responder=responder,
+                    latency=latency,
+                    ping=False,
+                    lost=lost,
+                )
+            )
+        if self._checkers:
+            self._log_event(
+                f"round {self.round}: {initiator!r} -> {responder!r} initiate "
+                f"(latency {latency}" + (", lost" if lost else "") + ")"
+            )
+            view = ExchangeView(
+                initiator=initiator,
+                responder=responder,
+                round=self.round,
+                latency=latency,
+                ping_only=False,
+                lost=lost,
+            )
+            for checker in self._checkers:
+                checker.on_initiation(self, view)
+        if lost:
+            self._metrics.lost_exchanges += 1
+            return
+        self._sequence += 1
+        if self.fresh_snapshots:
+            initiator_payload = responder_payload = _EMPTY_PAYLOAD
+        else:
+            initiator_payload = self.state.snapshot(initiator)
+            responder_payload = self.state.snapshot(responder)
+        exchange = _InFlight(
+            delivers_at=self.round + latency,
+            sequence=self._sequence,
+            initiator=initiator,
+            responder=responder,
+            initiated_at=self.round,
+            initiator_payload=initiator_payload,
+            responder_payload=responder_payload,
+            ping_only=False,
+        )
+        bucket = self._in_flight.get(exchange.delivers_at)
+        if bucket is None:
+            bucket = self._in_flight[exchange.delivers_at] = []
+        bucket.append(exchange)
+        self._pending_count += 1
+        if self.enforce_blocking:
+            self._in_flight_initiations[initiator] = (
+                self._in_flight_initiations.get(initiator, 0) + 1
+            )
+        self._last_list.append((initiator, responder))
+        if not self.fresh_snapshots:
+            self._account_payloads(initiator_payload, responder_payload)
+        self._metrics.exchanges += 1
+        self._metrics.messages += 2
+        self._metrics.activated_edges.add(
+            self.graph.canonical_edge(initiator, responder)
+        )
+
+    def _account_payloads(
+        self, initiator_payload: Payload, responder_payload: Payload
+    ) -> None:
+        sent = initiator_payload.rumor_count
+        received = responder_payload.rumor_count
+        self._metrics.rumor_tokens_sent += sent + received
+        if sent < received:
+            sent = received
+        if sent > self._metrics.max_payload_rumors:
+            self._metrics.max_payload_rumors = sent
+
+    def _deliver_due(self) -> int:
+        bucket = self._in_flight.pop(self.round, None)
+        if bucket is None:
+            return 0
+        self._pending_count -= len(bucket)
+        for exchange in bucket:
+            self._deliver(exchange)
+        return len(bucket)
+
+    def _deliver(self, exchange: _InFlight) -> None:
+        if self.enforce_blocking:
+            remaining = self._in_flight_initiations[exchange.initiator] - 1
+            if remaining:
+                self._in_flight_initiations[exchange.initiator] = remaining
+            else:
+                del self._in_flight_initiations[exchange.initiator]
+        initiator_alive = responder_alive = True
+        if self.failure_model is not None:
+            initiator_alive = not self.failure_model.node_crashed(
+                exchange.initiator, self.round
+            )
+            responder_alive = not self.failure_model.node_crashed(
+                exchange.responder, self.round
+            )
+        if self._checkers:
+            delivery_view = DeliveryView(
+                initiator=exchange.initiator,
+                responder=exchange.responder,
+                initiated_at=exchange.initiated_at,
+                delivered_at=self.round,
+                ping_only=False,
+                initiator_alive=initiator_alive,
+            )
+        if not responder_alive:
+            self._metrics.lost_exchanges += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    VoidExchangeEvent(
+                        round=self.round,
+                        initiator=exchange.initiator,
+                        responder=exchange.responder,
+                        initiated_at=exchange.initiated_at,
+                    )
+                )
+            if self._checkers:
+                self._log_event(
+                    f"round {self.round}: exchange {exchange.initiator!r} -> "
+                    f"{exchange.responder!r} (from round "
+                    f"{exchange.initiated_at}) void: responder crashed"
+                )
+                for checker in self._checkers:
+                    checker.on_exchange_void(self, delivery_view)
+            return
+        if self.fresh_snapshots:
+            initiator_payload = self.state.snapshot(exchange.initiator)
+            responder_payload = self.state.snapshot(exchange.responder)
+            self._account_payloads(initiator_payload, responder_payload)
+        else:
+            initiator_payload = exchange.initiator_payload
+            responder_payload = exchange.responder_payload
+        recorder = self.recorder
+        if recorder is not None:
+            before_responder = self.state.rumor_count(exchange.responder)
+            before_initiator = (
+                self.state.rumor_count(exchange.initiator) if initiator_alive else 0
+            )
+        self.state.merge(exchange.responder, initiator_payload)
+        if initiator_alive:
+            self.state.merge(exchange.initiator, responder_payload)
+        if recorder is not None:
+            recorder.record(
+                DeliveryEvent(
+                    round=self.round,
+                    initiator=exchange.initiator,
+                    responder=exchange.responder,
+                    initiated_at=exchange.initiated_at,
+                    ping=False,
+                    initiator_alive=initiator_alive,
+                    learned_by_initiator=(
+                        self.state.rumor_count(exchange.initiator) - before_initiator
+                        if initiator_alive
+                        else 0
+                    ),
+                    learned_by_responder=(
+                        self.state.rumor_count(exchange.responder) - before_responder
+                    ),
+                )
+            )
+        if self._checkers:
+            self._log_event(
+                f"round {self.round}: {exchange.initiator!r} <-> "
+                f"{exchange.responder!r} deliver (initiated at "
+                f"{exchange.initiated_at}"
+                + ("" if initiator_alive else ", initiator crashed")
+                + ")"
+            )
+            for checker in self._checkers:
+                checker.on_delivery(self, delivery_view)
+
+
+# ----------------------------------------------------------------------
+# Backend registry and selection scope.
+ENGINE_BACKENDS: dict[str, Callable[..., Any]] = {
+    "scalar": Engine,
+    "vector": VectorEngine,
+}
+
+_BACKEND_STACK: list[str] = ["scalar"]
+
+
+def current_engine_backend() -> str:
+    """The backend name engines default to (innermost active scope)."""
+    return _BACKEND_STACK[-1]
+
+
+def resolve_engine_backend(name: Optional[str] = None) -> Callable[..., Any]:
+    """Map a backend name to an engine class (``None`` = current scope)."""
+    if name is None:
+        name = current_engine_backend()
+    try:
+        return ENGINE_BACKENDS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine backend {name!r}; available: "
+            + ", ".join(sorted(ENGINE_BACKENDS))
+        ) from None
+
+
+@contextlib.contextmanager
+def engine_backend(name: str) -> Iterator[None]:
+    """Scope during which ``resolve_engine_backend(None)`` yields ``name``.
+
+    This is how ``repro --backend vector`` and
+    ``run_experiment(..., backend=...)`` steer every engine construction
+    in a call tree without threading a parameter through each layer.
+    """
+    resolve_engine_backend(name)  # validate eagerly, before entering
+    _BACKEND_STACK.append(name)
+    try:
+        yield
+    finally:
+        _BACKEND_STACK.pop()

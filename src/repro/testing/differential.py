@@ -80,6 +80,7 @@ def run_differential(
     max_rounds: int = 100_000,
     engine_cls: Callable = Engine,
     reference_cls: Callable = ReferenceEngine,
+    backend: Optional[str] = None,
 ) -> DifferentialReport:
     """Run both engines in lockstep and compare knowledge, rounds, metrics.
 
@@ -117,7 +118,16 @@ def run_differential(
     engine_cls, reference_cls:
         The two implementations to compare (overridable so the suite can
         prove a deliberately broken engine *is* caught).
+    backend:
+        Engine-backend name for the candidate side; overrides
+        ``engine_cls`` via :func:`~repro.sim.vector.resolve_engine_backend`
+        (e.g. ``backend="vector"`` pits the array backend against the
+        reference oracle).
     """
+    if backend is not None:
+        from repro.sim.vector import resolve_engine_backend
+
+        engine_cls = resolve_engine_backend(backend)
     if make_reference_state is None:
         make_reference_state = make_state
     engines = []

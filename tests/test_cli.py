@@ -291,3 +291,102 @@ class TestProfile:
         assert "mean ms" in out
         assert "manifest: " in out
         assert "repro_jobs=" in out
+
+
+class TestVectorBackendCLI:
+    """--backend plumbing: check legs, simulate runs, eligibility errors."""
+
+    def test_check_vector_backend_stubbed_passes(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch)
+        assert main(["check", "--backend", "vector", "--experiments", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "(vector vs reference)" in out
+        assert "(vector vs scalar)" in out
+        assert "skip differential general-eid" in out
+        assert "check passed" in out
+
+    def test_check_vector_backend_mismatch_fails(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch, diff_ok=False)
+        assert main(["check", "--backend", "vector", "--experiments", "none"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL differential push-pull" in captured.out
+        assert "(vector vs reference)" in captured.out
+        assert "check FAILED" in captured.err
+
+    def test_backend_flag_accepted_before_subcommand(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch)
+        assert main(["--backend", "vector", "check", "--experiments", "none"]) == 0
+        assert "(vector vs scalar)" in capsys.readouterr().out
+
+    def test_scalar_check_has_no_vector_legs(self, capsys, monkeypatch):
+        _stub_check_internals(monkeypatch)
+        assert main(["check", "--experiments", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "(scalar vs reference)" in out
+        assert "vs scalar)" not in out
+        assert "skip differential" not in out
+
+    def test_simulate_vector_matches_scalar_output(self, capsys):
+        args = ["simulate", "--protocol", "push-pull", "--topology", "clique",
+                "--n", "16"]
+        assert main(args) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(args + ["--backend", "vector"]) == 0
+        vector_out = capsys.readouterr().out
+        assert "push-pull[broadcast]" in vector_out
+        assert vector_out == scalar_out
+
+    def test_simulate_vector_rejects_composite_protocol(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "general-eid", "--topology", "grid",
+             "--rows", "3", "--cols", "3", "--backend", "vector"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_backend_is_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--protocol", "push-pull", "--topology",
+                  "clique", "--n", "8", "--backend", "quantum"])
+
+    def test_regress_engine_vector_suite(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        import repro.benchmarking as benchmarking
+
+        report = tmp_path / "BENCH_engine_vector.json"
+        base = tmp_path / "BENCH_engine_vector_baseline.json"
+        base.write_text(
+            json.dumps({"workloads": {"w": {"seconds": 1.0}}}), "utf-8"
+        )
+        report.write_text(
+            json.dumps({"workloads": {"w": {"seconds": 0.5}}}), "utf-8"
+        )
+        monkeypatch.setattr(benchmarking, "BENCH_ENGINE_VECTOR_PATH", report)
+        monkeypatch.setattr(
+            benchmarking, "ENGINE_VECTOR_BASELINE_PATH", base
+        )
+        assert main(["regress", "--suite", "engine_vector"]) == 0
+        assert "regression gate [engine_vector]: OK" in capsys.readouterr().out
+
+    def test_regress_engine_vector_fails_on_slowdown(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        import repro.benchmarking as benchmarking
+
+        report = tmp_path / "BENCH_engine_vector.json"
+        base = tmp_path / "BENCH_engine_vector_baseline.json"
+        base.write_text(
+            json.dumps({"workloads": {"w": {"seconds": 1.0}}}), "utf-8"
+        )
+        report.write_text(
+            json.dumps({"workloads": {"w": {"seconds": 3.0}}}), "utf-8"
+        )
+        monkeypatch.setattr(benchmarking, "BENCH_ENGINE_VECTOR_PATH", report)
+        monkeypatch.setattr(
+            benchmarking, "ENGINE_VECTOR_BASELINE_PATH", base
+        )
+        assert main(["regress", "--suite", "engine_vector"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out

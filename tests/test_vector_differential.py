@@ -1,0 +1,301 @@
+"""Differential tests for the vector engine backend.
+
+:class:`~repro.sim.vector.VectorEngine` must be *field-identical* to both
+the production scalar :class:`~repro.sim.engine.Engine` and the naive
+:class:`~repro.testing.ReferenceEngine` for every oblivious protocol:
+same completion rounds, same per-node knowledge, same metrics (including
+activated edges), under random graphs, seeds, engine configs, crash
+schedules, and responder caps.  Protocols that are not oblivious must be
+rejected loudly at construction, and the invariant checkers (which force
+the vector backend onto its sequential mirror path) must keep their
+teeth.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graphs.generators import erdos_renyi, ring_of_cliques
+from repro.graphs.latency_models import uniform_latency
+from repro.protocols.base import per_node_rng_factory
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.push_pull import (
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    run_push_pull,
+)
+from repro.sim.engine import Engine, NodeProtocol
+from repro.sim.invariants import checked, default_checkers
+from repro.sim.runner import all_to_all_complete, broadcast_complete
+from repro.sim.state import NetworkState
+from repro.sim.vector import VectorEngine, VectorProgram
+from repro.testing import (
+    ReferenceEngine,
+    assert_engines_agree,
+    connected_latency_graphs,
+    crash_schedules,
+    engine_configs,
+    large_dense_graphs,
+    run_differential,
+    seeds,
+)
+
+
+def broadcast_setup(graph):
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+
+    def make_state():
+        state = NetworkState(graph.nodes())
+        state.add_rumor(source, rumor)
+        return state
+
+    return rumor, make_state
+
+
+#: name -> builder(rumor) -> per-node protocol constructor args.
+RNG_PROTOCOLS = {
+    "push-pull": lambda rumor: (lambda rng: PushPullProtocol(rng)),
+    "push": lambda rumor: (lambda rng: PushProtocol(rng, rumor)),
+    "pull": lambda rumor: (lambda rng: PullProtocol(rng, rumor)),
+}
+
+
+class TestVectorVsReference:
+    """backend="vector" against the naive oracle, all oblivious variants."""
+
+    @pytest.mark.parametrize("variant", sorted(RNG_PROTOCOLS))
+    @given(connected_latency_graphs(), seeds())
+    @settings(max_examples=15, deadline=None)
+    def test_rng_protocols_agree(self, variant, graph, seed):
+        rumor, make_state = broadcast_setup(graph)
+        build = RNG_PROTOCOLS[variant](rumor)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: build(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=5_000,
+            backend="vector",
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+    @given(connected_latency_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_flooding_agrees(self, graph):
+        rumor, make_state = broadcast_setup(graph)
+        report = run_differential(
+            graph,
+            make_factory=lambda: (lambda node: FloodingProtocol(None)),
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=5_000,
+            backend="vector",
+        )
+        assert_engines_agree(report)
+
+    @given(connected_latency_graphs(max_nodes=10), seeds())
+    @settings(max_examples=10, deadline=None)
+    def test_all_to_all_agrees(self, graph, seed):
+        def make_state():
+            state = NetworkState(graph.nodes())
+            state.seed_self_rumors()
+            return state
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=all_to_all_complete(),
+            max_rounds=5_000,
+            backend="vector",
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+
+class TestVectorVsScalar:
+    """backend="vector" against the production scalar engine itself."""
+
+    @given(large_dense_graphs(max_nodes=25), seeds(100))
+    @settings(max_examples=10, deadline=None)
+    def test_dense_graphs_agree(self, graph, seed):
+        rumor, make_state = broadcast_setup(graph)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            max_rounds=5_000,
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+    @given(connected_latency_graphs(max_nodes=12), seeds(), engine_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_fresh_snapshots_and_cap_agree(self, graph, seed, config):
+        rumor, make_state = broadcast_setup(graph)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=broadcast_complete(rumor),
+            fresh_snapshots=config["fresh_snapshots"],
+            max_incoming_per_round=config["max_incoming_per_round"],
+            max_rounds=5_000,
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+
+    @given(large_dense_graphs(min_nodes=8, max_nodes=16), seeds(100), st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_crash_schedules_agree(self, graph, seed, data):
+        rumor, make_state = broadcast_setup(graph)
+        source = graph.nodes()[0]
+        crashes = data.draw(crash_schedules(graph.nodes(), protect=[source]))
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            predicate=lambda engine: engine.round >= 25,
+            make_failure_model=lambda: crashes,  # stateless: sharable
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+
+
+class _NoProgram(NodeProtocol):
+    """Oblivious-looking protocol that declares no vector program."""
+
+    def on_round(self, ctx):
+        return None
+
+
+class _Terminating(PushPullProtocol):
+    """Locally-terminating variant: not oblivious, must be rejected."""
+
+    def is_done(self, ctx):
+        return False
+
+
+class _DeliveryHook(PushPullProtocol):
+    """Variant with a per-delivery callback: cannot be replayed as arrays."""
+
+    def on_deliver(self, ctx, exchange):
+        pass
+
+
+class _PingOnly(PushPullProtocol):
+    """Payload-free variant: the vector backend only ships rumors."""
+
+    sends_payload = False
+
+
+class _BadKind(PushPullProtocol):
+    def vector_program(self):
+        return VectorProgram(kind="telepathy", rng=self._rng)
+
+
+class _RandomWithoutRng(PushPullProtocol):
+    def vector_program(self):
+        return VectorProgram(kind="random", rng=None)
+
+
+class TestEligibility:
+    """Non-oblivious protocols are rejected at engine construction."""
+
+    GRAPH = ring_of_cliques(3, 3, inter_latency=2, rng=random.Random(0))
+
+    def _factory(self, protocol_cls):
+        make_rng = per_node_rng_factory(0)
+        return lambda node: protocol_cls(make_rng(node))
+
+    @pytest.mark.parametrize(
+        "protocol_cls, pattern",
+        [
+            (_Terminating, "is_done"),
+            (_DeliveryHook, "on_deliver"),
+            (_PingOnly, "ping-only"),
+            (_BadKind, "telepathy"),
+            (_RandomWithoutRng, "rng"),
+        ],
+    )
+    def test_ineligible_protocols_rejected(self, protocol_cls, pattern):
+        with pytest.raises(SimulationError, match=pattern):
+            VectorEngine(self.GRAPH, self._factory(protocol_cls))
+
+    def test_protocol_without_program_rejected(self):
+        with pytest.raises(SimulationError, match="vector_program"):
+            VectorEngine(self.GRAPH, lambda node: _NoProgram())
+
+    def test_scalar_engine_still_accepts_them(self):
+        # The same protocols are fine on the scalar backend: eligibility
+        # is a vector-backend restriction, not a model restriction.
+        engine = Engine(self.GRAPH, self._factory(_Terminating))
+        engine.step()
+        assert engine.round == 1
+
+
+class TestVectorInvariants:
+    """I1–I5 accept the vector backend and still catch a broken run."""
+
+    def test_checked_scope_passes_on_vector_backend(self):
+        graph = erdos_renyi(
+            24, 0.2, latency_model=uniform_latency(1, 4), rng=random.Random(5)
+        )
+        with checked():
+            scalar = run_push_pull(graph, seed=3)
+            vector = run_push_pull(graph, seed=3, backend="vector")
+        assert scalar == vector
+
+    def test_checkers_catch_forgotten_knowledge(self):
+        graph = ring_of_cliques(3, 3, inter_latency=2, rng=random.Random(1))
+        make_rng = per_node_rng_factory(0)
+        engine = VectorEngine(
+            graph,
+            lambda node: PushPullProtocol(make_rng(node)),
+            checkers=default_checkers(),
+        )
+        engine.state.seed_self_rumors()
+        for _ in range(4):
+            engine.step()
+        # Sabotage: wipe one node's entire row — knowledge must be
+        # monotone, so the end-of-run scan has to fail.  (finish_checks,
+        # not another step: a delivery in the next round could
+        # legitimately restore the wiped knowledge first.)
+        engine.state._bits[0] = 0
+        with pytest.raises(SimulationError, match="monotone"):
+            engine.finish_checks()

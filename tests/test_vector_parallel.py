@@ -1,0 +1,61 @@
+"""Vector-backend trials under the ``REPRO_JOBS`` process-pool fan-out.
+
+A parallel :func:`~repro.experiments.harness.map_trials` run of
+vector-backend simulations must be bit-identical to the serial run —
+results, merged span counts, and merged metric values alike.  The trial
+function lives at module level so it pickles into the worker processes.
+"""
+
+import random
+
+from repro.experiments.harness import map_trials
+from repro.graphs import generators
+from repro.graphs.latency_models import uniform_latency
+from repro.obs.metrics import metrics_since, metrics_snapshot
+from repro.obs.profile import span_snapshot, spans_since
+from repro.protocols.push_pull import run_push_pull
+
+
+def _vector_trial(seed):
+    """One seeded vector-backend broadcast (module-level so it pickles)."""
+    graph = generators.erdos_renyi(
+        40, 0.12, latency_model=uniform_latency(1, 5), rng=random.Random(seed)
+    )
+    return run_push_pull(graph, seed=seed, backend="vector")
+
+
+SEEDS = list(range(6))
+
+
+def test_parallel_vector_trials_bit_identical(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    serial = map_trials(_vector_trial, SEEDS)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    parallel = map_trials(_vector_trial, SEEDS)
+    assert parallel == serial
+    assert all(result.complete for result in serial)
+
+
+def test_parallel_vector_trials_merge_spans_and_metrics(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    spans_before = span_snapshot()
+    metrics_before = metrics_snapshot()
+    map_trials(_vector_trial, SEEDS)
+    serial_spans = spans_since(spans_before)
+    serial_metrics = metrics_since(metrics_before)
+
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    spans_before = span_snapshot()
+    metrics_before = metrics_snapshot()
+    map_trials(_vector_trial, SEEDS)
+    parallel_spans = spans_since(spans_before)
+    parallel_metrics = metrics_since(metrics_before)
+
+    # Span *counts* are deterministic (durations are wall clock, so only
+    # the counts compare); every trial is timed under harness.trial.
+    assert parallel_spans["harness.trial"][0] == serial_spans["harness.trial"][0]
+    assert serial_spans["harness.trial"][0] == len(SEEDS)
+    # Metric values never read a clock, so the merged parallel deltas are
+    # identical to the serial ones — runs, rounds, and all.
+    assert parallel_metrics == serial_metrics
+    assert serial_metrics["sim_runs_total"]["cells"]
