@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples experiments report regress clean
+.PHONY: install test bench bench-full scale-smoke examples experiments report regress clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,12 @@ bench:
 
 bench-full:
 	REPRO_PROFILE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Mega-scale memory smoke: the n=10^5 vector-backend broadcast under an
+# enforced RLIMIT_DATA ceiling, then the engine_scale regression gate.
+scale-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_engine_scale.py -p no:cacheprovider -q
+	PYTHONPATH=src $(PYTHON) -m repro regress --suite engine_scale
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

@@ -3,7 +3,10 @@
 Each benchmark runs one experiment from the registry (one iteration — the
 experiments are internally repeated over seed ladders), prints the
 reproduced table through the capture-disabled channel so it lands in the
-benchmark log, and saves it under ``benchmarks/results/``.
+benchmark log, and saves it under ``benchmarks/results/``.  Every run
+also records the process resident-set high-water mark (``peak_rss_kb``)
+next to the wall time, so memory regressions are visible in the same
+artifacts as timing regressions.
 
 Set ``REPRO_PROFILE=full`` for the larger parameter ladders.
 """
@@ -26,6 +29,7 @@ def run_experiment(benchmark, capsys, profile):
     """Run one registered experiment under pytest-benchmark and report it."""
 
     def run(experiment_id: str):
+        from repro.benchmarking import peak_rss_kb
         from repro.experiments import get_experiment
 
         experiment = get_experiment(experiment_id)
@@ -33,6 +37,10 @@ def run_experiment(benchmark, capsys, profile):
             experiment, args=(profile,), iterations=1, rounds=1
         )
         text = table.to_text()
+        rss = peak_rss_kb()
+        if rss is not None:
+            benchmark.extra_info["peak_rss_kb"] = rss
+            text += f"\npeak_rss_kb: {rss}"
         with capsys.disabled():
             print()
             print(text)

@@ -1,0 +1,108 @@
+"""Mega-scale engine benchmarks: vector-backend broadcasts with memory caps.
+
+Times the ``engine_scale`` suite from :mod:`repro.benchmarking` — seeded
+push--pull broadcasts on the vector backend at ``n = 10^5`` (quick) and
+``n = 10^6`` (full) — and writes
+``benchmarks/results/BENCH_engine_scale.json``.  Every workload entry
+records ``peak_state_bytes`` and the chosen state layout next to the
+wall time, so the committed report doubles as the memory-acceptance
+artifact: at ``n = 10^6`` the broadcast layout holds about 1 MB of rumor
+state where a dense bitset matrix would need ~125 GB.
+
+The smoke leg re-runs the quick workload in a subprocess whose
+``RLIMIT_DATA`` is clamped to a hard memory ceiling, so CI catches any
+change that silently reintroduces O(n^2)-ish allocations — the run
+*crashes* instead of quietly paging.
+
+Runs standalone — ``pytest benchmarks/test_bench_engine_scale.py`` — so
+CI can smoke it without the pytest-benchmark plugin.  Set
+``REPRO_PROFILE=full`` for the ``n = 10^6`` acceptance workload, or use
+``make scale-smoke``.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.benchmarking import (
+    BENCH_ENGINE_SCALE_PATH,
+    ENGINE_SCALE_BASELINE_PATH,
+    run_microbenchmarks,
+    write_report,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Hard data-segment ceiling for the smoke leg.  The quick n=10^5 run
+#: peaks around 0.73 GB resident (graph + CSR tables dominate; the rumor
+#: state itself is 100 kB), so 1.5 GiB passes with margin while a dense
+#: all-to-all state matrix at that n (1.25 GB before the graph) cannot.
+MEMORY_CEILING_BYTES = 3 * (1 << 29)
+
+# Runs inside `python -c` in a fresh interpreter: clamp RLIMIT_DATA
+# before importing numpy or touching any graph, so *every* allocation of
+# the workload is under the ceiling, then emit the workload meta as the
+# last stdout line for the parent to parse.
+_CEILING_SCRIPT = """
+import json, resource, sys
+ceiling = int(sys.argv[1])
+soft, hard = resource.getrlimit(resource.RLIMIT_DATA)
+resource.setrlimit(resource.RLIMIT_DATA, (ceiling, hard))
+try:
+    from repro.benchmarking import engine_scale_microbenchmarks
+    workload = engine_scale_microbenchmarks("quick")[0]
+    meta = workload.run()
+finally:
+    resource.setrlimit(resource.RLIMIT_DATA, (soft, hard))
+print(json.dumps(meta))
+"""
+
+
+def test_engine_scale_microbenchmarks(capsys, profile):
+    report = write_report(
+        run_microbenchmarks(profile, suite="engine_scale"),
+        out_path=BENCH_ENGINE_SCALE_PATH,
+        baseline_path=ENGINE_SCALE_BASELINE_PATH,
+    )
+    with capsys.disabled():
+        print()
+        for name, entry in sorted(report["workloads"].items()):
+            line = (
+                f"{name}: {entry['seconds']:.3f}s  layout={entry['layout']}"
+                f"  peak_state_bytes={entry['peak_state_bytes']}"
+            )
+            speedup = report.get("speedup", {}).get(name)
+            if speedup:
+                line += f"  ({speedup:.1f}x vs committed baseline)"
+            print(line)
+        print(f"report written to {BENCH_ENGINE_SCALE_PATH}")
+    assert BENCH_ENGINE_SCALE_PATH.exists()
+    assert report["workloads"], "no workloads were timed"
+    for entry in report["workloads"].values():
+        assert entry["seconds"] > 0
+        # The acceptance bound: rumor state stays far under 1 GB at any
+        # n in the suite (broadcast layout is n bytes per rumor).
+        assert entry["peak_state_bytes"] < 1 << 30
+        assert "broadcast" in entry["layout"]
+
+
+def test_scale_smoke_under_memory_ceiling(profile):
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.run(
+        [sys.executable, "-c", _CEILING_SCRIPT, str(MEMORY_CEILING_BYTES)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"n=10^5 broadcast crashed under the "
+        f"{MEMORY_CEILING_BYTES >> 20} MiB RLIMIT_DATA ceiling:\n"
+        f"{proc.stderr[-2000:]}"
+    )
+    meta = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert meta["n"] == 100_000
+    assert meta["layout"] == "broadcast"
+    assert 0 < meta["peak_state_bytes"] < 1 << 20

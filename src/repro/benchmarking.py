@@ -1,7 +1,7 @@
 """Microbenchmarks: the wall-clock trajectory of the hot paths.
 
 This module defines small, stable sets of workloads and a runner that
-times them and writes JSON reports under ``benchmarks/results/``.  Three
+times them and writes JSON reports under ``benchmarks/results/``.  Four
 suites exist:
 
 * ``engine`` — the simulation core (push--pull dissemination, raw
@@ -10,9 +10,17 @@ suites exist:
 * ``engine_vector`` — scalar vs vector engine backends on the same
   graphs, plus vector-only scale runs up to ``n = 10^5`` and beyond;
   writes ``BENCH_engine_vector.json``.
+* ``engine_scale`` — mega-scale vector-backend runs (``n = 10^5`` quick,
+  ``n = 10^6`` full) recording peak rumor-state bytes and the layout
+  chosen, so the memory story is gated like the timing story; writes
+  ``BENCH_engine_scale.json``.
 * ``conductance`` — the analysis pipeline (the ``φ_ℓ`` sweep-cut profile
   behind Definitions 1-2, single-threshold sweeps, ``φ*``/``ℓ*``);
   writes ``BENCH_conductance.json``.
+
+Every workload entry additionally records ``peak_rss_kb`` — the
+process-wide resident-set high-water mark (``getrusage``) after the
+workload ran — as a schema-compatible additive field.
 
 The workloads use only the public library API, so the same definitions
 can time any revision — that is how before/after numbers for a
@@ -45,9 +53,11 @@ __all__ = [
     "Workload",
     "engine_microbenchmarks",
     "engine_vector_microbenchmarks",
+    "engine_scale_microbenchmarks",
     "conductance_microbenchmarks",
     "microbenchmark_suite",
     "run_microbenchmarks",
+    "peak_rss_kb",
     "write_report",
     "RESULTS_DIR",
     "BENCH_PATH",
@@ -56,6 +66,8 @@ __all__ = [
     "CONDUCTANCE_BASELINE_PATH",
     "BENCH_ENGINE_VECTOR_PATH",
     "ENGINE_VECTOR_BASELINE_PATH",
+    "BENCH_ENGINE_SCALE_PATH",
+    "ENGINE_SCALE_BASELINE_PATH",
     "SUITES",
 ]
 
@@ -66,8 +78,20 @@ BENCH_CONDUCTANCE_PATH = RESULTS_DIR / "BENCH_conductance.json"
 CONDUCTANCE_BASELINE_PATH = RESULTS_DIR / "BENCH_conductance_baseline.json"
 BENCH_ENGINE_VECTOR_PATH = RESULTS_DIR / "BENCH_engine_vector.json"
 ENGINE_VECTOR_BASELINE_PATH = RESULTS_DIR / "BENCH_engine_vector_baseline.json"
+BENCH_ENGINE_SCALE_PATH = RESULTS_DIR / "BENCH_engine_scale.json"
+ENGINE_SCALE_BASELINE_PATH = RESULTS_DIR / "BENCH_engine_scale_baseline.json"
 
-SUITES = ("engine", "engine_vector", "conductance")
+SUITES = ("engine", "engine_vector", "engine_scale", "conductance")
+
+
+def peak_rss_kb() -> Optional[int]:
+    """The process resident-set high-water mark in KiB (``None`` if
+    the platform lacks ``resource``; ``ru_maxrss`` is KiB on Linux)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,12 +100,16 @@ class Workload:
 
     ``run`` executes the workload once and returns metadata to record
     (e.g. the completion round) — the runner times the call around it.
+    ``warmup=False`` skips the untimed warmup run: the mega-scale
+    workloads are dominated by steady-state array ops, and a second
+    multi-minute run would double the suite's wall clock for nothing.
     """
 
     name: str
     description: str
     run: Callable[[], dict[str, Any]]
     repeats: int = 3
+    warmup: bool = True
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +321,80 @@ def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
     ]
 
 
+def _scale_broadcast_workload(
+    n: int,
+    avg_degree: float,
+    repeats: int,
+    warmup: bool = True,
+    max_state_bytes: Optional[int] = None,
+) -> Workload:
+    def run() -> dict[str, Any]:
+        from repro.obs.metrics import MetricsRegistry, metrics_since, metrics_snapshot
+        from repro.protocols.push_pull import run_push_pull
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        before = metrics_snapshot()
+        result = run_push_pull(
+            graph,
+            mode="broadcast",
+            seed=0,
+            backend="vector",
+            max_state_bytes=max_state_bytes,
+        )
+        scoped = MetricsRegistry()
+        scoped.merge(metrics_since(before))
+        cells = scoped.collect().get("sim_state_bytes", {}).get("values", [])
+        return {
+            "rounds": result.rounds,
+            "exchanges": result.exchanges,
+            "n": n,
+            "backend": "vector",
+            # The memory acceptance numbers: which layout the run picked
+            # and how many bytes its rumor state held at completion.
+            "peak_state_bytes": max((cell["value"] for cell in cells), default=0),
+            "layout": ",".join(
+                sorted({cell["labels"].get("layout", "?") for cell in cells})
+            ),
+        }
+
+    return Workload(
+        name=f"scale_pushpull_broadcast_n{n}",
+        description=(
+            f"push--pull broadcast on the vector backend over fast-sampled "
+            f"Erdős–Rényi G({n}, {avg_degree}/n) with uniform latencies 1..8, "
+            "seed 0, recording peak rumor-state bytes and the chosen layout"
+        ),
+        run=run,
+        repeats=repeats,
+        warmup=warmup,
+    )
+
+
+def engine_scale_microbenchmarks(profile: str) -> list[Workload]:
+    """The mega-scale suite: vector-backend broadcasts with memory accounting.
+
+    The ``full`` profile holds the PR acceptance workload: a true
+    ``n = 10^6`` push--pull broadcast whose rumor state must stay O(n·k)
+    (the broadcast layout — about 1 MB — where a dense bitset matrix
+    would need ~125 GB).  The ``quick`` profile is the CI smoke at
+    ``n = 10^5``, small enough to run under an enforced memory ceiling
+    (see ``benchmarks/test_bench_engine_scale.py``).
+    """
+    from repro.experiments.harness import validate_profile
+
+    validate_profile(profile)
+    if profile == "quick":
+        return [
+            _scale_broadcast_workload(n=100_000, avg_degree=8.0, repeats=1),
+        ]
+    return [
+        _scale_broadcast_workload(n=100_000, avg_degree=8.0, repeats=1),
+        _scale_broadcast_workload(
+            n=1_000_000, avg_degree=8.0, repeats=1, warmup=False
+        ),
+    ]
+
+
 @functools.lru_cache(maxsize=None)
 def _bench_graph(n: int, p: float, max_latency: int):
     """The shared conductance-benchmark graph: connected ER, 1..max_latency.
@@ -405,12 +507,14 @@ def conductance_microbenchmarks(profile: str) -> list[Workload]:
 _SUITE_BUILDERS: dict[str, Callable[[str], list[Workload]]] = {
     "engine": lambda profile: engine_microbenchmarks(profile),
     "engine_vector": lambda profile: engine_vector_microbenchmarks(profile),
+    "engine_scale": lambda profile: engine_scale_microbenchmarks(profile),
     "conductance": lambda profile: conductance_microbenchmarks(profile),
 }
 
 _SUITE_PATHS: dict[str, tuple[pathlib.Path, pathlib.Path]] = {
     "engine": (BENCH_PATH, BASELINE_PATH),
     "engine_vector": (BENCH_ENGINE_VECTOR_PATH, ENGINE_VECTOR_BASELINE_PATH),
+    "engine_scale": (BENCH_ENGINE_SCALE_PATH, ENGINE_SCALE_BASELINE_PATH),
     "conductance": (BENCH_CONDUCTANCE_PATH, CONDUCTANCE_BASELINE_PATH),
 }
 
@@ -457,16 +561,19 @@ def run_microbenchmarks(
     for workload in workloads:
         best = None
         meta: dict[str, Any] = {}
-        workload.run()
+        if workload.warmup:
+            workload.run()
         for _ in range(workload.repeats):
             start = time.perf_counter()
             meta = workload.run()
             elapsed = time.perf_counter() - start
             best = elapsed if best is None else min(best, elapsed)
+        rss = peak_rss_kb()
         entries[workload.name] = {
             "seconds": round(best, 4),
             "repeats": workload.repeats,
             "description": workload.description,
+            **({"peak_rss_kb": rss} if rss is not None else {}),
             **meta,
         }
         if progress is not None:

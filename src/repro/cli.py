@@ -537,6 +537,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             f"{agg['seconds']:>9.3f}  {agg['mean_seconds'] * 1e3:>9.3f}  "
             f"{agg['max_seconds'] * 1e3:>9.3f}"
         )
+    layouts = (table.metrics or {}).get("sim_state_layout", {}).get("values", ())
+    peaks = {
+        (cell["labels"].get("layout"), cell["labels"].get("protocol")): cell["value"]
+        for cell in (table.metrics or {})
+        .get("sim_state_bytes", {})
+        .get("values", ())
+    }
+    if layouts:
+        print("\nstate layouts:")
+        for cell in layouts:
+            layout = cell["labels"].get("layout")
+            protocol = cell["labels"].get("protocol")
+            peak = peaks.get((layout, protocol))
+            peak_text = f"  peak {peak:,} bytes" if peak is not None else ""
+            print(f"  {protocol}: {layout}{peak_text}")
     manifest = table.manifest or {}
     provenance = " ".join(
         f"{key}={manifest[key]}"
@@ -662,6 +677,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="engine backend every protocol runner defaults to; 'vector' "
              "(numpy array rounds) only accepts oblivious protocols "
              "(default: scalar)",
+    )
+    parser.add_argument(
+        "--max-state-bytes", type=int, default=None, metavar="BYTES",
+        help="budget for the vector backend's rumor-state allocations; "
+             "steers the state-layout choice (dense/broadcast/chunked) "
+             "for every run the command makes (default: the "
+             "REPRO_MAX_STATE_BYTES env var, else 1 GiB)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -805,7 +827,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     regress.add_argument(
         "--suite", default="all",
-        choices=["all", "engine", "engine_vector", "conductance"],
+        choices=["all", "engine", "engine_vector", "engine_scale", "conductance"],
     )
     regress.add_argument(
         "--threshold", type=float, default=None,
@@ -848,11 +870,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        from repro.sim.vector import engine_backend
+        from contextlib import nullcontext
+
+        from repro.sim.vector import engine_backend, state_budget
 
         # The selected backend becomes the ambient default for every
-        # engine the command constructs (scalar unless --backend vector).
-        with engine_backend(getattr(args, "backend", "scalar")):
+        # engine the command constructs (scalar unless --backend vector);
+        # likewise the state-memory budget steers every layout choice.
+        max_state_bytes = getattr(args, "max_state_bytes", None)
+        budget = (
+            state_budget(max_state_bytes)
+            if max_state_bytes is not None
+            else nullcontext()
+        )
+        with engine_backend(getattr(args, "backend", "scalar")), budget:
             return args.handler(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 from repro.errors import ExperimentError
 from repro.obs.metrics import (
     MetricsRegistry,
+    default_registry,
     merge_metrics,
     metrics_since,
     metrics_snapshot,
@@ -266,11 +267,16 @@ def _run_trial_with_spans(fn: Callable[[_T], _R], item: _T):
     # metrics it produced back alongside the result, so the parent can
     # merge worker telemetry into its own registries (workers are separate
     # processes with separate registries).  Module-level so it pickles.
+    # The worker registry is dropped outright rather than snapshotted:
+    # pool workers outlive individual experiments, and a surviving peak
+    # gauge (set_max) from an earlier experiment's trial would otherwise
+    # ride home inside this trial's delta and break serial/parallel
+    # metric equivalence.
     spans_before = span_snapshot()
-    metrics_before = metrics_snapshot()
+    default_registry().reset()
     with span("harness.trial"):
         result = fn(item)
-    return result, spans_since(spans_before), metrics_since(metrics_before)
+    return result, spans_since(spans_before), metrics_since({})
 
 
 def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
@@ -345,6 +351,15 @@ def run_experiment(
     scoped = MetricsRegistry()
     scoped.merge(metrics_since(metrics_before))
     table.metrics = scoped.collect()
+    extras: dict[str, object] = {}
+    state_cells = table.metrics.get("sim_state_bytes", {}).get("values", ())
+    if state_cells:
+        # Peak rumor-state bytes across the experiment's runs, so memory
+        # regressions show up in provenance next to the timing spans.
+        extras["peak_state_bytes"] = max(cell["value"] for cell in state_cells)
+        extras["state_layouts"] = sorted(
+            {cell["labels"].get("layout", "unknown") for cell in state_cells}
+        )
     table.manifest = run_manifest(
         experiment=experiment_id,
         profile=profile,
@@ -356,6 +371,7 @@ def run_experiment(
                 spans_since(spans_before).items()
             )
         },
+        **extras,
     )
     return table
 

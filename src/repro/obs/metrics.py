@@ -36,6 +36,7 @@ covers the sink) and :func:`reset_metrics` clears it for tests.
 
 from __future__ import annotations
 
+import itertools
 import json
 import re
 from typing import Any, Iterable, Mapping, Optional, Union
@@ -71,6 +72,9 @@ DEFAULT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: A label set in canonical form: name-sorted ``(name, value)`` pairs.
 LabelKey = tuple
+
+#: Process-monotonic stamp source for gauge touch tracking.
+_GAUGE_TOUCH = itertools.count(1)
 Number = Union[int, float]
 
 
@@ -133,16 +137,33 @@ class Counter(_Metric):
 
 
 class Gauge(_Metric):
-    """A value that can go up and down (peaks, sizes, last-seen values)."""
+    """A value that can go up and down (peaks, sizes, last-seen values).
+
+    Every write also records a process-monotonic *touch stamp* per cell,
+    so :meth:`MetricsRegistry.since` can tell "written during the
+    window" apart from "left over from before" — a gauge re-set to the
+    same value is still work done since the snapshot, while an untouched
+    cell in a long-lived pool worker must not leak into later deltas.
+    """
 
     type_name = "gauge"
 
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._stamps: dict[LabelKey, int] = {}
+
+    def _touch(self, key: LabelKey) -> None:
+        self._stamps[key] = next(_GAUGE_TOUCH)
+
     def set(self, value: Number, **labels: Any) -> None:
-        self._cells[_label_key(labels)] = value
+        key = _label_key(labels)
+        self._cells[key] = value
+        self._touch(key)
 
     def inc(self, amount: Number = 1, **labels: Any) -> None:
         key = _label_key(labels)
         self._cells[key] = self._cells.get(key, 0) + amount
+        self._touch(key)
 
     def dec(self, amount: Number = 1, **labels: Any) -> None:
         self.inc(-amount, **labels)
@@ -152,6 +173,7 @@ class Gauge(_Metric):
         key = _label_key(labels)
         if key not in self._cells or value > self._cells[key]:
             self._cells[key] = value
+        self._touch(key)
 
     def value(self, **labels: Any) -> Number:
         return self._cells.get(_label_key(labels), 0)
@@ -342,6 +364,8 @@ class MetricsRegistry:
             }
             if isinstance(metric, Histogram):
                 entry["buckets"] = metric.buckets
+            if isinstance(metric, Gauge):
+                entry["stamps"] = dict(metric._stamps)
             snap[name] = entry
         return snap
 
@@ -350,8 +374,11 @@ class MetricsRegistry:
 
         Counters and histogram cells subtract; gauges report their
         current value (a point-in-time reading has no meaningful
-        difference).  Suitable for :func:`merge_metrics` in another
-        process — how worker metrics travel home from the trial pool.
+        difference), but only cells *touched* since the snapshot — an
+        untouched gauge is not work done in the window, and long-lived
+        pool workers would otherwise leak stale cells into every later
+        delta.  Suitable for :func:`merge_metrics` in another process —
+        how worker metrics travel home from the trial pool.
         """
         current = self.snapshot()
         delta: dict[str, Any] = {}
@@ -361,7 +388,10 @@ class MetricsRegistry:
             for key, cell in entry["cells"].items():
                 before = base["cells"].get(key)
                 if entry["type"] == "gauge":
-                    cells[key] = cell
+                    stamp = entry.get("stamps", {}).get(key, 0)
+                    base_stamp = base.get("stamps", {}).get(key, 0)
+                    if before is None or stamp > base_stamp:
+                        cells[key] = cell
                 elif entry["type"] == "histogram":
                     if before is None:
                         changed = list(cell)
@@ -374,7 +404,11 @@ class MetricsRegistry:
                     if diff:
                         cells[key] = diff
             if cells:
-                delta[name] = {**entry, "cells": cells}
+                payload = {**entry, "cells": cells}
+                # Touch stamps are process-local bookkeeping, not delta
+                # content — the receiving registry re-stamps on merge.
+                payload.pop("stamps", None)
+                delta[name] = payload
         return delta
 
     def merge(self, delta: Mapping[str, Any]) -> None:
@@ -395,6 +429,7 @@ class MetricsRegistry:
                 for key, value in entry["cells"].items():
                     if key not in metric._cells or value > metric._cells[key]:
                         metric._cells[key] = value
+                    metric._touch(key)
             elif kind == "histogram":
                 metric = self.histogram(
                     name, entry.get("help", ""), buckets=entry.get("buckets")

@@ -11,7 +11,7 @@ the comparison into a machine-checkable verdict wired into CI:
   a 5 ms workload is scheduler jitter, a 2x on 2 s is a regression);
 * :func:`gate_suite` / :func:`gate_suites` — load the report/baseline
   pair for a named suite (``engine``, ``engine_vector``,
-  ``conductance``) straight from
+  ``engine_scale``, ``conductance``) straight from
   ``benchmarks/results/`` and gate them;
 * :meth:`RegressionReport.to_dict` — the machine-readable verdict CI
   archives, and :meth:`RegressionReport.summary` — the human account.
@@ -50,7 +50,7 @@ DEFAULT_THRESHOLD = 1.25
 DEFAULT_NOISE_FLOOR = 0.05
 
 #: Suites the file-level gates know how to locate.
-GATE_SUITES = ("engine", "engine_vector", "conductance")
+GATE_SUITES = ("engine", "engine_vector", "engine_scale", "conductance")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -240,6 +240,11 @@ def _suite_paths(suite: str) -> tuple[pathlib.Path, pathlib.Path]:
         return (
             benchmarking.BENCH_ENGINE_VECTOR_PATH,
             benchmarking.ENGINE_VECTOR_BASELINE_PATH,
+        )
+    if suite == "engine_scale":
+        return (
+            benchmarking.BENCH_ENGINE_SCALE_PATH,
+            benchmarking.ENGINE_SCALE_BASELINE_PATH,
         )
     if suite == "conductance":
         return (

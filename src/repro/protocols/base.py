@@ -120,6 +120,12 @@ class PhaseRunner:
             latencies_known=latencies_known,
             **extra,
         )
+        # The vector backend adopts a converted copy of a plain
+        # NetworkState; follow it so the watch predicate and later phases
+        # see the state the engine actually mutates.
+        engine_state = getattr(engine, "state", None)
+        if engine_state is not None and engine_state is not self.state:
+            self.state = engine_state
         with span(f"phase.{name}") as timer:
             while not engine.all_done():
                 if engine.round >= max_rounds:

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 from repro.errors import ProtocolError
 from repro.graphs.latency_graph import Node
 from repro.sim.engine import NodeContext, NodeProtocol
+from repro.sim.vector import VectorProgram
 from repro.protocols.spanner import DirectedSpanner
 
 __all__ = ["RRBroadcastProtocol", "rr_broadcast_factory", "rr_broadcast_duration"]
@@ -50,6 +51,20 @@ class RRBroadcastProtocol(NodeProtocol):
 
     def is_done(self, ctx: NodeContext) -> bool:
         return self._rounds_run >= self._duration
+
+    def vector_program(self) -> VectorProgram:
+        """Oblivious: cycle the fixed out-edge list for a fixed budget.
+
+        A live node initiates exactly in its first ``duration`` scans
+        (``on_round`` runs only while ``is_done`` is false), so the
+        remaining budget at adoption time is ``duration - rounds_run``.
+        """
+        return VectorProgram(
+            kind="round_robin",
+            targets=tuple(self._out_neighbors),
+            duration=max(self._duration - self._rounds_run, 0),
+            start=self._next,
+        )
 
 
 def rr_broadcast_factory(

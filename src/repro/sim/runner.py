@@ -161,6 +161,16 @@ def run_until_complete(
     registry.counter(
         "sim_exchanges_total", "completed exchanges across all runs"
     ).inc(engine.metrics.exchanges, protocol=protocol_name)
+    state = getattr(engine, "state", None)
+    state_nbytes = getattr(state, "state_nbytes", None)
+    if state_nbytes is not None:
+        layout = getattr(state, "layout", "unknown")
+        registry.gauge(
+            "sim_state_bytes", "peak rumor-state storage bytes per layout"
+        ).set_max(state_nbytes(), layout=layout, protocol=protocol_name)
+        registry.gauge(
+            "sim_state_layout", "state layouts used, 1 per (layout, protocol)"
+        ).set(1, layout=layout, protocol=protocol_name)
     return DisseminationResult(
         rounds=engine.round,
         complete=complete,

@@ -139,6 +139,10 @@ class Payload:
 class NetworkState:
     """Rumor sets and note boards for every node in the network."""
 
+    #: Layout name surfaced in metrics/manifests (``sim_state_layout``);
+    #: the vector layouts report ``dense``/``broadcast``/``chunked``.
+    layout = "scalar"
+
     def __init__(self, nodes: Iterable[Node]) -> None:
         self._node_index: dict[Node, int] = {}
         self._node_list: list[Node] = []
@@ -157,6 +161,10 @@ class NetworkState:
     def nodes(self) -> list[Node]:
         """All nodes this state tracks, in insertion order."""
         return list(self._node_list)
+
+    def state_nbytes(self) -> int:
+        """Resident bytes of the rumor-state storage (the mask integers)."""
+        return sum((mask.bit_length() + 7) // 8 for mask in self._masks)
 
     # -- rumors ---------------------------------------------------------
     def add_rumor(self, node: Node, rumor: Rumor) -> None:

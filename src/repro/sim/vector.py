@@ -5,15 +5,18 @@ calls each round, which caps experiments near ``n ≈ 10⁴``.  This module
 provides a second backend, :class:`VectorEngine`, that advances an entire
 round as a handful of numpy array operations:
 
-* **State** lives in a :class:`VectorState` — a packed ``n × ceil(B/64)``
-  uint64 bitset matrix (``B`` = rumor-space size), so merging all of a
-  round's deliveries is one duplicate-safe segmented OR
-  (:func:`_scatter_or`) instead of per-exchange Python merges.
+* **State** lives in one of a family of memory-specialized layouts behind
+  the :class:`VectorState` API (see below), so merging all of a round's
+  deliveries is one duplicate-safe segmented OR (:func:`_scatter_or`)
+  instead of per-exchange Python merges.
 * **Partner selection** reads a CSR layout built from
   :meth:`~repro.graphs.latency_graph.LatencyGraph.adjacency_arrays`, with
   neighbor slots ordered by ``repr`` — exactly the order the oblivious
   protocols sort their neighbor lists in — so the same per-node
   ``random.Random`` streams produce the same partners as the scalar run.
+  Protocols cycling a *custom* target list (RR Broadcast over spanner
+  out-edges) declare it via :attr:`VectorProgram.targets` and get their
+  own CSR built — and neighbor-validated — at engine construction.
 * **Delivery buckets** are arrays of in-flight exchanges keyed by their
   delivery round (latency slices of one round's initiations), mirroring
   the scalar engine's ``dict.pop`` bucket scheme at array granularity.
@@ -21,35 +24,61 @@ round as a handful of numpy array operations:
   popcounts, activated edges via a boolean edge-id array folded back into
   the canonical :class:`~repro.sim.metrics.EngineMetrics` set on demand.
 
+State layouts (the ``n = 10⁶`` memory story)
+--------------------------------------------
+A dense ``n × ceil(B/64)`` uint64 bitset matrix (``B`` = rumor-space
+size) is ~125 GB at ``n = 10⁶`` all-to-all — memory, not compute, binds
+the fast backend at mega-scale.  Three layouts share the full
+:class:`~repro.sim.state.NetworkState` API and produce bit-identical
+runs; :meth:`VectorState.from_network_state` picks one automatically from
+the *observed* rumor universe and the ambient :func:`state_budget`:
+
+* **dense** (:class:`VectorState`) — the packed uint64 matrix; default
+  for small states and the only layout that can grow its rumor space.
+* **broadcast** (:class:`BroadcastVectorState`) — one uint8 column per
+  rumor, chosen for small universes (``k <= 8``): O(n·k) bytes, which
+  covers every broadcast-style run at ~1 byte/node.
+* **chunked** (:class:`ChunkedVectorState`) — the bitset matrix split
+  into column blocks each at most ``max_state_bytes`` big, streamed
+  through the round update so the largest single allocation (and each
+  per-block scatter/gather transient) is budget-bounded.  The *sum* of
+  resident blocks and the initiation-time payload snapshots in flight
+  are inherent to the model and not bounded by the budget.
+
 Backend eligibility (see ``docs/MODEL.md`` §8): only **oblivious**
 protocols — whose partner choice does not depend on delivered knowledge
-beyond a fixed knows/not-knows gate, which never locally terminate, and
-which take no per-delivery actions — can be replayed as whole-round array
-ops.  Protocols declare eligibility by returning a :class:`VectorProgram`
-from a ``vector_program()`` method; anything else is rejected with a
+beyond a fixed knows/not-knows gate and which take no per-delivery
+actions — can be replayed as whole-round array ops.  Protocols declare
+eligibility by returning a :class:`VectorProgram` from a
+``vector_program()`` method; a protocol that locally terminates must
+declare its fixed round budget via :attr:`VectorProgram.duration`
+(RR Broadcast does), anything else is rejected with a
 :class:`~repro.errors.SimulationError` naming the offending protocol.
 
 Exactness contract: for the same graph, seeds, and engine options, a
 ``VectorEngine`` run is **field-identical** to the scalar ``Engine`` run —
 same per-node knowledge each round, same ``EngineMetrics``, same
-completion round.  The differential suite (``tests/test_vector_differential``)
-and the golden-trace parity suite enforce this.
+completion round — in every layout.  The differential suites
+(``tests/test_vector_differential``, ``tests/test_vector_layouts``) and
+the golden-trace parity suite enforce this.
 
 When a run needs observability or model features the array path cannot
 replay in order (invariant checkers, a recorder, a failure model,
 ``fresh_snapshots``, ``enforce_blocking``, or note boards carried in from
 a previous phase), the engine transparently drops to a **sequential
-path** — a faithful per-exchange mirror of the scalar engine operating on
-the bitset state — so event streams stay byte-identical to the scalar
-backend's at small ``n``, and a recorder-off run keeps the zero-cost
-array fast path.
+path** — a faithful per-exchange mirror of the scalar engine (including
+its done-node parking and delivery wake-ups) operating on the layout
+state — so event streams stay byte-identical to the scalar backend's at
+small ``n``, and a recorder-off run keeps the zero-cost array fast path.
 """
 
 from __future__ import annotations
 
+import bisect
 import collections
 import contextlib
 import dataclasses
+import os
 import random
 import weakref
 from typing import Any, Callable, Hashable, Iterable, Iterator, Optional, Sequence
@@ -65,12 +94,14 @@ from repro.obs.events import (
     RejectedInitiationEvent,
     RoundEvent,
     VoidExchangeEvent,
+    WakeupEvent,
 )
 from repro.obs.recorder import Recorder
 from repro.sim import invariants as _invariants
 from repro.sim.engine import (
     _CHECKER_LOG_SIZE,
     _EMPTY_PAYLOAD,
+    Delivery,
     Engine,
     NodeContext,
     NodeProtocol,
@@ -85,11 +116,17 @@ from repro.sim.state import NetworkState, Note, Payload, _RumorSpace
 __all__ = [
     "VectorProgram",
     "VectorState",
+    "BroadcastVectorState",
+    "ChunkedVectorState",
+    "STATE_LAYOUTS",
     "VectorEngine",
     "ENGINE_BACKENDS",
+    "DEFAULT_MAX_STATE_BYTES",
     "current_engine_backend",
+    "current_max_state_bytes",
     "engine_backend",
     "resolve_engine_backend",
+    "state_budget",
 ]
 
 
@@ -137,6 +174,52 @@ def _randbelow_of(rng: random.Random) -> Callable[[int], int]:
     underlying stream identically and serves as the fallback.
     """
     return getattr(rng, "_randbelow", rng.randrange)
+
+
+# ----------------------------------------------------------------------
+# State-memory budget scope: how many bytes the largest single state
+# allocation may use.  ``from_network_state`` consults this when picking
+# a layout; the chunked layout sizes its column blocks from it.
+DEFAULT_MAX_STATE_BYTES = 1 << 30  # 1 GiB
+
+_STATE_BUDGET_STACK: list[int] = []
+
+
+def current_max_state_bytes() -> int:
+    """The state-memory budget in effect (innermost scope, env, or default)."""
+    if _STATE_BUDGET_STACK:
+        return _STATE_BUDGET_STACK[-1]
+    raw = os.environ.get("REPRO_MAX_STATE_BYTES", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_MAX_STATE_BYTES must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise SimulationError(
+                f"REPRO_MAX_STATE_BYTES must be >= 1, got {value}"
+            )
+        return value
+    return DEFAULT_MAX_STATE_BYTES
+
+
+@contextlib.contextmanager
+def state_budget(max_bytes: int) -> Iterator[None]:
+    """Scope during which :func:`current_max_state_bytes` yields ``max_bytes``.
+
+    This is how ``repro --max-state-bytes`` and the runner helpers steer
+    layout selection in a call tree without threading a parameter through
+    each layer (the same pattern as :func:`engine_backend`).
+    """
+    if max_bytes < 1:
+        raise SimulationError(f"max_state_bytes must be >= 1, got {max_bytes}")
+    _STATE_BUDGET_STACK.append(int(max_bytes))
+    try:
+        yield
+    finally:
+        _STATE_BUDGET_STACK.pop()
 
 
 #: CSR layouts are pure functions of a graph revision, and engines are
@@ -220,7 +303,8 @@ class VectorProgram:
     kind:
         ``"random"`` — contact a uniform random neighbor (push--pull and
         its gated push/pull variants) — or ``"round_robin"`` — cycle the
-        repr-sorted neighbor list deterministically (flooding).
+        repr-sorted neighbor list (flooding) or the explicit ``targets``
+        list (RR Broadcast) deterministically.
     rng:
         For ``kind="random"``: the protocol's own per-node
         :class:`random.Random`.  The backend consumes it exactly as
@@ -235,12 +319,28 @@ class VectorProgram:
     start:
         Initial round-robin offset, mirroring any counter the protocol
         advanced before the engine adopted it.
+    targets:
+        ``None`` (cycle the repr-sorted full neighbor list) or an
+        explicit tuple of neighbor nodes to cycle instead — the directed
+        spanner out-edges of RR Broadcast.  Only ``kind="round_robin"``
+        supports targets; every target must be a graph neighbor of the
+        node (validated at engine construction, where the scalar engine
+        would have raised on first contact).
+    duration:
+        ``None`` (the protocol never terminates locally — classic
+        oblivious gossip) or the number of rounds the node initiates
+        before parking, mirroring a fixed-budget ``is_done()``.  A
+        protocol overriding ``is_done()`` must declare a duration to be
+        vector-eligible; the engine is then all-done once every node's
+        budget has elapsed, exactly like the scalar parking scheduler.
     """
 
     kind: str
     rng: Optional[random.Random] = None
     gate: Optional[tuple[str, Hashable]] = None
     start: int = 0
+    targets: Optional[tuple[Node, ...]] = None
+    duration: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -253,9 +353,30 @@ class VectorState:
     matrix, so the vector engine's array kernels and every scalar
     consumer (completion predicates, invariant checkers, the sequential
     mirror path) read the same storage.
+
+    This class is both the **dense** layout and the base of the
+    specialized layouts (:class:`BroadcastVectorState`,
+    :class:`ChunkedVectorState`): subclasses replace only the storage
+    primitives (``_init_storage``/``_ensure_bit``/``_set_bit``/
+    ``_mask_of_row``/``_or_row_storage``) and the array kernels the fast
+    path drives (``_k_*``); the shared API layer — snapshots with a
+    copy-on-write cache, merges over cached Python-int row masks, note
+    boards — is layout-agnostic.
     """
 
-    __slots__ = ("_node_index", "_node_list", "_space", "_bits", "_notes")
+    __slots__ = (
+        "_node_index",
+        "_node_list",
+        "_space",
+        "_bits",
+        "_notes",
+        "_snapshots",
+        "_masks_cache",
+        "_cache_filled",
+    )
+
+    #: Layout name surfaced in metrics/manifests (``sim_state_layout``).
+    layout = "dense"
 
     def __init__(self, nodes: Iterable[Node]) -> None:
         self._node_index: dict[Node, int] = {}
@@ -264,33 +385,84 @@ class VectorState:
             if node not in self._node_index:
                 self._node_index[node] = len(self._node_list)
                 self._node_list.append(node)
+        n = len(self._node_list)
         self._space = _RumorSpace()
-        self._bits = np.zeros((len(self._node_list), 1), dtype=np.uint64)
-        self._notes: list[dict[Node, Note]] = [{} for _ in self._node_list]
+        self._notes: list[dict[Node, Note]] = [{} for _ in range(n)]
+        # Copy-on-write caches, invalidated per node on change (the
+        # NetworkState pattern): reused Payload snapshots and Python-int
+        # row masks, so the sequential mirror path's snapshot/merge
+        # hotspots stop re-packing unchanged rows.
+        self._snapshots: list[Optional[Payload]] = [None] * n
+        self._masks_cache: list[Optional[int]] = [None] * n
+        self._cache_filled = False
+        self._init_storage(n, 0)
 
     @classmethod
-    def from_network_state(cls, state: NetworkState) -> "VectorState":
-        """A bitset copy of a scalar state (same tokens, same bit indices)."""
-        out = cls.__new__(cls)
+    def from_network_state(
+        cls,
+        state: NetworkState,
+        *,
+        layout: Optional[str] = None,
+        max_state_bytes: Optional[int] = None,
+    ) -> "VectorState":
+        """A bitset copy of a scalar state (same tokens, same bit indices).
+
+        The layout is picked from the **observed** rumor universe: a
+        small universe (``k <= 8`` tokens — every broadcast-style run)
+        gets the O(n·k)-byte broadcast layout, a universe whose dense
+        matrix fits ``max_state_bytes`` (default: the ambient
+        :func:`state_budget` scope, the ``REPRO_MAX_STATE_BYTES`` env
+        var, or 1 GiB) stays dense, and anything larger is chunked into
+        budget-bounded column blocks.  ``layout`` forces a specific
+        layout (``"dense"``/``"broadcast"``/``"chunked"``); calling this
+        on a subclass keeps that subclass's layout.
+        """
+        tokens = len(state._space.tokens)
+        n = len(state._node_list)
+        if layout is not None:
+            try:
+                chosen = STATE_LAYOUTS[layout]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown state layout {layout!r}; available: "
+                    + ", ".join(sorted(STATE_LAYOUTS))
+                ) from None
+        elif cls is not VectorState:
+            chosen = cls
+        else:
+            budget = (
+                max_state_bytes
+                if max_state_bytes is not None
+                else current_max_state_bytes()
+            )
+            words = max(1, (tokens + 63) // 64)
+            if 0 < tokens <= _BROADCAST_MAX_RUMORS:
+                chosen = BroadcastVectorState
+            elif n * words * 8 <= budget:
+                chosen = VectorState
+            else:
+                chosen = ChunkedVectorState
+        out = chosen.__new__(chosen)
         out._node_index = dict(state._node_index)
         out._node_list = list(state._node_list)
         out._space = _RumorSpace()
         out._space.index = dict(state._space.index)
         out._space.tokens = list(state._space.tokens)
-        words = max(1, (len(out._space.tokens) + 63) // 64)
-        out._bits = np.zeros((len(out._node_list), words), dtype=np.uint64)
-        for i, mask in enumerate(state._masks):
-            if mask:
-                out._bits[i] = np.frombuffer(
-                    mask.to_bytes(words * 8, "little"), dtype=np.uint64
-                )
         out._notes = [dict(board) for board in state._notes]
+        out._snapshots = [None] * n
+        out._masks_cache = [None] * n
+        out._cache_filled = False
+        out._init_storage(n, tokens, max_state_bytes)
+        out._load_masks(state._masks)
         return out
 
-    # -- packed-row plumbing --------------------------------------------
-    def _row_mask(self, i: int) -> int:
-        """Row ``i`` as an arbitrary-precision Python-int bitmask."""
-        return int.from_bytes(self._bits[i].tobytes(), "little")
+    # -- storage primitives (overridden per layout) ----------------------
+    def _init_storage(
+        self, n: int, bits: int, max_state_bytes: Optional[int] = None
+    ) -> None:
+        """Allocate zeroed storage addressing bit indices ``0..bits-1``."""
+        words = max(1, (bits + 63) // 64)
+        self._bits = np.zeros((n, words), dtype=np.uint64)
 
     def _ensure_bit(self, bit: int) -> None:
         """Grow the matrix (doubling words) until ``bit`` is addressable."""
@@ -304,14 +476,65 @@ class VectorState:
         grown[:, :words] = self._bits
         self._bits = grown
 
-    def _or_row(self, i: int, mask: int) -> None:
-        if not mask:
-            return
-        self._ensure_bit(mask.bit_length() - 1)
+    def _set_bit(self, i: int, bit: int) -> None:
+        """Set one addressable bit in row ``i`` (no growth, no caches)."""
+        word, offset = divmod(bit, 64)
+        self._bits[i, word] |= np.uint64(1 << offset)
+
+    def _mask_of_row(self, i: int) -> int:
+        """Recompute row ``i`` as an arbitrary-precision Python-int bitmask."""
+        return int.from_bytes(self._bits[i].tobytes(), "little")
+
+    def _or_row_storage(self, i: int, mask: int) -> None:
+        """OR an addressable ``mask`` into row ``i`` (no growth, no caches)."""
         words = self._bits.shape[1]
         self._bits[i] |= np.frombuffer(
             mask.to_bytes(words * 8, "little"), dtype=np.uint64
         )
+
+    def _load_masks(self, masks: Sequence[int]) -> None:
+        """Bulk-load per-node masks into fresh zeroed storage."""
+        words = self._bits.shape[1]
+        for i, mask in enumerate(masks):
+            if mask:
+                self._bits[i] = np.frombuffer(
+                    mask.to_bytes(words * 8, "little"), dtype=np.uint64
+                )
+
+    # -- packed-row plumbing --------------------------------------------
+    def _row_mask(self, i: int) -> int:
+        """Row ``i`` as a Python-int bitmask (cached until the row changes)."""
+        cached = self._masks_cache[i]
+        if cached is None:
+            cached = self._mask_of_row(i)
+            self._masks_cache[i] = cached
+            self._cache_filled = True
+        return cached
+
+    def _or_row(self, i: int, mask: int) -> None:
+        if not mask:
+            return
+        self._ensure_bit(mask.bit_length() - 1)
+        self._or_row_storage(i, mask)
+        cached = self._masks_cache[i]
+        if cached is not None:
+            self._masks_cache[i] = cached | mask
+        self._snapshots[i] = None
+
+    def _invalidate_rows(self, rows: np.ndarray) -> None:
+        """Drop cached masks/snapshots for rows an array kernel mutated."""
+        if not self._cache_filled:
+            return
+        snapshots = self._snapshots
+        masks = self._masks_cache
+        for i in set(rows.tolist()):
+            snapshots[i] = None
+            masks[i] = None
+
+    # -- memory accounting ----------------------------------------------
+    def state_nbytes(self) -> int:
+        """Resident bytes of the rumor-state storage (the layout's matrix)."""
+        return int(self._bits.nbytes)
 
     # -- NetworkState API -----------------------------------------------
     def nodes(self) -> list[Node]:
@@ -323,8 +546,11 @@ class VectorState:
         i = self._node_index[node]
         bit = self._space.intern(rumor)
         self._ensure_bit(bit)
-        word, offset = divmod(bit, 64)
-        self._bits[i, word] |= np.uint64(1 << offset)
+        self._set_bit(i, bit)
+        cached = self._masks_cache[i]
+        if cached is not None:
+            self._masks_cache[i] = cached | (1 << bit)
+        self._snapshots[i] = None
 
     def seed_self_rumors(self) -> None:
         """Give every node its own id as a rumor (all-to-all dissemination)."""
@@ -391,6 +617,7 @@ class VectorState:
         self._notes[i][origin] = Note(
             version=version, data=tuple(sorted(data.items()))
         )
+        self._snapshots[i] = None
 
     def note_of(self, reader: Node, origin: Node) -> Optional[Note]:
         """The note of ``origin`` as currently known by ``reader`` (or ``None``)."""
@@ -402,18 +629,31 @@ class VectorState:
 
     def clear_notes(self) -> None:
         """Drop every note board."""
-        for board in self._notes:
-            board.clear()
+        for i, board in enumerate(self._notes):
+            if board:
+                board.clear()
+                self._snapshots[i] = None
 
     # -- exchange plumbing ----------------------------------------------
     def snapshot(self, node: Node) -> Payload:
-        """An immutable snapshot of everything ``node`` knows right now."""
+        """An immutable snapshot of everything ``node`` knows right now.
+
+        Copy-on-write: the returned :class:`Payload` is cached and reused
+        until the node's rumors or note board next change, so
+        snapshotting an unchanged node is O(1) — the same contract as
+        :meth:`NetworkState.snapshot`.
+        """
         i = self._node_index[node]
-        return Payload(
-            notes=tuple(self._notes[i].items()),
-            mask=self._row_mask(i),
-            space=self._space,
-        )
+        payload = self._snapshots[i]
+        if payload is None:
+            payload = Payload(
+                notes=tuple(self._notes[i].items()),
+                mask=self._row_mask(i),
+                space=self._space,
+            )
+            self._snapshots[i] = payload
+            self._cache_filled = True
+        return payload
 
     def merge(self, node: Node, payload: Payload) -> bool:
         """Merge a received snapshot; returns ``True`` if anything was new."""
@@ -427,15 +667,375 @@ class VectorState:
         mine = self._row_mask(i)
         changed = False
         if incoming & ~mine:
-            self._or_row(i, incoming)
+            self._ensure_bit(incoming.bit_length() - 1)
+            self._or_row_storage(i, incoming)
+            self._masks_cache[i] = mine | incoming
+            self._snapshots[i] = None
             changed = True
         board = self._notes[i]
         for origin, note in payload.notes:
             current = board.get(origin)
             if current is None or note.version > current.version:
                 board[origin] = note
+                self._snapshots[i] = None
                 changed = True
         return changed
+
+    # -- array kernels (the vector fast path) ----------------------------
+    # A "pack" is the layout's opaque payload representation for a batch
+    # of rows: a 2-D array for dense/broadcast, a list of per-block 2-D
+    # arrays for chunked.  The engine only moves packs between kernels.
+    def _k_width(self) -> tuple:
+        """Storage-shape fingerprint; a mid-run change means the rumor
+        space grew, which the fast path forbids."""
+        return ("dense", self._bits.shape[1])
+
+    def _k_gather(self, rows: np.ndarray) -> Any:
+        """Payload pack: a copy of the given state rows."""
+        return self._bits[rows]
+
+    def _k_popcounts(self, pack: Any, count: int) -> np.ndarray:
+        """Per-row rumor counts of a pack of ``count`` rows."""
+        return _popcount_rows(pack)
+
+    def _k_select(self, pack: Any, pick: Any) -> Any:
+        """Subset of a pack (boolean mask or ``slice(None)``)."""
+        return pack[pick]
+
+    def _k_vstack(self, packs: list) -> Any:
+        """Concatenate packs row-wise, preserving order."""
+        return np.vstack(packs)
+
+    def _k_scatter(self, rows: np.ndarray, pack: Any) -> None:
+        """OR a pack into the given state rows, duplicate-safe."""
+        _scatter_or(self._bits, rows, pack)
+        self._invalidate_rows(rows)
+
+    def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
+        """Boolean array: whether each given state row knows ``rumor``."""
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return np.zeros(rows.shape[0], dtype=bool)
+        word, offset = divmod(bit, 64)
+        if word >= self._bits.shape[1]:
+            return np.zeros(rows.shape[0], dtype=bool)
+        return (self._bits[rows, word] & np.uint64(1 << offset)) != 0
+
+
+class BroadcastVectorState(VectorState):
+    """Broadcast layout: one uint8 column per rumor — O(n·k) bytes.
+
+    For single-rumor (and small-k) runs the dense layout wastes a full
+    64-bit word per node; this layout stores exactly one byte per
+    (node, rumor) cell, so an ``n = 10⁶`` broadcast run keeps its whole
+    rumor state in ~1 MB.  Bit indices coincide with column indices, so
+    runs are bit-identical to the dense layout by construction.
+    """
+
+    __slots__ = ("_cols",)
+
+    layout = "broadcast"
+
+    def _init_storage(
+        self, n: int, bits: int, max_state_bytes: Optional[int] = None
+    ) -> None:
+        self._cols = np.zeros((n, bits), dtype=np.uint8)
+
+    def _ensure_bit(self, bit: int) -> None:
+        k = self._cols.shape[1]
+        if bit < k:
+            return
+        grown = np.zeros((self._cols.shape[0], bit + 1), dtype=np.uint8)
+        grown[:, :k] = self._cols
+        self._cols = grown
+
+    def _set_bit(self, i: int, bit: int) -> None:
+        self._cols[i, bit] = 1
+
+    def _mask_of_row(self, i: int) -> int:
+        row = self._cols[i]
+        if not row.any():
+            return 0
+        return int.from_bytes(
+            np.packbits(row, bitorder="little").tobytes(), "little"
+        )
+
+    def _or_row_storage(self, i: int, mask: int) -> None:
+        width = self._cols.shape[1]
+        data = np.frombuffer(
+            mask.to_bytes((width + 7) // 8, "little"), dtype=np.uint8
+        )
+        self._cols[i] |= np.unpackbits(data, count=width, bitorder="little")
+
+    def _load_masks(self, masks: Sequence[int]) -> None:
+        for i, mask in enumerate(masks):
+            bits = mask
+            while bits:
+                low = bits & -bits
+                self._cols[i, low.bit_length() - 1] = 1
+                bits ^= low
+
+    def state_nbytes(self) -> int:
+        return int(self._cols.nbytes)
+
+    def rumor_count(self, node: Node) -> int:
+        return int(self._cols[self._node_index[node]].sum())
+
+    def knows(self, node: Node, rumor: Hashable) -> bool:
+        bit = self._space.index.get(rumor)
+        if bit is None or bit >= self._cols.shape[1]:
+            return False
+        return bool(self._cols[self._node_index[node], bit])
+
+    def count_knowing(self, rumor: Hashable) -> int:
+        bit = self._space.index.get(rumor)
+        if bit is None or bit >= self._cols.shape[1]:
+            return 0
+        return int(np.count_nonzero(self._cols[:, bit]))
+
+    def knows_every(
+        self, nodes: Iterable[Node], rumors: Iterable[Hashable]
+    ) -> bool:
+        index = self._space.index
+        width = self._cols.shape[1]
+        cols = []
+        for rumor in rumors:
+            bit = index.get(rumor)
+            if bit is None or bit >= width:
+                return False
+            cols.append(bit)
+        rows = self._cols[[self._node_index[node] for node in nodes]]
+        return bool(rows[:, cols].all())
+
+    # -- array kernels ---------------------------------------------------
+    def _k_width(self) -> tuple:
+        return ("broadcast", self._cols.shape[1])
+
+    def _k_gather(self, rows: np.ndarray) -> Any:
+        return self._cols[rows]
+
+    def _k_popcounts(self, pack: Any, count: int) -> np.ndarray:
+        return pack.sum(axis=1, dtype=np.int64)
+
+    def _k_scatter(self, rows: np.ndarray, pack: Any) -> None:
+        _scatter_or(self._cols, rows, pack)
+        self._invalidate_rows(rows)
+
+    def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
+        bit = self._space.index.get(rumor)
+        if bit is None or bit >= self._cols.shape[1]:
+            return np.zeros(rows.shape[0], dtype=bool)
+        return self._cols[rows, bit] != 0
+
+
+class ChunkedVectorState(VectorState):
+    """Chunked layout: the uint64 matrix split into column blocks.
+
+    Each block is at most ``max_state_bytes`` big, so the largest single
+    allocation — and the per-block transient each scatter/gather pass
+    creates — is budget-bounded; the round update streams block by
+    block.  The blocks' *sum* (the whole matrix) and the payload
+    snapshots held by in-flight exchanges are inherent to the model and
+    are not bounded by the budget.
+
+    Blocks grow append-only (geometrically up to the per-block word
+    budget), so interning rumors one at a time never re-copies earlier
+    blocks.  Word ``w`` of the logical matrix lives in the block whose
+    ``_block_offsets`` span contains ``w``.
+    """
+
+    __slots__ = ("_blocks", "_block_words", "_block_offsets")
+
+    layout = "chunked"
+
+    def _init_storage(
+        self, n: int, bits: int, max_state_bytes: Optional[int] = None
+    ) -> None:
+        budget = (
+            max_state_bytes
+            if max_state_bytes is not None
+            else current_max_state_bytes()
+        )
+        self._block_words = max(1, budget // (max(n, 1) * 8))
+        self._blocks: list[np.ndarray] = []
+        self._block_offsets: list[int] = [0]
+        if bits:
+            words = (bits + 63) // 64
+            start = 0
+            while start < words:
+                width = min(self._block_words, words - start)
+                self._blocks.append(np.zeros((n, width), dtype=np.uint64))
+                start += width
+                self._block_offsets.append(start)
+
+    def _ensure_bit(self, bit: int) -> None:
+        needed = bit // 64 + 1
+        have = self._block_offsets[-1]
+        if needed <= have:
+            return
+        n = len(self._node_list)
+        while have < needed:
+            # Geometric growth bounded by the per-block budget: appending
+            # (never reallocating) keeps one-at-a-time interning amortized
+            # O(1) per word without ever exceeding max_state_bytes in a
+            # single allocation.
+            width = min(self._block_words, max(needed - have, have, 1))
+            self._blocks.append(np.zeros((n, width), dtype=np.uint64))
+            have += width
+            self._block_offsets.append(have)
+
+    def _block_of(self, word: int) -> tuple[int, int]:
+        b = bisect.bisect_right(self._block_offsets, word) - 1
+        return b, word - self._block_offsets[b]
+
+    def _set_bit(self, i: int, bit: int) -> None:
+        word, offset = divmod(bit, 64)
+        b, w = self._block_of(word)
+        self._blocks[b][i, w] |= np.uint64(1 << offset)
+
+    def _mask_of_row(self, i: int) -> int:
+        if not self._blocks:
+            return 0
+        return int.from_bytes(
+            b"".join(block[i].tobytes() for block in self._blocks), "little"
+        )
+
+    def _or_row_storage(self, i: int, mask: int) -> None:
+        offsets = self._block_offsets
+        data = np.frombuffer(
+            mask.to_bytes(offsets[-1] * 8, "little"), dtype=np.uint64
+        )
+        for b, block in enumerate(self._blocks):
+            segment = data[offsets[b] : offsets[b + 1]]
+            if segment.any():
+                block[i] |= segment
+
+    def _load_masks(self, masks: Sequence[int]) -> None:
+        for i, mask in enumerate(masks):
+            if not mask:
+                continue
+            if mask.bit_count() <= 64:
+                bits = mask
+                while bits:
+                    low = bits & -bits
+                    self._set_bit(i, low.bit_length() - 1)
+                    bits ^= low
+            else:
+                self._or_row_storage(i, mask)
+
+    def state_nbytes(self) -> int:
+        return int(sum(block.nbytes for block in self._blocks))
+
+    def rumor_count(self, node: Node) -> int:
+        i = self._node_index[node]
+        return int(
+            sum(int(_popcount_rows(block[i])) for block in self._blocks)
+        )
+
+    def knows(self, node: Node, rumor: Hashable) -> bool:
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return False
+        word, offset = divmod(bit, 64)
+        if word >= self._block_offsets[-1]:
+            return False
+        b, w = self._block_of(word)
+        return bool(
+            self._blocks[b][self._node_index[node], w] & np.uint64(1 << offset)
+        )
+
+    def count_knowing(self, rumor: Hashable) -> int:
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return 0
+        word, offset = divmod(bit, 64)
+        if word >= self._block_offsets[-1]:
+            return 0
+        b, w = self._block_of(word)
+        return int(
+            np.count_nonzero(self._blocks[b][:, w] & np.uint64(1 << offset))
+        )
+
+    def knows_every(
+        self, nodes: Iterable[Node], rumors: Iterable[Hashable]
+    ) -> bool:
+        index = self._space.index
+        offsets = self._block_offsets
+        required = np.zeros(offsets[-1], dtype=np.uint64)
+        for rumor in rumors:
+            bit = index.get(rumor)
+            if bit is None or bit >= offsets[-1] * 64:
+                return False
+            word, offset = divmod(bit, 64)
+            required[word] |= np.uint64(1 << offset)
+        picks = [self._node_index[node] for node in nodes]
+        # Streamed per block: each pass materializes at most one
+        # budget-bounded (len(nodes) × block_words) slice.
+        for b, block in enumerate(self._blocks):
+            need = required[offsets[b] : offsets[b + 1]]
+            if not need.any():
+                continue
+            rows = block[picks]
+            if not ((rows & need) == need).all():
+                return False
+        return True
+
+    # -- array kernels ---------------------------------------------------
+    def _k_width(self) -> tuple:
+        return ("chunked", tuple(self._block_offsets))
+
+    def _k_gather(self, rows: np.ndarray) -> Any:
+        return [block[rows] for block in self._blocks]
+
+    def _k_popcounts(self, pack: Any, count: int) -> np.ndarray:
+        total = np.zeros(count, dtype=np.int64)
+        for part in pack:
+            total += _popcount_rows(part)
+        return total
+
+    def _k_select(self, pack: Any, pick: Any) -> Any:
+        return [part[pick] for part in pack]
+
+    def _k_vstack(self, packs: list) -> Any:
+        return [
+            np.vstack([pack[b] for pack in packs])
+            for b in range(len(self._blocks))
+        ]
+
+    def _k_scatter(self, rows: np.ndarray, pack: Any) -> None:
+        if rows.shape[0] == 0 or not self._blocks:
+            return
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
+        targets = sorted_rows[starts]
+        for block, part in zip(self._blocks, pack):
+            merged = np.bitwise_or.reduceat(part[order], starts, axis=0)
+            block[targets] |= merged
+        self._invalidate_rows(targets)
+
+    def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
+        bit = self._space.index.get(rumor)
+        if bit is None:
+            return np.zeros(rows.shape[0], dtype=bool)
+        word, offset = divmod(bit, 64)
+        if word >= self._block_offsets[-1]:
+            return np.zeros(rows.shape[0], dtype=bool)
+        b, w = self._block_of(word)
+        return (self._blocks[b][rows, w] & np.uint64(1 << offset)) != 0
+
+
+#: Broadcast-layout cutoff: with ``k <= 8`` rumor columns the uint8
+#: layout never uses more bytes than one dense uint64 word per node.
+_BROADCAST_MAX_RUMORS = 8
+
+#: Layout name -> state class (the ``layout=`` argument of
+#: :meth:`VectorState.from_network_state` and the test matrix).
+STATE_LAYOUTS: dict[str, type] = {
+    "dense": VectorState,
+    "broadcast": BroadcastVectorState,
+    "chunked": ChunkedVectorState,
+}
 
 
 # ----------------------------------------------------------------------
@@ -444,13 +1044,14 @@ class _Batch:
     """One latency bucket's worth of in-flight exchanges, as arrays.
 
     Rows are in initiation order (initiator dense-id order within the
-    round); payload matrices are row snapshots taken at initiation time.
+    round); payloads are layout-opaque packs of row snapshots taken at
+    initiation time.
     """
 
     initiators: np.ndarray
     responders: np.ndarray
-    initiator_payloads: np.ndarray
-    responder_payloads: np.ndarray
+    initiator_payloads: Any
+    responder_payloads: Any
 
 
 class VectorEngine:
@@ -536,24 +1137,50 @@ class VectorEngine:
         self._edge_active = np.zeros(len(edge_tuples), dtype=bool)
         self._edges_dirty = False
 
-        # Selection cohorts: nodes sharing (kind, gate) advance together.
+        custom = self._build_target_tables(n)
+
+        # Selection cohorts: nodes sharing (kind, gate, duration, custom
+        # targets?) advance together over one slot table.
         cohorts: dict[tuple, list[int]] = {}
         for i, program in enumerate(self._programs):
-            if deg[i]:
-                cohorts.setdefault((program.kind, program.gate), []).append(i)
+            fan_out = (
+                len(program.targets) if program.targets is not None else deg[i]
+            )
+            if fan_out:
+                key = (
+                    program.kind,
+                    program.gate,
+                    program.duration,
+                    program.targets is not None,
+                )
+                cohorts.setdefault(key, []).append(i)
         self._cohorts = []
-        for (kind, gate), ids_list in cohorts.items():
+        for (kind, gate, duration, is_custom), ids_list in cohorts.items():
             ids = np.array(ids_list, dtype=np.int64)
+            if is_custom:
+                tdeg, toff, tnbr, tlat, teid = custom
+                table = {"off": toff, "nbr": tnbr, "lat": tlat, "eid": teid}
+                degs = tdeg[ids]
+            else:
+                table = {
+                    "off": self._off,
+                    "nbr": self._nbr,
+                    "lat": self._lat,
+                    "eid": self._eid,
+                }
+                degs = deg[ids]
             entry: dict[str, Any] = {
                 "kind": kind,
                 "gate": gate,
+                "duration": duration,
                 "ids": ids,
-                "degs": deg[ids],
+                "degs": degs,
+                **table,
             }
             if kind == "random":
                 rngs = [self._programs[i].rng for i in ids_list]
                 entry["draw"] = [_randbelow_of(rng) for rng in rngs]
-                entry["deg_list"] = [int(deg[i]) for i in ids_list]
+                entry["deg_list"] = [int(d) for d in degs.tolist()]
                 # CPython's Random._randbelow draws getrandbits(k) with
                 # rejection; when every rng is a plain random.Random the
                 # fast path replays that primitive directly (one C call
@@ -572,6 +1199,13 @@ class VectorEngine:
             self._cohorts.append(entry)
         self._rr_next = np.fromiter(
             (program.start for program in self._programs), dtype=np.int64, count=n
+        )
+        durations = [program.duration for program in self._programs]
+        self._all_durations = bool(durations) and all(
+            d is not None for d in durations
+        )
+        self._max_duration = max(
+            (d for d in durations if d is not None), default=0
         )
 
         if checkers is None:
@@ -596,7 +1230,14 @@ class VectorEngine:
             or enforce_blocking
             or any(self.state._notes)
         )
-        self._words = self.state._bits.shape[1]
+        if self._sequential:
+            # The scalar engine's active-set scheduler, mirrored exactly:
+            # done nodes park, deliveries wake them (dense-id merge order).
+            self._active: list[Node] = list(self._order)
+            self._parked: set[Node] = set()
+            self._woken: list[Node] = []
+            self._seq_index = {node: i for i, node in enumerate(self._order)}
+        self._fingerprint = self.state._k_width()
         self._in_flight: dict[int, list[_InFlight]] = {}
         self._buckets: dict[int, list[_Batch]] = {}
         self._pending_count = 0
@@ -622,11 +1263,6 @@ class VectorEngine:
                 f"protocol {name} is not vector-backend eligible: it declares "
                 "no vector_program() (only oblivious protocols can run on the "
                 "vector backend; see docs/MODEL.md §8)"
-            )
-        if protocol_cls.is_done is not NodeProtocol.is_done:
-            raise SimulationError(
-                f"protocol {name} overrides is_done(); the vector backend only "
-                "runs oblivious protocols, which never terminate locally"
             )
         if protocol_cls.on_deliver is not NodeProtocol.on_deliver:
             raise SimulationError(
@@ -667,7 +1303,80 @@ class VectorEngine:
             raise SimulationError(
                 f"unknown vector program gate {program.gate[0]!r} from {name}"
             )
+        if program.targets is not None and program.kind != "round_robin":
+            raise SimulationError(
+                f"{name} declares custom targets with kind={program.kind!r}; "
+                "only round_robin programs cycle an explicit target list"
+            )
+        if program.duration is not None and program.duration < 0:
+            raise SimulationError(
+                f"{name} declares a negative duration ({program.duration})"
+            )
+        if (
+            cls.is_done is not NodeProtocol.is_done
+            and program.duration is None
+        ):
+            raise SimulationError(
+                f"protocol {name} overrides is_done() but its VectorProgram "
+                "declares no duration; only fixed-round-budget termination "
+                "can be replayed by the vector backend (see docs/MODEL.md §8)"
+            )
         return program
+
+    def _build_target_tables(self, n: int) -> Optional[tuple]:
+        """CSR-style slot tables for programs cycling explicit targets.
+
+        Returns ``(deg, off, nbr, lat, eid)`` over all nodes (zero
+        degree for nodes without custom targets), or ``None`` when no
+        program declares targets.  Every target is validated to be a
+        graph neighbor here — the scalar engine would raise
+        :class:`~repro.errors.ProtocolError` on first contact; the
+        vector backend front-loads that check to construction.
+        """
+        if not any(p.targets is not None for p in self._programs):
+            return None
+        graph = self.graph
+        index_of = graph.index_of
+        tdeg = np.zeros(n, dtype=np.int64)
+        flat: list[int] = []
+        srcs: list[int] = []
+        for i, program in enumerate(self._programs):
+            if program.targets is None:
+                continue
+            tdeg[i] = len(program.targets)
+            for target in program.targets:
+                try:
+                    j = index_of(target)
+                except Exception:
+                    raise ProtocolError(
+                        f"node {self._order[i]!r} tried to contact "
+                        f"non-neighbor {target!r}"
+                    ) from None
+                flat.append(j)
+                srcs.append(i)
+        toff = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(tdeg, out=toff[1:])
+        tnbr = np.asarray(flat, dtype=np.int64)
+        src = np.asarray(srcs, dtype=np.int64)
+        us, vs, edge_lats = graph.edge_arrays()
+        keys = us * n + vs
+        key_order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[key_order]
+        lo = np.minimum(src, tnbr)
+        hi = np.maximum(src, tnbr)
+        want = lo * n + hi
+        pos = np.searchsorted(sorted_keys, want)
+        valid = pos < sorted_keys.shape[0]
+        valid[valid] = sorted_keys[pos[valid]] == want[valid]
+        if not valid.all():
+            bad = int(np.flatnonzero(~valid)[0])
+            raise ProtocolError(
+                f"node {self._order[int(src[bad])]!r} tried to contact "
+                f"non-neighbor {self._order[int(tnbr[bad])]!r}"
+            )
+        teid = key_order[pos]
+        tlat = np.asarray(edge_lats, dtype=np.int64)[teid]
+        return tdeg, toff, tnbr, tlat, teid
 
     # -- Engine-compatible surface --------------------------------------
     @property
@@ -699,9 +1408,31 @@ class VectorEngine:
         return self._protocols[node]
 
     def all_done(self) -> bool:
-        """Oblivious protocols never terminate: done only without live nodes."""
+        """Local-termination check, mirroring the scalar parking scheduler.
+
+        On the fast path a protocol is done exactly when its declared
+        ``duration`` has elapsed (programs without a duration never
+        terminate); the sequential path queries ``is_done()`` like the
+        scalar engine does, honoring parked and crashed nodes.
+        """
+        if self._sequential:
+            parked = self._parked
+            for node in self._order:
+                if node in parked:
+                    continue
+                if self.failure_model is not None and self.failure_model.node_crashed(
+                    node, self.round
+                ):
+                    continue
+                if not self._protocols[node].is_done(self._contexts[node]):
+                    return False
+            return True
+        if not self._order:
+            return True
+        if self._all_durations:
+            return self.round >= self._max_duration
         if self.failure_model is None:
-            return not self._order
+            return False
         return all(
             self.failure_model.node_crashed(node, self.round)
             for node in self._order
@@ -751,43 +1482,41 @@ class VectorEngine:
     # -- fast path: one round = a handful of array ops ------------------
     def _gate_passes(self, ids: np.ndarray, gate: tuple) -> np.ndarray:
         condition, rumor = gate
-        bit = self.state._space.index.get(rumor)
-        if bit is None:
-            knows = np.zeros(ids.shape[0], dtype=bool)
-        else:
-            word, offset = divmod(bit, 64)
-            column = self.state._bits[self._row_of[ids], word]
-            knows = (column & np.uint64(1 << offset)) != 0
+        knows = self.state._k_knows_column(self._row_of[ids], rumor)
         return ~knows if condition == "not_knows" else knows
 
     def _step_fast(self) -> None:
-        bits = self.state._bits
-        if bits.shape[1] != self._words:
+        state = self.state
+        if state._k_width() != self._fingerprint:
             raise SimulationError(
                 "rumor space grew mid-run; the vector fast path assumes a "
                 "fixed rumor universe (oblivious protocols never intern new "
                 "rumors after setup)"
             )
-        # Deliver everything due this round with one segmented OR.
+        # Deliver everything due this round with one segmented OR (per
+        # layout block, for the chunked layout).
         batches = self._buckets.pop(self.round, None)
         if batches is not None:
             rows = []
-            payloads = []
+            packs = []
             delivered = 0
             for batch in batches:
                 delivered += batch.initiators.shape[0]
                 rows.append(self._row_of[batch.responders])
-                payloads.append(batch.initiator_payloads)
+                packs.append(batch.initiator_payloads)
                 rows.append(self._row_of[batch.initiators])
-                payloads.append(batch.responder_payloads)
+                packs.append(batch.responder_payloads)
             self._pending_count -= delivered
-            _scatter_or(bits, np.concatenate(rows), np.vstack(payloads))
+            state._k_scatter(np.concatenate(rows), state._k_vstack(packs))
 
-        # Partner selection, cohort by cohort.  Gated-out and degree-0
-        # nodes consume no randomness, exactly like the scalar protocols.
-        chosen_ids = []
-        chosen_slots = []
+        # Partner selection, cohort by cohort.  Expired, gated-out, and
+        # degree-0 nodes consume no randomness, exactly like the scalar
+        # scheduler (parked nodes never reach on_round).
+        chosen: list[tuple[np.ndarray, ...]] = []
         for cohort in self._cohorts:
+            duration = cohort["duration"]
+            if duration is not None and self.round >= duration:
+                continue
             ids = cohort["ids"]
             degs = cohort["degs"]
             take = None
@@ -825,35 +1554,43 @@ class VectorEngine:
                         while v >= d:
                             v = g(k)
                         picks[j] = v
-                    slots = self._off[ids] + picks
+                    slots = cohort["off"][ids] + picks
                 else:
                     draw = cohort["draw"]
                     if take is None:
                         picks = [d(k) for d, k in zip(draw, deg_list)]
                     else:
                         picks = [draw[k](deg_list[k]) for k in take.tolist()]
-                    slots = self._off[ids] + np.asarray(picks, dtype=np.int64)
+                    slots = cohort["off"][ids] + np.asarray(picks, dtype=np.int64)
             else:  # round_robin
                 counters = self._rr_next[ids]
-                slots = self._off[ids] + counters % degs
+                slots = cohort["off"][ids] + counters % degs
                 self._rr_next[ids] = counters + 1
-            chosen_ids.append(ids)
-            chosen_slots.append(slots)
+            chosen.append(
+                (
+                    ids,
+                    cohort["nbr"][slots],
+                    cohort["lat"][slots],
+                    cohort["eid"][slots],
+                )
+            )
 
-        if chosen_ids:
-            initiators = np.concatenate(chosen_ids)
-            slots = np.concatenate(chosen_slots)
-            if len(chosen_ids) > 1:
+        if chosen:
+            initiators = np.concatenate([c[0] for c in chosen])
+            responders = np.concatenate([c[1] for c in chosen])
+            latencies = np.concatenate([c[2] for c in chosen])
+            edge_ids = np.concatenate([c[3] for c in chosen])
+            if len(chosen) > 1:
                 # Restore dense-id initiation order (the scalar scan order);
                 # the in-degree cap below is first-come-first-served in it.
                 order = np.argsort(initiators, kind="stable")
                 initiators = initiators[order]
-                slots = slots[order]
+                responders = responders[order]
+                latencies = latencies[order]
+                edge_ids = edge_ids[order]
         else:
-            initiators = slots = np.zeros(0, dtype=np.int64)
-        responders = self._nbr[slots]
-        latencies = self._lat[slots]
-        edge_ids = self._eid[slots]
+            initiators = responders = np.zeros(0, dtype=np.int64)
+            latencies = edge_ids = np.zeros(0, dtype=np.int64)
 
         cap = self.max_incoming_per_round
         if cap is not None and initiators.shape[0]:
@@ -880,10 +1617,10 @@ class VectorEngine:
         self._last_list = None
         if count:
             metrics = self._metrics
-            initiator_payloads = bits[self._row_of[initiators]]
-            responder_payloads = bits[self._row_of[responders]]
-            sent = _popcount_rows(initiator_payloads)
-            received = _popcount_rows(responder_payloads)
+            initiator_payloads = state._k_gather(self._row_of[initiators])
+            responder_payloads = state._k_gather(self._row_of[responders])
+            sent = state._k_popcounts(initiator_payloads, count)
+            received = state._k_popcounts(responder_payloads, count)
             metrics.rumor_tokens_sent += int(sent.sum() + received.sum())
             largest = int(max(sent.max(), received.max()))
             if largest > metrics.max_payload_rumors:
@@ -904,33 +1641,48 @@ class VectorEngine:
                     _Batch(
                         initiators=initiators[pick],
                         responders=responders[pick],
-                        initiator_payloads=initiator_payloads[pick],
-                        responder_payloads=responder_payloads[pick],
+                        initiator_payloads=state._k_select(
+                            initiator_payloads, pick
+                        ),
+                        responder_payloads=state._k_select(
+                            responder_payloads, pick
+                        ),
                     )
                 )
         self.round += 1
         self._metrics.rounds = self.round
 
     # -- sequential path: the scalar engine's semantics, exchange by
-    # -- exchange, over the bitset state (checkers/recorder/failures) ----
+    # -- exchange, over the layout state (checkers/recorder/failures) ----
     def _step_sequential(self) -> None:
         self._last_list = []
         self._last_pairs = None
         for checker in self._checkers:
             checker.on_round_start(self)
         delivered = self._deliver_due()
+        if self._woken:
+            self._wake_parked()
         recorder = self.recorder
         incoming: dict[Node, int] = {}
         failure_model = self.failure_model
         protocols = self._protocols
         contexts = self._contexts
         graph_adj = self.graph.adjacency_view()
-        for node in self._order:
+        survivors: list[Node] = []
+        keep = survivors.append
+        for node in self._active:
             if failure_model is not None and failure_model.node_crashed(
                 node, self.round
             ):
+                keep(node)  # crashes are observed, never cached
                 continue
-            target = protocols[node].on_round(contexts[node])
+            protocol = protocols[node]
+            ctx = contexts[node]
+            if protocol.is_done(ctx):
+                self._parked.add(node)  # leaves the active set until a delivery
+                continue
+            keep(node)
+            target = protocol.on_round(ctx)
             if target is None:
                 continue
             if target not in graph_adj.get(node, ()):
@@ -950,6 +1702,7 @@ class VectorEngine:
                     continue
                 incoming[target] = accepted + 1
             self._initiate(node, target)
+        self._active = survivors
         for checker in self._checkers:
             checker.on_round_end(self)
         if recorder is not None:
@@ -963,6 +1716,25 @@ class VectorEngine:
             )
         self.round += 1
         self._metrics.rounds = self.round
+
+    def _wake_parked(self) -> None:
+        """Merge nodes re-activated by a delivery back in dense-id order."""
+        index = self._seq_index
+        woken = sorted(set(self._woken), key=index.__getitem__)
+        self._woken = []
+        merged: list[Node] = []
+        active = self._active
+        i = j = 0
+        while i < len(active) and j < len(woken):
+            if index[active[i]] <= index[woken[j]]:
+                merged.append(active[i])
+                i += 1
+            else:
+                merged.append(woken[j])
+                j += 1
+        merged.extend(active[i:])
+        merged.extend(woken[j:])
+        self._active = merged
 
     def _initiate(self, initiator: Node, responder: Node) -> None:
         latency = self.graph.latency(initiator, responder)
@@ -1153,6 +1925,28 @@ class VectorEngine:
             )
             for checker in self._checkers:
                 checker.on_delivery(self, delivery_view)
+        endpoints = [(exchange.responder, False)]
+        if initiator_alive:
+            endpoints.insert(0, (exchange.initiator, True))
+        parked = self._parked
+        for node, by_me in endpoints:
+            peer = exchange.responder if by_me else exchange.initiator
+            self._protocols[node].on_deliver(
+                self._contexts[node],
+                Delivery(
+                    peer=peer,
+                    initiated_at=exchange.initiated_at,
+                    delivered_at=self.round,
+                    initiated_by_me=by_me,
+                ),
+            )
+            if node in parked:
+                # The delivery may have changed the node's mind about being
+                # done: re-activate it for this round's scan.
+                parked.discard(node)
+                self._woken.append(node)
+                if recorder is not None:
+                    recorder.record(WakeupEvent(round=self.round, node=node))
 
 
 # ----------------------------------------------------------------------

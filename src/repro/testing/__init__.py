@@ -35,6 +35,7 @@ try:  # pragma: no cover - exercised implicitly by environments without hypothes
         large_dense_graphs,
         latency_models,
         seeds,
+        state_layouts,
     )
 except ImportError:  # hypothesis not installed; strategies stay unavailable
     connected_latency_graphs = None
@@ -43,6 +44,7 @@ except ImportError:  # hypothesis not installed; strategies stay unavailable
     large_dense_graphs = None
     latency_models = None
     seeds = None
+    state_layouts = None
 
 __all__ = [
     "DifferentialReport",
@@ -60,4 +62,5 @@ __all__ = [
     "replay",
     "run_differential",
     "seeds",
+    "state_layouts",
 ]

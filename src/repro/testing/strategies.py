@@ -35,6 +35,7 @@ __all__ = [
     "large_dense_graphs",
     "crash_schedules",
     "engine_configs",
+    "state_layouts",
 ]
 
 
@@ -159,6 +160,18 @@ def crash_schedules(
         )
     )
     return CrashSchedule(dict(zip(victims, rounds)))
+
+
+def state_layouts() -> st.SearchStrategy[str]:
+    """One of the vector backend's rumor-state layout names.
+
+    Draws from :data:`repro.sim.vector.STATE_LAYOUTS` (``dense``,
+    ``broadcast``, ``chunked``) so the layout differential matrix keeps
+    covering every layout automatically as new ones are registered.
+    """
+    from repro.sim.vector import STATE_LAYOUTS
+
+    return st.sampled_from(sorted(STATE_LAYOUTS))
 
 
 @st.composite

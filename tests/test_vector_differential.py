@@ -297,5 +297,9 @@ class TestVectorInvariants:
         # not another step: a delivery in the next round could
         # legitimately restore the wiped knowledge first.)
         engine.state._bits[0] = 0
+        # Direct storage mutation bypasses the copy-on-write caches;
+        # drop them so the checker reads the wiped row.
+        engine.state._masks_cache[0] = None
+        engine.state._snapshots[0] = None
         with pytest.raises(SimulationError, match="monotone"):
             engine.finish_checks()

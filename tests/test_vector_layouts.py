@@ -1,0 +1,353 @@
+"""Differential matrix for the vector backend's rumor-state layouts.
+
+The vector engine now stores rumor knowledge in one of three
+memory-specialized layouts — ``dense`` (bitset matrix), ``broadcast``
+(one byte-column per rumor), ``chunked`` (budget-bounded column blocks)
+— all behind the same :class:`~repro.sim.vector.VectorState` API.  The
+layout is a *representation* choice, so every layout must be
+bit-identical to the scalar :class:`~repro.sim.engine.Engine`: same
+completion rounds, same per-node knowledge, same metrics, for every
+oblivious protocol, under crash schedules and responder caps.  This
+suite pins that with a hypothesis matrix over
+layouts x {push--pull, push, pull, flooding} x engine configs, plus
+deterministic legs for layout auto-selection, multi-block chunked runs,
+RR Broadcast on custom target tables, and a committed golden event
+stream each layout must reproduce byte for byte (re-bless with
+``REPRO_UPDATE_GOLDEN=1`` after a deliberate semantic change).
+"""
+
+import os
+import pathlib
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graphs import generators
+from repro.graphs.latency_models import uniform_latency
+from repro.obs import Recorder, events_to_jsonl
+from repro.protocols.base import PhaseRunner, per_node_rng_factory
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.push_pull import (
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+)
+from repro.protocols.rr_broadcast import rr_broadcast_factory
+from repro.protocols.spanner import DirectedSpanner
+from repro.sim.engine import Engine
+from repro.sim.runner import all_to_all_complete, broadcast_complete, run_until_complete
+from repro.sim.state import NetworkState
+from repro.sim.vector import (
+    BroadcastVectorState,
+    ChunkedVectorState,
+    DEFAULT_MAX_STATE_BYTES,
+    STATE_LAYOUTS,
+    VectorEngine,
+    VectorState,
+    current_max_state_bytes,
+    state_budget,
+)
+from repro.testing import (
+    assert_engines_agree,
+    connected_latency_graphs,
+    crash_schedules,
+    engine_configs,
+    run_differential,
+    seeds,
+    state_layouts,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+LAYOUTS = sorted(STATE_LAYOUTS)
+
+#: name -> builder(rumor) -> per-node protocol constructor over an rng.
+#: ``flooding`` is the knows-gated (push-only) variant, so the matrix
+#: also exercises the gated fast path on every layout.
+PROTOCOLS = {
+    "push-pull": lambda rumor: (lambda rng: PushPullProtocol(rng)),
+    "push": lambda rumor: (lambda rng: PushProtocol(rng, rumor)),
+    "pull": lambda rumor: (lambda rng: PullProtocol(rng, rumor)),
+    "flooding": lambda rumor: (lambda rng: FloodingProtocol(rumor)),
+}
+
+
+def broadcast_setup(graph):
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+
+    def make_state():
+        state = NetworkState(graph.nodes())
+        state.add_rumor(source, rumor)
+        return state
+
+    return rumor, make_state
+
+
+def forced_layout(make_base, layout):
+    """A state builder yielding ``make_base()`` in the given layout."""
+
+    def make_state():
+        return VectorState.from_network_state(make_base(), layout=layout)
+
+    return make_state
+
+
+class TestLayoutMatrix:
+    """Every layout x every oblivious protocol vs the scalar engine."""
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @pytest.mark.parametrize("variant", sorted(PROTOCOLS))
+    @given(connected_latency_graphs(max_nodes=12), seeds(), engine_configs())
+    @settings(max_examples=6, deadline=None)
+    def test_layouts_bit_identical_to_scalar(
+        self, layout, variant, graph, seed, config
+    ):
+        rumor, make_base = broadcast_setup(graph)
+        build = PROTOCOLS[variant](rumor)
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: build(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=forced_layout(make_base, layout),
+            make_reference_state=make_base,
+            predicate=broadcast_complete(rumor),
+            fresh_snapshots=config["fresh_snapshots"],
+            max_incoming_per_round=config["max_incoming_per_round"],
+            max_rounds=5_000,
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+    @given(
+        state_layouts(),
+        connected_latency_graphs(min_nodes=6, max_nodes=12),
+        seeds(100),
+        st.data(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_crash_schedules_agree(self, layout, graph, seed, data):
+        rumor, make_base = broadcast_setup(graph)
+        source = graph.nodes()[0]
+        crashes = data.draw(crash_schedules(graph.nodes(), protect=[source]))
+
+        def make_factory():
+            make_rng = per_node_rng_factory(seed)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=forced_layout(make_base, layout),
+            make_reference_state=make_base,
+            predicate=lambda engine: engine.round >= 25,
+            make_failure_model=lambda: crashes,  # stateless: sharable
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+
+    def test_chunked_multi_block_all_to_all_agrees(self):
+        # 80 self-rumors need 2 bitset words; a budget of n*8 bytes caps
+        # blocks at one word each, so the run genuinely spans blocks.
+        graph = generators.erdos_renyi(
+            80, 0.08, latency_model=uniform_latency(1, 4), rng=random.Random(7)
+        )
+
+        def make_base():
+            state = NetworkState(graph.nodes())
+            state.seed_self_rumors()
+            return state
+
+        def make_state():
+            with state_budget(len(graph.nodes()) * 8):
+                state = VectorState.from_network_state(make_base())
+            assert isinstance(state, ChunkedVectorState)
+            assert len(state._blocks) > 1
+            return state
+
+        def make_factory():
+            make_rng = per_node_rng_factory(11)
+            return lambda node: PushPullProtocol(make_rng(node))
+
+        report = run_differential(
+            graph,
+            make_factory=make_factory,
+            make_state=make_state,
+            make_reference_state=make_base,
+            predicate=all_to_all_complete(),
+            max_rounds=5_000,
+            backend="vector",
+            reference_cls=Engine,
+        )
+        assert_engines_agree(report)
+        assert report.rounds is not None
+
+
+class TestLayoutSelection:
+    """from_network_state picks the layout from the observed universe."""
+
+    def test_small_universe_picks_broadcast(self):
+        state = NetworkState(range(10))
+        state.add_rumor(0, "r")
+        vector = VectorState.from_network_state(state)
+        assert isinstance(vector, BroadcastVectorState)
+        assert vector.layout == "broadcast"
+
+    def test_medium_universe_within_budget_stays_dense(self):
+        state = NetworkState(range(10))
+        state.seed_self_rumors()  # 10 rumors > the broadcast cutoff of 8
+        vector = VectorState.from_network_state(state)
+        assert type(vector) is VectorState
+        assert vector.layout == "dense"
+
+    def test_over_budget_universe_chunks(self):
+        state = NetworkState(range(100))
+        state.seed_self_rumors()  # dense would need n * 2 words * 8 bytes
+        vector = VectorState.from_network_state(state, max_state_bytes=100 * 8)
+        assert isinstance(vector, ChunkedVectorState)
+        assert vector.layout == "chunked"
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_forced_layout_is_respected(self, layout):
+        state = NetworkState(range(6))
+        state.add_rumor(0, "r")
+        vector = VectorState.from_network_state(state, layout=layout)
+        assert vector.layout == layout
+        assert vector.rumors(0) == {"r"}
+
+    def test_unknown_layout_rejected(self):
+        state = NetworkState(range(4))
+        with pytest.raises(SimulationError, match="unknown state layout"):
+            VectorState.from_network_state(state, layout="sparse-coo")
+
+    def test_budget_scope_and_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_STATE_BYTES", raising=False)
+        assert current_max_state_bytes() == DEFAULT_MAX_STATE_BYTES
+        monkeypatch.setenv("REPRO_MAX_STATE_BYTES", "4096")
+        assert current_max_state_bytes() == 4096
+        with state_budget(123):
+            assert current_max_state_bytes() == 123
+        assert current_max_state_bytes() == 4096
+
+    def test_state_nbytes_tracks_layout(self):
+        base = NetworkState(range(64))
+        base.add_rumor(0, "r")
+        # scalar masks: one node holds bit 0 -> one byte
+        assert base.state_nbytes() == 1
+        broadcast = VectorState.from_network_state(base, layout="broadcast")
+        assert broadcast.state_nbytes() == 64  # one uint8 column
+        dense = VectorState.from_network_state(base, layout="dense")
+        assert dense.state_nbytes() == 64 * 8  # one word per node
+        chunked = VectorState.from_network_state(base, layout="chunked")
+        assert chunked.state_nbytes() == 64 * 8  # one one-word block
+
+
+def _oriented_spanner(graph) -> DirectedSpanner:
+    """The graph itself, oriented from repr-lower to repr-higher node."""
+    out_edges = {v: [] for v in graph.nodes()}
+    for u, v, _ in graph.edges():
+        tail, head = (u, v) if repr(u) <= repr(v) else (v, u)
+        out_edges[tail].append(head)
+    return DirectedSpanner(graph=graph, out_edges=out_edges, k=1)
+
+
+class TestRRBroadcastVector:
+    """RR Broadcast (fixed-duration round-robin over custom targets)."""
+
+    GRAPH = generators.ring_of_cliques(4, 4, inter_latency=2, rng=random.Random(2))
+
+    def _run(self, backend, state=None):
+        runner = PhaseRunner(self.GRAPH, state=state, backend=backend)
+        runner.run_phase(
+            rr_broadcast_factory(_oriented_spanner(self.GRAPH), 3),
+            latencies_known=True,
+        )
+        return (
+            runner.total_rounds,
+            {v: runner.state.rumors(v) for v in self.GRAPH.nodes()},
+        )
+
+    def test_vector_backend_matches_scalar(self):
+        assert self._run("vector") == self._run("scalar")
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_every_layout_matches_scalar(self, layout):
+        seeded = NetworkState(self.GRAPH.nodes())
+        seeded.seed_self_rumors()
+        forced = VectorState.from_network_state(seeded, layout=layout)
+        assert self._run("vector", state=forced) == self._run("scalar")
+
+
+def _bucketed_trace(backend, layout=None) -> str:
+    """Push--pull broadcast over latencies 1..5, recorded event stream.
+
+    The recorder forces the vector engine onto its sequential mirror
+    path, which must replay the scalar engine's canonical stream byte
+    for byte whatever the storage layout underneath.
+    """
+    graph = generators.erdos_renyi(
+        16, 0.3, latency_model=uniform_latency(1, 5), rng=random.Random(3)
+    )
+    source = graph.nodes()[0]
+    rumor = ("rumor", source)
+    state = NetworkState(graph.nodes())
+    state.add_rumor(source, rumor)
+    make_rng = per_node_rng_factory(5)
+
+    def factory(node):
+        return PushPullProtocol(make_rng(node))
+
+    recorder = Recorder.in_memory()
+    if backend == "vector":
+        engine = VectorEngine(
+            graph,
+            factory,
+            state=VectorState.from_network_state(state, layout=layout),
+            recorder=recorder,
+        )
+    else:
+        engine = Engine(graph, factory, state=state, recorder=recorder)
+    run_until_complete(engine, broadcast_complete(rumor), "layout-golden")
+    return events_to_jsonl(recorder.events)
+
+
+GOLDEN_FILE = "push_pull_layouts_bucketed.jsonl"
+
+
+class TestLayoutGoldenTraces:
+    def test_scalar_golden_committed(self):
+        generated = _bucketed_trace("scalar")
+        path = GOLDEN_DIR / GOLDEN_FILE
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_bytes(generated.encode("ascii"))
+            pytest.skip(f"re-blessed {GOLDEN_FILE}")
+        assert path.exists(), (
+            f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+        )
+        assert path.read_bytes() == generated.encode("ascii"), (
+            f"{GOLDEN_FILE} drifted from the committed scalar stream — if "
+            "intentional, re-bless with REPRO_UPDATE_GOLDEN=1 and review"
+        )
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_layout_reproduces_committed_bytes(self, layout):
+        path = GOLDEN_DIR / GOLDEN_FILE
+        assert path.exists(), (
+            f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+        )
+        generated = _bucketed_trace("vector", layout=layout)
+        assert path.read_bytes() == generated.encode("ascii"), (
+            f"layout {layout!r} diverged from the committed golden stream — "
+            "every layout must replay the scalar engine byte for byte"
+        )
