@@ -1,15 +1,17 @@
 """Mega-scale engine benchmarks: vector-backend broadcasts with memory caps.
 
 Times the ``engine_scale`` suite from :mod:`repro.benchmarking` — seeded
-push--pull broadcasts on the vector backend at ``n = 10^5`` (quick) and
-``n = 10^6`` (full) — and writes
+push--pull broadcasts *and streamed all-to-all runs* on the vector
+backend at ``n = 10^5`` (quick) and ``n = 10^6`` (full) — and writes
 ``benchmarks/results/BENCH_engine_scale.json``.  Every workload entry
 records ``peak_state_bytes`` and the chosen state layout next to the
 wall time, so the committed report doubles as the memory-acceptance
 artifact: at ``n = 10^6`` the broadcast layout holds about 1 MB of rumor
-state where a dense bitset matrix would need ~125 GB.
+state where a dense bitset matrix would need ~125 GB, and the streamed
+all-to-all replays rumor blocks through a chunked layout whose peak
+residency stays inside its declared ``max_state_bytes`` budget.
 
-The smoke leg re-runs the quick workload in a subprocess whose
+The smoke legs re-run each quick workload in a subprocess whose
 ``RLIMIT_DATA`` is clamped to a hard memory ceiling, so CI catches any
 change that silently reintroduces O(n^2)-ish allocations — the run
 *crashes* instead of quietly paging.
@@ -35,16 +37,21 @@ from repro.benchmarking import (
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
-#: Hard data-segment ceiling for the smoke leg.  The quick n=10^5 run
-#: peaks around 0.73 GB resident (graph + CSR tables dominate; the rumor
-#: state itself is 100 kB), so 1.5 GiB passes with margin while a dense
-#: all-to-all state matrix at that n (1.25 GB before the graph) cannot.
+#: Hard data-segment ceiling for the smoke legs.  Each quick workload
+#: runs in its own fresh interpreter under this cap.  The n=10^5
+#: broadcast peaks around 0.73 GB resident (graph + CSR tables dominate;
+#: the rumor state itself is 100 kB); the n=10^5 streamed all-to-all
+#: holds its graph plus one rumor-block slice and the in-flight payload
+#: rows under a 256 MiB state budget (~1.2 GB resident).  1.5 GiB passes
+#: both with margin, while the *dense* all-to-all state matrix at that n
+#: (1.25 GB before the graph or a single payload row) cannot fit.
 MEMORY_CEILING_BYTES = 3 * (1 << 29)
 
 # Runs inside `python -c` in a fresh interpreter: clamp RLIMIT_DATA
 # before importing numpy or touching any graph, so *every* allocation of
 # the workload is under the ceiling, then emit the workload meta as the
-# last stdout line for the parent to parse.
+# last stdout line for the parent to parse.  argv: ceiling, quick-profile
+# workload index.
 _CEILING_SCRIPT = """
 import json, resource, sys
 ceiling = int(sys.argv[1])
@@ -52,7 +59,7 @@ soft, hard = resource.getrlimit(resource.RLIMIT_DATA)
 resource.setrlimit(resource.RLIMIT_DATA, (ceiling, hard))
 try:
     from repro.benchmarking import engine_scale_microbenchmarks
-    workload = engine_scale_microbenchmarks("quick")[0]
+    workload = engine_scale_microbenchmarks("quick")[int(sys.argv[2])]
     meta = workload.run()
 finally:
     resource.setrlimit(resource.RLIMIT_DATA, (soft, hard))
@@ -80,29 +87,58 @@ def test_engine_scale_microbenchmarks(capsys, profile):
         print(f"report written to {BENCH_ENGINE_SCALE_PATH}")
     assert BENCH_ENGINE_SCALE_PATH.exists()
     assert report["workloads"], "no workloads were timed"
-    for entry in report["workloads"].values():
+    for name, entry in report["workloads"].items():
         assert entry["seconds"] > 0
-        # The acceptance bound: rumor state stays far under 1 GB at any
-        # n in the suite (broadcast layout is n bytes per rumor).
-        assert entry["peak_state_bytes"] < 1 << 30
-        assert "broadcast" in entry["layout"]
+        if "streamed" in name:
+            # The streaming acceptance bound: peak rumor-state residency
+            # is one block slice inside the declared budget — far under
+            # the dense n x n matrix (~125 GB at n = 10^6).
+            assert entry["layout"] == "chunked"
+            assert 0 < entry["peak_state_bytes"] <= entry["max_state_bytes"]
+            assert entry["peak_state_bytes"] < entry["n"] ** 2 // 8
+            assert entry["blocks"] >= 1
+        else:
+            # The broadcast acceptance bound: rumor state stays far under
+            # 1 GB at any n (broadcast layout is n bytes per rumor).
+            assert entry["peak_state_bytes"] < 1 << 30
+            assert "broadcast" in entry["layout"]
 
 
-def test_scale_smoke_under_memory_ceiling(profile):
+def _run_quick_workload_under_ceiling(index: int) -> dict:
     env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
     proc = subprocess.run(
-        [sys.executable, "-c", _CEILING_SCRIPT, str(MEMORY_CEILING_BYTES)],
+        [
+            sys.executable,
+            "-c",
+            _CEILING_SCRIPT,
+            str(MEMORY_CEILING_BYTES),
+            str(index),
+        ],
         capture_output=True,
         text=True,
         env=env,
         timeout=600,
     )
     assert proc.returncode == 0, (
-        f"n=10^5 broadcast crashed under the "
+        f"quick workload {index} crashed under the "
         f"{MEMORY_CEILING_BYTES >> 20} MiB RLIMIT_DATA ceiling:\n"
         f"{proc.stderr[-2000:]}"
     )
-    meta = json.loads(proc.stdout.strip().splitlines()[-1])
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_scale_smoke_under_memory_ceiling(profile):
+    meta = _run_quick_workload_under_ceiling(0)
     assert meta["n"] == 100_000
     assert meta["layout"] == "broadcast"
     assert 0 < meta["peak_state_bytes"] < 1 << 20
+
+
+def test_streamed_all_to_all_smoke_under_memory_ceiling(profile):
+    meta = _run_quick_workload_under_ceiling(1)
+    assert meta["n"] == 100_000
+    assert meta["layout"] == "chunked"
+    # One rumor-block slice resident, inside the workload's budget —
+    # where the dense n x n bitset alone would need 1.25 GB.
+    assert 0 < meta["peak_state_bytes"] <= meta["max_state_bytes"]
+    assert meta["blocks"] > 1

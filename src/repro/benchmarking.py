@@ -289,6 +289,192 @@ def _backend_flooding_workload(n: int, avg_degree: float, repeats: int) -> Workl
     )
 
 
+def _composite_chain_workload(
+    backend: str, n: int, avg_degree: float, repeats: int
+) -> Workload:
+    """Phase-chained composite: broadcast phase, then all-to-all phase.
+
+    The composite-dispatch acceptance workload: both phases are
+    vector-eligible, so under ``backend="vector"`` the chain rides the
+    array fast path end to end — including the state carry-over between
+    phases (the broadcast-era layout is re-picked when the second phase
+    grows the rumor universe to all ``n`` ids).
+    """
+
+    def run() -> dict[str, Any]:
+        from repro.protocols.base import PhaseRunner, per_node_rng_factory
+        from repro.protocols.push_pull import PushPullProtocol
+        from repro.sim.runner import min_rumors_complete
+        from repro.sim.state import NetworkState
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        nodes = graph.nodes()
+        state = NetworkState(nodes)
+        state.add_rumor(nodes[0], "chain-seed")
+        runner = PhaseRunner(graph, state=state, backend=backend)
+        make_rng = per_node_rng_factory(0)
+        runner.run_phase(
+            lambda node: PushPullProtocol(make_rng(node)),
+            until=min_rumors_complete(1),
+            name="broadcast",
+        )
+        runner.state.seed_self_rumors()
+        runner.run_phase(
+            lambda node: PushPullProtocol(make_rng(node)),
+            until=min_rumors_complete(n + 1),
+            name="all-to-all",
+        )
+        return {
+            "rounds": runner.total_rounds,
+            "exchanges": runner.total_exchanges,
+            "n": n,
+            "backend": backend,
+            "phase_backends": [phase.backend for phase in runner.phases],
+        }
+
+    return Workload(
+        name=f"composite_chain_{backend}_er_n{n}",
+        description=(
+            f"phase-chained push--pull (broadcast, then all-to-all over the "
+            f"same state) on the {backend} backend via PhaseRunner over "
+            f"fast-sampled Erdős–Rényi G({n}, {avg_degree}/n), latencies 1..8"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _eid_workload(
+    backend: str, n: int, avg_degree: float, diameter: int, repeats: int
+) -> Workload:
+    """EID(D) — the E8 acceptance composite — on one engine backend.
+
+    Mixed-dispatch under ``backend="vector"``: the ℓ-DTG measurement
+    phases fall back to the scalar engine (adaptive walks) while the RR
+    Broadcast phases ride the fast path; the committed pair documents
+    the fallback cost next to the all-eligible chain's speedup.
+    """
+
+    def run() -> dict[str, Any]:
+        from repro.protocols.eid import run_eid
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        report = run_eid(graph, diameter=diameter, seed=0, backend=backend)
+        return {
+            "rounds": report.rounds,
+            "exchanges": report.exchanges,
+            "n": n,
+            "backend": backend,
+            "phase_backends": sorted(
+                {phase.backend for phase in report.phases}
+            ),
+        }
+
+    return Workload(
+        name=f"eid_{backend}_er_n{n}",
+        description=(
+            f"EID(D={diameter}) composite (Algorithm 3: ℓ-DTG phases + RR "
+            f"Broadcast) on the {backend} backend over fast-sampled "
+            f"Erdős–Rényi G({n}, {avg_degree}/n), latencies 1..8, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _ldtg_workload(
+    backend: str, n: int, avg_degree: float, max_latency: int, repeats: int
+) -> Workload:
+    """ℓ-DTG — the E13 acceptance workload — on one engine backend.
+
+    ℓ-DTG is adaptive, so the vector leg measures the scalar-fallback
+    dispatch overhead (expected ≈ 1x), pinning that composites without
+    vector-eligible phases do not regress under ``--backend vector``.
+    """
+
+    def run() -> dict[str, Any]:
+        from repro.protocols.dtg import run_ldtg
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        result = run_ldtg(graph, max_latency, backend=backend)
+        return {
+            "rounds": result.rounds,
+            "exchanges": result.exchanges,
+            "n": n,
+            "backend": backend,
+            "complete": result.complete,
+        }
+
+    return Workload(
+        name=f"ldtg_{backend}_er_n{n}",
+        description=(
+            f"{max_latency}-DTG (ℓ-local broadcast measurement phase) on "
+            f"the {backend} backend over fast-sampled Erdős–Rényi "
+            f"G({n}, {avg_degree}/n), latencies 1..8"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
+def _mirror_pushpull_workload(
+    mirror: str, n: int, avg_degree: float, repeats: int
+) -> Workload:
+    """Recorder-attached vector broadcast under one mirror-path mode.
+
+    ``mirror="batched"`` is the default event-mirror path (rounds are
+    computed with the array kernels, events emitted from the precomputed
+    buckets); ``mirror="sequential"`` forces the per-exchange replay via
+    ``REPRO_VECTOR_MIRROR`` — the PR-7 behavior — so the committed pair
+    is the mirror-path before/after table.
+    """
+    if mirror not in ("batched", "sequential"):
+        raise ValueError(f"mirror must be 'batched' or 'sequential', not {mirror!r}")
+
+    def run() -> dict[str, Any]:
+        import os
+
+        from repro.obs.recorder import CounterSink, Recorder
+        from repro.protocols.push_pull import run_push_pull
+
+        graph = _vector_bench_graph(n, avg_degree, 8)
+        sink = CounterSink()
+        recorder = Recorder(sink)
+        previous = os.environ.get("REPRO_VECTOR_MIRROR")
+        os.environ["REPRO_VECTOR_MIRROR"] = (
+            "sequential" if mirror == "sequential" else ""
+        )
+        try:
+            result = run_push_pull(
+                graph, mode="broadcast", seed=0, backend="vector",
+                recorder=recorder,
+            )
+        finally:
+            if previous is None:
+                del os.environ["REPRO_VECTOR_MIRROR"]
+            else:
+                os.environ["REPRO_VECTOR_MIRROR"] = previous
+        return {
+            "rounds": result.rounds,
+            "exchanges": result.exchanges,
+            "n": n,
+            "backend": "vector",
+            "mirror": mirror,
+            "events": sum(sink.by_kind.values()),
+        }
+
+    return Workload(
+        name=f"pushpull_broadcast_mirror_{mirror}_er_n{n}",
+        description=(
+            f"recorder-attached push--pull broadcast on the vector backend "
+            f"({mirror} mirror path) over fast-sampled Erdős–Rényi "
+            f"G({n}, {avg_degree}/n), latencies 1..8, seed 0"
+        ),
+        run=run,
+        repeats=repeats,
+    )
+
+
 def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
     """The engine-backend comparison suite (scalar vs vector).
 
@@ -296,7 +482,11 @@ def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
     vector backends on the *same* ``G(n = 10^4)`` graph (broadcast and
     all-to-all speedup points), plus vector-only scale runs at
     ``n = 10^5`` (push--pull) and ``n = 2.5·10^5`` (flooding) that the
-    scalar engine cannot reach in benchmark-friendly time.
+    scalar engine cannot reach in benchmark-friendly time.  The composite
+    rows: the all-vector-eligible phase chain at ``n = 10^4`` (the
+    composite-dispatch speedup point), the EID and ℓ-DTG acceptance
+    composites (mixed and all-fallback dispatch), and the recorder-on
+    mirror-path pair (batched vs forced-sequential).
     """
     from repro.experiments.harness import validate_profile
 
@@ -306,6 +496,11 @@ def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
             _backend_pushpull_workload("scalar", n=2000, avg_degree=16.0, repeats=3),
             _backend_pushpull_workload("vector", n=2000, avg_degree=16.0, repeats=3),
             _backend_pushpull_workload("vector", n=20_000, avg_degree=16.0, repeats=1),
+            _composite_chain_workload("vector", n=2000, avg_degree=16.0, repeats=3),
+            _mirror_pushpull_workload("batched", n=2000, avg_degree=16.0, repeats=3),
+            _mirror_pushpull_workload(
+                "sequential", n=2000, avg_degree=16.0, repeats=3
+            ),
         ]
     return [
         _backend_pushpull_workload("scalar", n=10_000, avg_degree=16.0, repeats=1),
@@ -318,6 +513,16 @@ def engine_vector_microbenchmarks(profile: str) -> list[Workload]:
         ),
         _backend_pushpull_workload("vector", n=100_000, avg_degree=16.0, repeats=1),
         _backend_flooding_workload(n=250_000, avg_degree=8.0, repeats=1),
+        _composite_chain_workload("scalar", n=10_000, avg_degree=16.0, repeats=1),
+        _composite_chain_workload("vector", n=10_000, avg_degree=16.0, repeats=3),
+        _eid_workload("scalar", n=400, avg_degree=16.0, diameter=8, repeats=1),
+        _eid_workload("vector", n=400, avg_degree=16.0, diameter=8, repeats=1),
+        _ldtg_workload("scalar", n=1000, avg_degree=16.0, max_latency=2, repeats=3),
+        _ldtg_workload("vector", n=1000, avg_degree=16.0, max_latency=2, repeats=3),
+        _mirror_pushpull_workload("batched", n=10_000, avg_degree=16.0, repeats=3),
+        _mirror_pushpull_workload(
+            "sequential", n=10_000, avg_degree=16.0, repeats=1
+        ),
     ]
 
 
@@ -370,15 +575,74 @@ def _scale_broadcast_workload(
     )
 
 
-def engine_scale_microbenchmarks(profile: str) -> list[Workload]:
-    """The mega-scale suite: vector-backend broadcasts with memory accounting.
+def _scale_streamed_all_to_all_workload(
+    n: int,
+    avg_degree: float,
+    repeats: int,
+    max_state_bytes: int,
+    warmup: bool = False,
+) -> Workload:
+    """Streamed all-to-all: the full ``n x n`` dissemination in blocks.
 
-    The ``full`` profile holds the PR acceptance workload: a true
+    Runs :func:`~repro.sim.stream.run_streamed_all_to_all` — the recorded
+    schedule replayed per rumor block over the chunked layout — whose
+    result is bit-identical to the monolithic vector-backend all-to-all
+    while only one block slice is resident.  Latencies are 1..2 (not the
+    suite's usual 1..8): all-to-all wall clock scales with the completion
+    round times ``n^2``, and the shorter latencies keep the benchmark's
+    round count — and hours — honest at ``n = 10^6``.
+    """
+
+    def run() -> dict[str, Any]:
+        from repro.sim.stream import run_streamed_all_to_all
+
+        graph = _vector_bench_graph(n, avg_degree, 2)
+        report = run_streamed_all_to_all(
+            graph, seed=0, max_state_bytes=max_state_bytes
+        )
+        result = report.result
+        return {
+            "rounds": result.rounds,
+            "exchanges": result.exchanges,
+            "n": n,
+            "backend": "vector",
+            "blocks": report.blocks,
+            "block_rumors": report.block_rumors,
+            "max_state_bytes": max_state_bytes,
+            # The memory acceptance numbers, matching the broadcast
+            # entries: one block slice is the peak rumor-state residency.
+            "peak_state_bytes": report.peak_state_bytes,
+            "layout": "chunked",
+        }
+
+    return Workload(
+        name=f"scale_pushpull_all_to_all_streamed_n{n}",
+        description=(
+            f"push--pull all-to-all streamed over rumor blocks (recorded "
+            f"schedule, chunked layout, {max_state_bytes >> 20} MB state "
+            f"budget) on fast-sampled Erdős–Rényi G({n}, {avg_degree}/n) "
+            "with uniform latencies 1..2, seed 0, bit-identical to the "
+            "monolithic vector-backend run"
+        ),
+        run=run,
+        repeats=repeats,
+        warmup=warmup,
+    )
+
+
+def engine_scale_microbenchmarks(profile: str) -> list[Workload]:
+    """The mega-scale suite: vector-backend runs with memory accounting.
+
+    The ``full`` profile holds the PR acceptance workloads: a true
     ``n = 10^6`` push--pull broadcast whose rumor state must stay O(n·k)
     (the broadcast layout — about 1 MB — where a dense bitset matrix
-    would need ~125 GB).  The ``quick`` profile is the CI smoke at
-    ``n = 10^5``, small enough to run under an enforced memory ceiling
-    (see ``benchmarks/test_bench_engine_scale.py``).
+    would need ~125 GB), and the ``n = 10^6`` *all-to-all* run streamed
+    over rumor blocks (the dense state would be ~125 GB; the streamed
+    peak is one block slice under a 16 GiB budget).  The ``quick``
+    profile is the CI smoke at ``n = 10^5`` — workload 0 must stay the
+    broadcast run and workload 1 the streamed all-to-all, both small
+    enough to run under an enforced memory ceiling (see
+    ``benchmarks/test_bench_engine_scale.py``).
     """
     from repro.experiments.harness import validate_profile
 
@@ -386,11 +650,20 @@ def engine_scale_microbenchmarks(profile: str) -> list[Workload]:
     if profile == "quick":
         return [
             _scale_broadcast_workload(n=100_000, avg_degree=8.0, repeats=1),
+            _scale_streamed_all_to_all_workload(
+                n=100_000, avg_degree=8.0, repeats=1, max_state_bytes=1 << 28
+            ),
         ]
     return [
         _scale_broadcast_workload(n=100_000, avg_degree=8.0, repeats=1),
+        _scale_streamed_all_to_all_workload(
+            n=100_000, avg_degree=8.0, repeats=1, max_state_bytes=1 << 28
+        ),
         _scale_broadcast_workload(
             n=1_000_000, avg_degree=8.0, repeats=1, warmup=False
+        ),
+        _scale_streamed_all_to_all_workload(
+            n=1_000_000, avg_degree=8.0, repeats=1, max_state_bytes=16 << 30
         ),
     ]
 

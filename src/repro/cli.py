@@ -200,8 +200,10 @@ def _check_differential(seed: int, backend: str = "scalar") -> list[str]:
 
     With ``backend="vector"`` the candidate side is the array backend,
     which is additionally pitted against the scalar engine directly
-    (three-way agreement); the phase-structured General EID leg is
-    skipped because composites are not vector-eligible (docs/MODEL.md §8).
+    (three-way agreement); the phase-structured General EID leg then runs
+    the whole composite with per-phase backend dispatch (vector-eligible
+    phases on the array path, adaptive ℓ-DTG phases on the scalar
+    fallback — docs/MODEL.md §8) against a plain scalar run.
     """
     from repro.graphs import generators
     from repro.protocols.base import per_node_rng_factory
@@ -262,15 +264,17 @@ def _check_differential(seed: int, backend: str = "scalar") -> list[str]:
                 else:
                     failures.append(f"{label}: {'; '.join(report.mismatches[:3])}")
                     print(f"FAIL {label}")
-    if backend == "vector":
-        print("skip differential general-eid (composite protocols are not "
-              "vector-eligible; see docs/MODEL.md §8)")
-        return failures
-    # Composite protocol: the whole General EID pipeline on both engines.
+    # Composite protocol: the whole General EID pipeline across engines.
     graph = generators.ring_of_cliques(3, 4, inter_latency=5)
-    fast = run_general_eid(graph, seed=seed)
-    slow = run_general_eid(graph, seed=seed, engine_factory=ReferenceEngine)
-    label = "differential general-eid on ring-of-cliques"
+    if backend == "vector":
+        # Phase-chained vector dispatch vs the plain scalar PhaseRunner.
+        fast = run_general_eid(graph, seed=seed, backend="vector")
+        slow = run_general_eid(graph, seed=seed, backend="scalar")
+        label = "differential general-eid on ring-of-cliques (vector vs scalar)"
+    else:
+        fast = run_general_eid(graph, seed=seed)
+        slow = run_general_eid(graph, seed=seed, engine_factory=ReferenceEngine)
+        label = "differential general-eid on ring-of-cliques"
     if fast == slow:
         print(f"ok   {label} ({fast.rounds} rounds)")
     else:
@@ -552,6 +556,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             peak = peaks.get((layout, protocol))
             peak_text = f"  peak {peak:,} bytes" if peak is not None else ""
             print(f"  {protocol}: {layout}{peak_text}")
+    phase_backends = (
+        (table.metrics or {}).get("sim_phase_backend", {}).get("values", ())
+    )
+    if phase_backends:
+        print("\nphase backends:")
+        for cell in phase_backends:
+            labels = cell["labels"]
+            reason = labels.get("reason")
+            reason_text = (
+                "" if reason in (None, "eligible") else f"  [{reason}]"
+            )
+            print(
+                f"  {labels.get('protocol')}: {labels.get('backend')} "
+                f"×{int(cell['value'])}{reason_text}"
+            )
     manifest = table.manifest or {}
     provenance = " ".join(
         f"{key}={manifest[key]}"

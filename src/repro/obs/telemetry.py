@@ -33,6 +33,10 @@ class PhaseTiming:
     rounds: int
     exchanges: int
     seconds: float
+    #: Engine backend the phase executed on: ``"vector"``, ``"scalar"``,
+    #: or ``"scalar-fallback"`` (a vector-dispatched run whose protocol
+    #: was not vector-eligible).
+    backend: str = "scalar"
 
 
 @dataclasses.dataclass(frozen=True)

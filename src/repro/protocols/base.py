@@ -7,21 +7,50 @@ for example "log n rounds of D-DTG, then RR Broadcast on the spanner".
 across phases, and (optionally) watches for the first round at which a
 completion predicate holds so benchmarks can report *time to completion*
 separately from *time to protocol termination*.
+
+Phase-chained vector execution
+------------------------------
+When the runner resolves to the ``vector`` backend (and no explicit
+``engine_factory`` overrides it), each phase is dispatched independently:
+a probe protocol instance is asked
+:func:`~repro.sim.vector.vector_ineligibility`, and
+
+* eligible phases run on :class:`~repro.sim.vector.VectorEngine` — the
+  rumor state stays in its :class:`~repro.sim.vector.VectorState` layout
+  between phases (re-picked via ``to_layout()`` when a scalar phase grew
+  the rumor universe), never densifying back to a scalar state;
+* ineligible phases (adaptive protocols like ℓ-DTG's measurement walks)
+  fall back to the scalar :class:`~repro.sim.engine.Engine` *over the
+  same layout state*, which implements the full
+  :class:`~repro.sim.state.NetworkState` API — the handoff is
+  bit-identical in both directions.
+
+Every phase's backend is attributed in :attr:`PhaseRunner.phases`
+(``PhaseTiming.backend``), :attr:`PhaseRunner.phase_fallbacks`, and the
+``sim_phase_backend`` labeled counter, so mixed runs are diagnosable from
+``repro profile`` / ``repro report``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.graphs.latency_graph import LatencyGraph, Node
+from repro.obs.metrics import default_registry
 from repro.obs.profile import span
 from repro.obs.recorder import Recorder
 from repro.obs.telemetry import PhaseTiming
 from repro.sim.engine import Engine, NodeProtocol
 from repro.sim.state import NetworkState
-from repro.sim.vector import resolve_engine_backend
+from repro.sim.vector import (
+    VectorEngine,
+    VectorState,
+    current_engine_backend,
+    resolve_engine_backend,
+    vector_ineligibility,
+)
 
 __all__ = ["per_node_rng_factory", "PhaseRunner"]
 
@@ -37,6 +66,21 @@ def per_node_rng_factory(seed: int) -> Callable[[Node], random.Random]:
         return random.Random(f"{seed}:{node!r}")
 
     return make
+
+
+def _fallback_slug(reason: Optional[str]) -> str:
+    """Compress an ineligibility reason into a bounded metric label."""
+    if reason is None:
+        return "eligible"
+    if "declares no vector_program()" in reason:
+        return "no-vector-program"
+    if "ping-only" in reason:
+        return "ping-only"
+    if "on_deliver" in reason:
+        return "on-deliver-callback"
+    if "is_done" in reason:
+        return "adaptive-termination"
+    return "ineligible"
 
 
 class PhaseRunner:
@@ -56,7 +100,8 @@ class PhaseRunner:
         Engine constructor used for every phase; defaults to the engine
         backend named by ``backend``.  Differential tests substitute
         :class:`~repro.testing.reference.ReferenceEngine` here to run
-        whole composite protocols against the naive model.
+        whole composite protocols against the naive model.  An explicit
+        factory disables per-phase backend dispatch.
     recorder:
         Optional :class:`~repro.obs.recorder.Recorder` threaded into every
         phase's engine.  Passed as an extra ``recorder=`` keyword only
@@ -66,8 +111,14 @@ class PhaseRunner:
         Engine backend name used when ``engine_factory`` is omitted;
         ``None`` defers to the ambient
         :func:`~repro.sim.vector.engine_backend` scope (scalar by
-        default).  Note the vector backend only accepts oblivious
-        protocols, so phase-structured composites need the scalar one.
+        default).  Under the ``vector`` backend each phase is dispatched
+        independently: vector-eligible protocols run on
+        :class:`~repro.sim.vector.VectorEngine`, anything else falls back
+        to the scalar engine over the same state (see module docstring).
+    engine_kwargs:
+        Extra keyword arguments (e.g. ``failure_model``,
+        ``max_incoming_per_round``) forwarded to every phase's engine
+        construction.
     """
 
     def __init__(
@@ -78,14 +129,21 @@ class PhaseRunner:
         engine_factory: Optional[Callable[..., Engine]] = None,
         recorder: Optional[Recorder] = None,
         backend: Optional[str] = None,
+        engine_kwargs: Optional[dict] = None,
     ) -> None:
         self.graph = graph
+        resolved = backend if backend is not None else current_engine_backend()
+        #: Per-phase backend dispatch is on only for vector-resolved runs
+        #: without an explicit engine factory; everything else keeps the
+        #: single-factory behavior.
+        self._dispatch = engine_factory is None and resolved == "vector"
         self.engine_factory = (
             engine_factory
             if engine_factory is not None
             else resolve_engine_backend(backend)
         )
         self.recorder = recorder
+        self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
         if state is None:
             state = NetworkState(graph.nodes())
             state.seed_self_rumors()
@@ -95,10 +153,37 @@ class PhaseRunner:
         self.total_messages = 0
         #: Per-phase logical cost and wall clock, in execution order.
         self.phases: list[PhaseTiming] = []
+        #: Per-phase vector-ineligibility reason (``None`` for phases that
+        #: ran on the vector fast path or were not dispatched), parallel
+        #: to :attr:`phases`.
+        self.phase_fallbacks: list[Optional[str]] = []
         self.first_complete_round: Optional[int] = None
         self._watch = watch
         if watch is not None and watch(self.state):
             self.first_complete_round = 0
+
+    def _dispatch_phase(
+        self, protocol_factory: Callable[[Node], NodeProtocol]
+    ) -> tuple[Callable[..., Any], str, Optional[str]]:
+        """Pick this phase's engine: ``(factory, backend label, reason)``.
+
+        A single probe instance (never ``setup()``-ed, never run) answers
+        the same eligibility questions the vector engine would raise on —
+        so ineligible phases fall back to the scalar engine instead of
+        aborting the composite run.
+        """
+        if not self._dispatch:
+            label = (
+                "vector" if self.engine_factory is VectorEngine else "scalar"
+            )
+            return self.engine_factory, label, None
+        nodes = self.graph.nodes()
+        if not nodes:
+            return VectorEngine, "vector", None
+        reason = vector_ineligibility(protocol_factory(nodes[0]))
+        if reason is None:
+            return VectorEngine, "vector", None
+        return Engine, "scalar-fallback", reason
 
     def run_phase(
         self,
@@ -106,14 +191,29 @@ class PhaseRunner:
         latencies_known: bool = True,
         max_rounds: int = 1_000_000,
         name: str = "phase",
+        until: Optional[Callable[[NetworkState], bool]] = None,
     ) -> Engine:
         """Run one phase until every node's protocol is done.
+
+        ``until`` is an optional completion gate over the shared state —
+        e.g. "every node knows ≥ m rumors" via
+        :func:`~repro.sim.runner.min_rumors_complete` — that ends the
+        phase early, checked between rounds exactly like the scalar
+        loop would (a phase may park on its round budget first).
 
         Returns the finished engine so callers can inspect protocol
         instances (e.g. collect measured latencies after discovery).
         """
-        extra = {} if self.recorder is None else {"recorder": self.recorder}
-        engine = self.engine_factory(
+        factory, backend_label, reason = self._dispatch_phase(protocol_factory)
+        if factory is VectorEngine and isinstance(self.state, VectorState):
+            # A preceding scalar phase may have grown the rumor universe
+            # past what this layout was picked for: re-pick (no-op when
+            # the layout is already right, a words-matrix copy otherwise).
+            self.state = self.state.to_layout()
+        extra = dict(self.engine_kwargs)
+        if self.recorder is not None:
+            extra["recorder"] = self.recorder
+        engine = factory(
             self.graph,
             protocol_factory,
             state=self.state,
@@ -128,6 +228,8 @@ class PhaseRunner:
             self.state = engine_state
         with span(f"phase.{name}") as timer:
             while not engine.all_done():
+                if until is not None and until(self.state):
+                    break
                 if engine.round >= max_rounds:
                     raise SimulationError(
                         f"{name} exceeded max_rounds={max_rounds} within one phase"
@@ -146,7 +248,24 @@ class PhaseRunner:
                 rounds=engine.round,
                 exchanges=engine.metrics.exchanges,
                 seconds=timer.seconds,
+                backend=backend_label,
             )
+        )
+        self.phase_fallbacks.append(reason)
+        nodes = self.graph.nodes()
+        lookup = getattr(engine, "protocol", None)
+        protocol_name = (
+            type(lookup(nodes[0])).__name__
+            if nodes and lookup is not None
+            else "unknown"
+        )
+        default_registry().counter(
+            "sim_phase_backend",
+            "protocol phases executed per engine backend (with fallback reason)",
+        ).inc(
+            backend=backend_label,
+            protocol=protocol_name,
+            reason=_fallback_slug(reason),
         )
         self.total_exchanges += engine.metrics.exchanges
         self.total_messages += engine.metrics.messages

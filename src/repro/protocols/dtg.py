@@ -206,14 +206,20 @@ def run_ldtg(
     state: Optional[NetworkState] = None,
     max_rounds: int = 1_000_000,
     engine_factory=None,
+    backend: Optional[str] = None,
 ) -> DisseminationResult:
     """Run one full ℓ-DTG phase and verify ℓ-local broadcast completed.
 
     Returns a result whose ``rounds`` is the phase length (all nodes
     terminated); completeness is checked against the ℓ-local broadcast
-    predicate.
+    predicate.  ℓ-DTG is adaptive (its walks react to deliveries), so a
+    ``backend="vector"`` run dispatches the phase to the scalar engine —
+    the knob exists so composite callers can thread one backend choice
+    through uniformly.
     """
-    runner = PhaseRunner(graph, state=state, engine_factory=engine_factory)
+    runner = PhaseRunner(
+        graph, state=state, engine_factory=engine_factory, backend=backend
+    )
     runner.run_phase(
         ldtg_factory(graph, max_latency),
         latencies_known=True,

@@ -182,6 +182,7 @@ def run_eid(
     max_rounds: int = 5_000_000,
     engine_factory=None,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
 ) -> EIDReport:
     """Run EID(D) — Algorithm 3 — for a known diameter (estimate).
 
@@ -204,12 +205,21 @@ def run_eid(
         Optional :class:`~repro.obs.recorder.Recorder` for the phases'
         engines (ignored when ``runner`` is given — pass it to the runner
         instead).
+    backend:
+        Engine backend name for the phases (ignored when ``runner`` or
+        ``engine_factory`` is given); under ``"vector"`` the ℓ-DTG
+        measurement phases fall back to the scalar engine while the
+        RR Broadcast phases ride the array fast path.
     """
     if diameter < 1:
         raise ProtocolError(f"diameter must be >= 1, got {diameter}")
     if runner is None:
         runner = PhaseRunner(
-            graph, state=state, engine_factory=engine_factory, recorder=recorder
+            graph,
+            state=state,
+            engine_factory=engine_factory,
+            recorder=recorder,
+            backend=backend,
         )
     n_hat = n_hat if n_hat is not None else graph.num_nodes
     rounds_before = runner.total_rounds
@@ -326,6 +336,7 @@ def run_general_eid(
     require_unanimous: bool = True,
     engine_factory=None,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
 ) -> GeneralEIDReport:
     """Run General EID — Algorithm 4 — with an unknown diameter (Theorem 19).
 
@@ -346,10 +357,20 @@ def run_general_eid(
     rng = random.Random(seed)
 
     def all_to_all_done(state: NetworkState) -> bool:
+        # O(n) bitset check on states that support it (all vector layouts
+        # and NetworkState do); the per-node set comparison is the
+        # fallback for exotic state substitutes.
+        knows_every = getattr(state, "knows_every", None)
+        if knows_every is not None:
+            return knows_every(nodes, universe)
         return all(universe <= state.rumors(node) for node in nodes)
 
     runner = PhaseRunner(
-        graph, watch=all_to_all_done, engine_factory=engine_factory, recorder=recorder
+        graph,
+        watch=all_to_all_done,
+        engine_factory=engine_factory,
+        recorder=recorder,
+        backend=backend,
     )
     # Hard cap: the diameter is at most (n - 1) * ℓ_max.
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))

@@ -89,6 +89,7 @@ def run_path_discovery(
     require_unanimous: bool = True,
     engine_factory=None,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
 ) -> PathDiscoveryReport:
     """Run Path Discovery — Algorithm 6 — solving all-to-all dissemination.
 
@@ -99,10 +100,17 @@ def run_path_discovery(
     universe = set(nodes)
 
     def all_to_all_done(state: NetworkState) -> bool:
+        knows_every = getattr(state, "knows_every", None)
+        if knows_every is not None:
+            return knows_every(nodes, universe)
         return all(universe <= state.rumors(node) for node in nodes)
 
     runner = PhaseRunner(
-        graph, watch=all_to_all_done, engine_factory=engine_factory, recorder=recorder
+        graph,
+        watch=all_to_all_done,
+        engine_factory=engine_factory,
+        recorder=recorder,
+        backend=backend,
     )
     absolute_cap = 4 * max(1, (graph.num_nodes - 1) * max(1, graph.max_latency()))
     k = 1

@@ -31,6 +31,7 @@ from repro.sim.runner import (
 from repro.obs.recorder import Recorder
 from repro.obs.telemetry import PhaseTiming, RunTelemetry
 from repro.sim.state import NetworkState, Note, Payload
+from repro.sim.stream import StreamReport, run_streamed_all_to_all
 from repro.sim.trace import TraceEvent, TraceRecorder, render_timeline
 from repro.sim.vector import (
     ENGINE_BACKENDS,
@@ -75,6 +76,7 @@ __all__ = [
     "Recorder",
     "RunTelemetry",
     "SingleInitiationChecker",
+    "StreamReport",
     "SymmetricMergeChecker",
     "TraceEvent",
     "TraceRecorder",
@@ -87,6 +89,7 @@ __all__ = [
     "default_checkers",
     "local_broadcast_complete",
     "render_timeline",
+    "run_streamed_all_to_all",
     "run_until_complete",
     "wait",
 ]

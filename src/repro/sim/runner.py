@@ -27,6 +27,7 @@ __all__ = [
     "broadcast_complete",
     "all_to_all_complete",
     "local_broadcast_complete",
+    "min_rumors_complete",
     "run_until_complete",
 ]
 
@@ -62,6 +63,29 @@ def all_to_all_complete() -> Callable[[Engine], bool]:
             return knows_every(nodes, nodes)
         everyone = set(nodes)
         return all(everyone <= state.rumors(node) for node in nodes)
+
+    return predicate
+
+
+def min_rumors_complete(m: int):
+    """State predicate: every node knows at least ``m`` rumors.
+
+    A multi-rumor completion gate for phase-chained runs — pass it as
+    ``PhaseRunner.run_phase(..., until=min_rumors_complete(m))`` to end a
+    phase as soon as universal coverage of ``m`` rumors is reached,
+    whatever those rumors are.  Takes the *state* (not the engine), like
+    ``PhaseRunner``'s ``watch``; uses the state's one-pass
+    ``min_rumor_count()`` when available (every vector layout and
+    :class:`~repro.sim.state.NetworkState` provide it).
+    """
+    if m < 0:
+        raise SimulationError(f"min_rumors_complete needs m >= 0, got {m}")
+
+    def predicate(state) -> bool:
+        fast = getattr(state, "min_rumor_count", None)
+        if fast is not None:
+            return fast() >= m
+        return all(state.rumor_count(node) >= m for node in state.nodes())
 
     return predicate
 

@@ -192,6 +192,17 @@ class NetworkState:
         """How many rumors ``node`` knows (O(1) popcount)."""
         return self._masks[self._node_index[node]].bit_count()
 
+    def min_rumor_count(self) -> int:
+        """The smallest per-node rumor count (0 for an empty state).
+
+        One popcount pass over the mask list — the backing primitive for
+        the ``min_rumors_complete`` phase gate ("every node knows ≥ m
+        rumors") without per-node Python round trips.
+        """
+        if not self._masks:
+            return 0
+        return min(mask.bit_count() for mask in self._masks)
+
     def knows(self, node: Node, rumor: Rumor) -> bool:
         """Whether ``node`` knows ``rumor``."""
         bit = self._space.index.get(rumor)

@@ -127,6 +127,7 @@ __all__ = [
     "engine_backend",
     "resolve_engine_backend",
     "state_budget",
+    "vector_ineligibility",
 ]
 
 
@@ -153,16 +154,26 @@ def _scatter_or(bits: np.ndarray, rows: np.ndarray, payloads: np.ndarray) -> Non
 
     Plain fancy-index assignment (``bits[rows] |= payloads``) silently
     keeps only one update per duplicated row index; a round's deliveries
-    routinely hit the same responder many times.  Sorting by row and
-    OR-reducing each segment first preserves every delivery in one pass.
+    routinely hit the same responder many times.  Duplicate-free calls
+    (the common case under random partner selection) take the plain
+    fancy read-modify-write directly; otherwise duplicated segments are
+    pre-merged rank by rank — the deepest pile-up on one row is small
+    (Poisson in-degree), so a few bulk ``|=`` passes beat a segmented
+    ``np.bitwise_or.reduceat``, which degenerates to per-segment loops.
     """
     if rows.shape[0] == 0:
         return
     order = np.argsort(rows, kind="stable")
     sorted_rows = rows[order]
-    sorted_payloads = payloads[order]
     starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
-    merged = np.bitwise_or.reduceat(sorted_payloads, starts, axis=0)
+    if starts.shape[0] == rows.shape[0]:
+        bits[rows] |= payloads
+        return
+    sizes = np.diff(np.r_[starts, sorted_rows.shape[0]])
+    merged = payloads[order[starts]]
+    for rank in range(1, int(sizes.max())):
+        deep = np.flatnonzero(sizes > rank)
+        merged[deep] |= payloads[order[starts[deep] + rank]]
     bits[sorted_rows[starts]] |= merged
 
 
@@ -456,6 +467,62 @@ class VectorState:
         out._load_masks(state._masks)
         return out
 
+    def to_layout(
+        self,
+        layout: Optional[str] = None,
+        max_state_bytes: Optional[int] = None,
+    ) -> "VectorState":
+        """This state rebuilt in another layout (same tokens, same bits).
+
+        The phase carry-over API: a scalar-fallback phase may have grown
+        the rumor universe past the layout the previous vector phase
+        picked, so :class:`~repro.protocols.base.PhaseRunner` re-picks a
+        layout here before handing the state to the next vector phase —
+        without densifying through a :class:`NetworkState` copy.
+        ``layout=None`` re-picks automatically with the same rule as
+        :meth:`from_network_state`; the conversion is a whole-matrix
+        array transform (no per-row Python masks).  Returns ``self``
+        unchanged when the chosen layout is already this one.
+        """
+        tokens = len(self._space.tokens)
+        n = len(self._node_list)
+        if layout is not None:
+            try:
+                chosen = STATE_LAYOUTS[layout]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown state layout {layout!r}; available: "
+                    + ", ".join(sorted(STATE_LAYOUTS))
+                ) from None
+        else:
+            budget = (
+                max_state_bytes
+                if max_state_bytes is not None
+                else current_max_state_bytes()
+            )
+            words = max(1, (tokens + 63) // 64)
+            if 0 < tokens <= _BROADCAST_MAX_RUMORS:
+                chosen = BroadcastVectorState
+            elif n * words * 8 <= budget:
+                chosen = VectorState
+            else:
+                chosen = ChunkedVectorState
+        if chosen is type(self):
+            return self
+        out = chosen.__new__(chosen)
+        out._node_index = dict(self._node_index)
+        out._node_list = list(self._node_list)
+        out._space = _RumorSpace()
+        out._space.index = dict(self._space.index)
+        out._space.tokens = list(self._space.tokens)
+        out._notes = [dict(board) for board in self._notes]
+        out._snapshots = [None] * n
+        out._masks_cache = [None] * n
+        out._cache_filled = False
+        out._init_storage(n, tokens, max_state_bytes)
+        out._load_words(self._words_matrix())
+        return out
+
     # -- storage primitives (overridden per layout) ----------------------
     def _init_storage(
         self, n: int, bits: int, max_state_bytes: Optional[int] = None
@@ -500,6 +567,24 @@ class VectorState:
                 self._bits[i] = np.frombuffer(
                     mask.to_bytes(words * 8, "little"), dtype=np.uint64
                 )
+
+    # -- layout conversion (``to_layout``) -------------------------------
+    # Conversions move whole matrices: every layout can export its storage
+    # as the canonical ``n × words`` uint64 view and import one, so a
+    # layout switch costs one packbits/unpackbits/hstack-style transform
+    # instead of n Python-int round-trips.
+    def _words_matrix(self) -> np.ndarray:
+        """Storage as the canonical dense uint64 word matrix (a view/copy)."""
+        return self._bits
+
+    def _load_words(self, words: np.ndarray) -> None:
+        """Bulk-load a dense word matrix into fresh zeroed storage.
+
+        Width mismatches are benign: any extra source columns are padding
+        beyond the interned rumor universe and therefore all-zero.
+        """
+        width = min(self._bits.shape[1], words.shape[1])
+        self._bits[:, :width] = words[:, :width]
 
     # -- packed-row plumbing --------------------------------------------
     def _row_mask(self, i: int) -> int:
@@ -564,6 +649,17 @@ class VectorState:
     def rumor_count(self, node: Node) -> int:
         """How many rumors ``node`` knows (one vectorized popcount)."""
         return int(_popcount_rows(self._bits[self._node_index[node]]))
+
+    def min_rumor_count(self) -> int:
+        """The smallest per-node rumor count (one matrix popcount).
+
+        Multi-rumor phase gates ("every node knows >= m rumors") reduce to
+        ``min_rumor_count() >= m``; see
+        :func:`~repro.sim.runner.min_rumors_complete`.
+        """
+        if self._bits.shape[0] == 0:
+            return 0
+        return int(_popcount_rows(self._bits).min())
 
     def knows(self, node: Node, rumor: Hashable) -> bool:
         """Whether ``node`` knows ``rumor``."""
@@ -699,7 +795,8 @@ class VectorState:
         return _popcount_rows(pack)
 
     def _k_select(self, pack: Any, pick: Any) -> Any:
-        """Subset of a pack (boolean mask or ``slice(None)``)."""
+        """Subset/reorder of a pack (boolean mask, int indices, or
+        ``slice(None)``)."""
         return pack[pick]
 
     def _k_vstack(self, packs: list) -> Any:
@@ -710,6 +807,11 @@ class VectorState:
         """OR a pack into the given state rows, duplicate-safe."""
         _scatter_or(self._bits, rows, pack)
         self._invalidate_rows(rows)
+
+    def _k_row_popcounts(self, rows: np.ndarray) -> np.ndarray:
+        """Per-row rumor counts of the given *state* rows (the mirror
+        path's learned-count probe)."""
+        return _popcount_rows(self._bits[rows])
 
     def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
         """Boolean array: whether each given state row knows ``rumor``."""
@@ -775,11 +877,34 @@ class BroadcastVectorState(VectorState):
                 self._cols[i, low.bit_length() - 1] = 1
                 bits ^= low
 
+    def _words_matrix(self) -> np.ndarray:
+        n, k = self._cols.shape
+        words = max(1, (k + 63) // 64)
+        packed = np.packbits(self._cols, axis=1, bitorder="little")
+        padded = np.zeros((n, words * 8), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        return padded.view(np.uint64)
+
+    def _load_words(self, words: np.ndarray) -> None:
+        n, k = self._cols.shape
+        if k == 0:
+            return
+        as_bytes = np.ascontiguousarray(words).view(np.uint8).reshape(n, -1)
+        have = min(k, as_bytes.shape[1] * 8)
+        self._cols[:, :have] = np.unpackbits(
+            as_bytes, axis=1, count=have, bitorder="little"
+        )
+
     def state_nbytes(self) -> int:
         return int(self._cols.nbytes)
 
     def rumor_count(self, node: Node) -> int:
         return int(self._cols[self._node_index[node]].sum())
+
+    def min_rumor_count(self) -> int:
+        if self._cols.shape[0] == 0:
+            return 0
+        return int(self._cols.sum(axis=1, dtype=np.int64).min())
 
     def knows(self, node: Node, rumor: Hashable) -> bool:
         bit = self._space.index.get(rumor)
@@ -820,6 +945,9 @@ class BroadcastVectorState(VectorState):
     def _k_scatter(self, rows: np.ndarray, pack: Any) -> None:
         _scatter_or(self._cols, rows, pack)
         self._invalidate_rows(rows)
+
+    def _k_row_popcounts(self, rows: np.ndarray) -> np.ndarray:
+        return self._cols[rows].sum(axis=1, dtype=np.int64)
 
     def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
         bit = self._space.index.get(rumor)
@@ -923,6 +1051,21 @@ class ChunkedVectorState(VectorState):
             else:
                 self._or_row_storage(i, mask)
 
+    def _words_matrix(self) -> np.ndarray:
+        if not self._blocks:
+            return np.zeros((len(self._node_list), 1), dtype=np.uint64)
+        if len(self._blocks) == 1:
+            return self._blocks[0]
+        return np.hstack(self._blocks)
+
+    def _load_words(self, words: np.ndarray) -> None:
+        offsets = self._block_offsets
+        for b, block in enumerate(self._blocks):
+            lo = min(offsets[b], words.shape[1])
+            hi = min(offsets[b + 1], words.shape[1])
+            if hi > lo:
+                block[:, : hi - lo] = words[:, lo:hi]
+
     def state_nbytes(self) -> int:
         return int(sum(block.nbytes for block in self._blocks))
 
@@ -931,6 +1074,16 @@ class ChunkedVectorState(VectorState):
         return int(
             sum(int(_popcount_rows(block[i])) for block in self._blocks)
         )
+
+    def min_rumor_count(self) -> int:
+        n = len(self._node_list)
+        if n == 0:
+            return 0
+        total = np.zeros(n, dtype=np.int64)
+        # Streamed per block: each pass touches one budget-bounded matrix.
+        for block in self._blocks:
+            total += _popcount_rows(block)
+        return int(total.min())
 
     def knows(self, node: Node, rumor: Hashable) -> bool:
         bit = self._space.index.get(rumor)
@@ -1008,11 +1161,31 @@ class ChunkedVectorState(VectorState):
         order = np.argsort(rows, kind="stable")
         sorted_rows = rows[order]
         starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
+        if starts.shape[0] == rows.shape[0]:
+            # Duplicate-free: one fancy read-modify-write per column block
+            # (same strategy as :func:`_scatter_or`).
+            for block, part in zip(self._blocks, pack):
+                block[rows] |= part
+            self._invalidate_rows(rows)
+            return
         targets = sorted_rows[starts]
+        sizes = np.diff(np.r_[starts, sorted_rows.shape[0]])
+        ranks = [
+            np.flatnonzero(sizes > rank) for rank in range(1, int(sizes.max()))
+        ]
+        first = order[starts]
         for block, part in zip(self._blocks, pack):
-            merged = np.bitwise_or.reduceat(part[order], starts, axis=0)
+            merged = part[first]
+            for rank, deep in enumerate(ranks, start=1):
+                merged[deep] |= part[order[starts[deep] + rank]]
             block[targets] |= merged
         self._invalidate_rows(targets)
+
+    def _k_row_popcounts(self, rows: np.ndarray) -> np.ndarray:
+        total = np.zeros(rows.shape[0], dtype=np.int64)
+        for block in self._blocks:
+            total += _popcount_rows(block[rows])
+        return total
 
     def _k_knows_column(self, rows: np.ndarray, rumor: Hashable) -> np.ndarray:
         bit = self._space.index.get(rumor)
@@ -1039,19 +1212,115 @@ STATE_LAYOUTS: dict[str, type] = {
 
 
 # ----------------------------------------------------------------------
+# Eligibility probing.  The engine's validation raises; PhaseRunner's
+# per-phase dispatch instead *asks* — the same checks, one protocol
+# instance, a reason string back — so ineligible phases can fall back to
+# the scalar engine instead of aborting the composite run.
+def _class_ineligibility(protocol_cls: type) -> Optional[str]:
+    """Why a protocol *class* cannot run on the vector backend (or None)."""
+    name = protocol_cls.__name__
+    if getattr(protocol_cls, "vector_program", None) is None:
+        return (
+            f"protocol {name} is not vector-backend eligible: it declares "
+            "no vector_program() (only oblivious protocols can run on the "
+            "vector backend; see docs/MODEL.md §8)"
+        )
+    if protocol_cls.on_deliver is not NodeProtocol.on_deliver:
+        return (
+            f"protocol {name} overrides on_deliver(); the vector backend "
+            "cannot replay per-delivery protocol callbacks"
+        )
+    return None
+
+
+def _program_ineligibility(
+    protocol_cls: type, program: Any
+) -> Optional[str]:
+    """Why an extracted program cannot run on the vector backend (or None)."""
+    name = protocol_cls.__name__
+    if not isinstance(program, VectorProgram):
+        return (
+            f"{name}.vector_program() must return a VectorProgram, got "
+            f"{type(program).__name__}"
+        )
+    if program.kind not in ("random", "round_robin"):
+        return f"unknown vector program kind {program.kind!r} from {name}"
+    if program.kind == "random" and program.rng is None:
+        return f"{name} declares kind='random' but carries no rng"
+    if program.gate is not None and program.gate[0] not in (
+        "knows",
+        "not_knows",
+    ):
+        return f"unknown vector program gate {program.gate[0]!r} from {name}"
+    if program.targets is not None and program.kind != "round_robin":
+        return (
+            f"{name} declares custom targets with kind={program.kind!r}; "
+            "only round_robin programs cycle an explicit target list"
+        )
+    if program.duration is not None and program.duration < 0:
+        return f"{name} declares a negative duration ({program.duration})"
+    if (
+        protocol_cls.is_done is not NodeProtocol.is_done
+        and program.duration is None
+    ):
+        return (
+            f"protocol {name} overrides is_done() but its VectorProgram "
+            "declares no duration; only fixed-round-budget termination "
+            "can be replayed by the vector backend (see docs/MODEL.md §8)"
+        )
+    return None
+
+
+def _payload_ineligibility(protocol: Any) -> Optional[str]:
+    """Why a protocol *instance*'s payload mode is ineligible (or None)."""
+    if not getattr(protocol, "sends_payload", True):
+        return (
+            f"protocol {type(protocol).__name__} is ping-only "
+            "(sends_payload=False); the vector backend only ships rumor "
+            "payloads"
+        )
+    return None
+
+
+def _instance_ineligibility(protocol: Any) -> Optional[str]:
+    """Instance-level checks, assuming the class already passed."""
+    reason = _payload_ineligibility(protocol)
+    if reason is not None:
+        return reason
+    return _program_ineligibility(type(protocol), protocol.vector_program())
+
+
+def vector_ineligibility(protocol: Any) -> Optional[str]:
+    """Why ``protocol`` cannot run on the vector backend — or ``None``.
+
+    The non-raising twin of the engine's construction-time validation
+    (identical checks, identical wording), used by
+    :class:`~repro.protocols.base.PhaseRunner` to decide per-phase
+    backend dispatch from a single probe instance.
+    """
+    reason = _class_ineligibility(type(protocol))
+    if reason is not None:
+        return reason
+    return _instance_ineligibility(protocol)
+
+
+# ----------------------------------------------------------------------
 @dataclasses.dataclass(slots=True)
 class _Batch:
     """One latency bucket's worth of in-flight exchanges, as arrays.
 
     Rows are in initiation order (initiator dense-id order within the
     round); payloads are layout-opaque packs of row snapshots taken at
-    initiation time.
+    initiation time.  All exchanges in one batch share the same
+    initiation round (``initiated_at``, kept for the mirror path's
+    delivery events) because they share a delivery round and a latency.
     """
 
     initiators: np.ndarray
     responders: np.ndarray
     initiator_payloads: Any
     responder_payloads: Any
+    initiated_at: int = -1
 
 
 class VectorEngine:
@@ -1221,15 +1490,42 @@ class VectorEngine:
 
         # Fast path only when nothing needs per-exchange ordering: checkers,
         # recorder, failures, fresh snapshots, blocking, and inherited note
-        # boards all observe (or perturb) individual exchanges.
-        self._sequential = bool(
+        # boards all observe (or perturb) individual exchanges.  A recorder
+        # *alone* takes the batched mirror path: deliveries are computed
+        # with the array kernels and the byte-identical event stream is
+        # emitted from the precomputed buckets (REPRO_VECTOR_MIRROR=
+        # sequential forces the per-exchange replay instead).
+        notes_present = any(self.state._notes)
+        wants_sequential = bool(
             self._checkers
             or recorder is not None
             or failure_model is not None
             or fresh_snapshots
             or enforce_blocking
-            or any(self.state._notes)
+            or notes_present
         )
+        self._mirror = (
+            recorder is not None
+            and not self._checkers
+            and failure_model is None
+            and not fresh_snapshots
+            and not enforce_blocking
+            and not notes_present
+            and os.environ.get("REPRO_VECTOR_MIRROR", "").strip().lower()
+            != "sequential"
+        )
+        self._sequential = wants_sequential and not self._mirror
+        if self._mirror:
+            # Done-node parking replayed as a pure function: a node whose
+            # program declares duration d parks at round d's scan, so it is
+            # parked during the delivery stage of round r iff r > d.
+            self._duration_list = [
+                -1 if program.duration is None else program.duration
+                for program in self._programs
+            ]
+            self._min_duration = min(
+                (d for d in self._duration_list if d >= 0), default=None
+            )
         if self._sequential:
             # The scalar engine's active-set scheduler, mirrored exactly:
             # done nodes park, deliveries wake them (dense-id merge order).
@@ -1257,70 +1553,22 @@ class VectorEngine:
         """Structural (class-level) vector-eligibility checks, memoized."""
         if protocol_cls in cls._ELIGIBLE_CLASSES:
             return
-        name = protocol_cls.__name__
-        if getattr(protocol_cls, "vector_program", None) is None:
-            raise SimulationError(
-                f"protocol {name} is not vector-backend eligible: it declares "
-                "no vector_program() (only oblivious protocols can run on the "
-                "vector backend; see docs/MODEL.md §8)"
-            )
-        if protocol_cls.on_deliver is not NodeProtocol.on_deliver:
-            raise SimulationError(
-                f"protocol {name} overrides on_deliver(); the vector backend "
-                "cannot replay per-delivery protocol callbacks"
-            )
+        reason = _class_ineligibility(protocol_cls)
+        if reason is not None:
+            raise SimulationError(reason)
         cls._ELIGIBLE_CLASSES.add(protocol_cls)
 
     def _program_for(self, node: Node) -> VectorProgram:
         """Extract and validate one protocol's :class:`VectorProgram`."""
         protocol = self._protocols[node]
-        cls = type(protocol)
-        name = cls.__name__
-        self._validate_class(cls)
-        if not getattr(protocol, "sends_payload", True):
-            raise SimulationError(
-                f"protocol {name} is ping-only (sends_payload=False); the "
-                "vector backend only ships rumor payloads"
-            )
+        self._validate_class(type(protocol))
+        reason = _payload_ineligibility(protocol)
+        if reason is not None:
+            raise SimulationError(reason)
         program = protocol.vector_program()
-        if not isinstance(program, VectorProgram):
-            raise SimulationError(
-                f"{name}.vector_program() must return a VectorProgram, got "
-                f"{type(program).__name__}"
-            )
-        if program.kind not in ("random", "round_robin"):
-            raise SimulationError(
-                f"unknown vector program kind {program.kind!r} from {name}"
-            )
-        if program.kind == "random" and program.rng is None:
-            raise SimulationError(
-                f"{name} declares kind='random' but carries no rng"
-            )
-        if program.gate is not None and program.gate[0] not in (
-            "knows",
-            "not_knows",
-        ):
-            raise SimulationError(
-                f"unknown vector program gate {program.gate[0]!r} from {name}"
-            )
-        if program.targets is not None and program.kind != "round_robin":
-            raise SimulationError(
-                f"{name} declares custom targets with kind={program.kind!r}; "
-                "only round_robin programs cycle an explicit target list"
-            )
-        if program.duration is not None and program.duration < 0:
-            raise SimulationError(
-                f"{name} declares a negative duration ({program.duration})"
-            )
-        if (
-            cls.is_done is not NodeProtocol.is_done
-            and program.duration is None
-        ):
-            raise SimulationError(
-                f"protocol {name} overrides is_done() but its VectorProgram "
-                "declares no duration; only fixed-round-budget termination "
-                "can be replayed by the vector backend (see docs/MODEL.md §8)"
-            )
+        reason = _program_ineligibility(type(protocol), program)
+        if reason is not None:
+            raise SimulationError(reason)
         return program
 
     def _build_target_tables(self, n: int) -> Optional[tuple]:
@@ -1476,6 +1724,8 @@ class VectorEngine:
         """Execute one round: deliver due exchanges, then collect initiations."""
         if self._sequential:
             self._step_sequential()
+        elif self._mirror:
+            self._step_mirror()
         else:
             self._step_fast()
 
@@ -1485,33 +1735,61 @@ class VectorEngine:
         knows = self.state._k_knows_column(self._row_of[ids], rumor)
         return ~knows if condition == "not_knows" else knows
 
-    def _step_fast(self) -> None:
-        state = self.state
-        if state._k_width() != self._fingerprint:
+    def _check_fingerprint(self) -> None:
+        if self.state._k_width() != self._fingerprint:
             raise SimulationError(
                 "rumor space grew mid-run; the vector fast path assumes a "
                 "fixed rumor universe (oblivious protocols never intern new "
                 "rumors after setup)"
             )
-        # Deliver everything due this round with one segmented OR (per
-        # layout block, for the chunked layout).
-        batches = self._buckets.pop(self.round, None)
-        if batches is not None:
-            rows = []
-            packs = []
-            delivered = 0
-            for batch in batches:
-                delivered += batch.initiators.shape[0]
-                rows.append(self._row_of[batch.responders])
-                packs.append(batch.initiator_payloads)
-                rows.append(self._row_of[batch.initiators])
-                packs.append(batch.responder_payloads)
-            self._pending_count -= delivered
-            state._k_scatter(np.concatenate(rows), state._k_vstack(packs))
 
-        # Partner selection, cohort by cohort.  Expired, gated-out, and
-        # degree-0 nodes consume no randomness, exactly like the scalar
-        # scheduler (parked nodes never reach on_round).
+    def _step_fast(self) -> None:
+        self._check_fingerprint()
+        self._deliver_fast()
+        initiators, responders, latencies, edge_ids = self._select_initiations()
+        accepted = self._apply_cap(initiators, responders)
+        if accepted is not None:
+            initiators = initiators[accepted]
+            responders = responders[accepted]
+            latencies = latencies[accepted]
+            edge_ids = edge_ids[accepted]
+        self._last_pairs = (initiators, responders)
+        self._last_list = None
+        self._record_initiations(initiators, responders, latencies, edge_ids)
+        self.round += 1
+        self._metrics.rounds = self.round
+
+    def _deliver_fast(self) -> int:
+        """Merge everything due this round with one segmented OR (per
+        layout block, for the chunked layout).  Returns the delivery count.
+        """
+        batches = self._buckets.pop(self.round, None)
+        if batches is None:
+            return 0
+        state = self.state
+        rows = []
+        packs = []
+        delivered = 0
+        for batch in batches:
+            delivered += batch.initiators.shape[0]
+            rows.append(self._row_of[batch.responders])
+            packs.append(batch.initiator_payloads)
+            rows.append(self._row_of[batch.initiators])
+            packs.append(batch.responder_payloads)
+        self._pending_count -= delivered
+        state._k_scatter(np.concatenate(rows), state._k_vstack(packs))
+        return delivered
+
+    def _select_initiations(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """This round's pre-cap ``(initiators, responders, latencies,
+        edge_ids)`` in dense-id initiation order (the scalar scan order).
+
+        Partner selection runs cohort by cohort.  Expired, gated-out, and
+        degree-0 nodes consume no randomness, exactly like the scalar
+        scheduler (parked nodes never reach on_round).
+        """
         chosen: list[tuple[np.ndarray, ...]] = []
         for cohort in self._cohorts:
             duration = cohort["duration"]
@@ -1582,7 +1860,7 @@ class VectorEngine:
             edge_ids = np.concatenate([c[3] for c in chosen])
             if len(chosen) > 1:
                 # Restore dense-id initiation order (the scalar scan order);
-                # the in-degree cap below is first-come-first-served in it.
+                # the in-degree cap is first-come-first-served in it.
                 order = np.argsort(initiators, kind="stable")
                 initiators = initiators[order]
                 responders = responders[order]
@@ -1591,66 +1869,238 @@ class VectorEngine:
         else:
             initiators = responders = np.zeros(0, dtype=np.int64)
             latencies = edge_ids = np.zeros(0, dtype=np.int64)
+        return initiators, responders, latencies, edge_ids
 
+    def _apply_cap(
+        self, initiators: np.ndarray, responders: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """In-degree cap over pre-cap arrays: an accept mask, or ``None``
+        when nothing is rejected.  Counts rejections into the metrics.
+        """
         cap = self.max_incoming_per_round
-        if cap is not None and initiators.shape[0]:
-            by_target = np.argsort(responders, kind="stable")
-            targets = responders[by_target]
-            group_starts = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
-            sizes = np.diff(np.r_[group_starts, targets.shape[0]])
-            rank = (
-                np.arange(targets.shape[0], dtype=np.int64)
-                - np.repeat(group_starts, sizes)
-            )
-            accepted = np.empty(targets.shape[0], dtype=bool)
-            accepted[by_target] = rank < cap
-            rejected = int(targets.shape[0] - int(accepted.sum()))
-            if rejected:
-                self._metrics.rejected_initiations += rejected
-                initiators = initiators[accepted]
-                responders = responders[accepted]
-                latencies = latencies[accepted]
-                edge_ids = edge_ids[accepted]
+        if cap is None or not initiators.shape[0]:
+            return None
+        by_target = np.argsort(responders, kind="stable")
+        targets = responders[by_target]
+        group_starts = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
+        sizes = np.diff(np.r_[group_starts, targets.shape[0]])
+        rank = (
+            np.arange(targets.shape[0], dtype=np.int64)
+            - np.repeat(group_starts, sizes)
+        )
+        accepted = np.empty(targets.shape[0], dtype=bool)
+        accepted[by_target] = rank < cap
+        rejected = int(targets.shape[0] - int(accepted.sum()))
+        if not rejected:
+            return None
+        self._metrics.rejected_initiations += rejected
+        return accepted
 
+    def _record_initiations(
+        self,
+        initiators: np.ndarray,
+        responders: np.ndarray,
+        latencies: np.ndarray,
+        edge_ids: np.ndarray,
+    ) -> None:
+        """Account accepted initiations and bucket them by delivery round."""
         count = int(initiators.shape[0])
+        if not count:
+            return
+        state = self.state
+        metrics = self._metrics
+        initiator_payloads = state._k_gather(self._row_of[initiators])
+        responder_payloads = state._k_gather(self._row_of[responders])
+        sent = state._k_popcounts(initiator_payloads, count)
+        received = state._k_popcounts(responder_payloads, count)
+        metrics.rumor_tokens_sent += int(sent.sum() + received.sum())
+        largest = int(max(sent.max(), received.max()))
+        if largest > metrics.max_payload_rumors:
+            metrics.max_payload_rumors = largest
+        metrics.exchanges += count
+        metrics.messages += 2 * count
+        self._edge_active[edge_ids] = True
+        self._edges_dirty = True
+        self._pending_count += count
+        self._sequence += count
+        unique_latencies = np.unique(latencies)
+        for latency in unique_latencies.tolist():
+            if unique_latencies.shape[0] == 1:
+                pick: Any = slice(None)
+            else:
+                pick = latencies == latency
+            self._buckets.setdefault(self.round + int(latency), []).append(
+                _Batch(
+                    initiators=initiators[pick],
+                    responders=responders[pick],
+                    initiator_payloads=state._k_select(
+                        initiator_payloads, pick
+                    ),
+                    responder_payloads=state._k_select(
+                        responder_payloads, pick
+                    ),
+                    initiated_at=self.round,
+                )
+            )
+
+    # -- mirror path: array-kernel rounds, scalar-identical event stream -
+    def _step_mirror(self) -> None:
+        """Recorder-attached rounds at array speed.
+
+        Deliveries and initiations are computed with the same kernels as
+        the fast path; the recorder sees the byte-identical event stream
+        the scalar engine would emit (delivery/wakeup events in exchange
+        order, then rejected/accepted initiations in the dense-id scan
+        order, then the round summary).
+        """
+        self._check_fingerprint()
+        recorder = self.recorder
+        record = recorder.record
+        nodes = self._order
+        rnd = self.round
+        delivered = self._deliver_mirror()
+        initiators, responders, latencies, edge_ids = self._select_initiations()
+        accepted = self._apply_cap(initiators, responders)
+        if accepted is None:
+            for a, b, lat in zip(
+                initiators.tolist(), responders.tolist(), latencies.tolist()
+            ):
+                record(InitiationEvent(rnd, nodes[a], nodes[b], lat))
+        else:
+            for a, b, lat, ok in zip(
+                initiators.tolist(),
+                responders.tolist(),
+                latencies.tolist(),
+                accepted.tolist(),
+            ):
+                if ok:
+                    record(InitiationEvent(rnd, nodes[a], nodes[b], lat))
+                else:
+                    record(RejectedInitiationEvent(rnd, nodes[a], nodes[b]))
+            initiators = initiators[accepted]
+            responders = responders[accepted]
+            latencies = latencies[accepted]
+            edge_ids = edge_ids[accepted]
         self._last_pairs = (initiators, responders)
         self._last_list = None
-        if count:
-            metrics = self._metrics
-            initiator_payloads = state._k_gather(self._row_of[initiators])
-            responder_payloads = state._k_gather(self._row_of[responders])
-            sent = state._k_popcounts(initiator_payloads, count)
-            received = state._k_popcounts(responder_payloads, count)
-            metrics.rumor_tokens_sent += int(sent.sum() + received.sum())
-            largest = int(max(sent.max(), received.max()))
-            if largest > metrics.max_payload_rumors:
-                metrics.max_payload_rumors = largest
-            metrics.exchanges += count
-            metrics.messages += 2 * count
-            self._edge_active[edge_ids] = True
-            self._edges_dirty = True
-            self._pending_count += count
-            self._sequence += count
-            unique_latencies = np.unique(latencies)
-            for latency in unique_latencies.tolist():
-                if unique_latencies.shape[0] == 1:
-                    pick: Any = slice(None)
-                else:
-                    pick = latencies == latency
-                self._buckets.setdefault(self.round + int(latency), []).append(
-                    _Batch(
-                        initiators=initiators[pick],
-                        responders=responders[pick],
-                        initiator_payloads=state._k_select(
-                            initiator_payloads, pick
-                        ),
-                        responder_payloads=state._k_select(
-                            responder_payloads, pick
-                        ),
-                    )
-                )
+        self._record_initiations(initiators, responders, latencies, edge_ids)
+        recorder.record(
+            RoundEvent(
+                round=self.round,
+                initiations=int(initiators.shape[0]),
+                deliveries=delivered,
+                in_flight=self._pending_count,
+            )
+        )
         self.round += 1
         self._metrics.rounds = self.round
+
+    def _deliver_mirror(self) -> int:
+        """Deliver due batches with array kernels, emitting scalar-order
+        delivery and wakeup events.  Returns the delivery count.
+
+        Per-endpoint learned counts (``rumor_count`` delta around the
+        endpoint's own merge) are recovered exactly despite the batched
+        merges: the global scalar merge order within a delivery round is
+        ``responder₀, initiator₀, responder₁, initiator₁, …``, so a
+        stable argsort of that sequence groups merges by target row while
+        preserving each row's merge order.  Applying one merge *rank* at
+        a time (every round-t merge targets distinct rows) lets a single
+        popcount pass before/after each rank yield every merge's delta.
+        """
+        batches = self._buckets.pop(self.round, None)
+        if batches is None:
+            return 0
+        record = self.recorder.record
+        state = self.state
+        row_of = self._row_of
+        nodes = self._order
+        durations = self._duration_list
+        any_parked = (
+            self._min_duration is not None and self._min_duration < self.round
+        )
+        r = self.round
+        delivered = 0
+        woken: set[int] = set()
+        for batch in batches:
+            m = int(batch.initiators.shape[0])
+            delivered += m
+            self._pending_count -= m
+            # Interleave into the scalar merge sequence (responder of
+            # exchange k merges initiator_payloads[k], then its initiator
+            # merges responder_payloads[k]).  The pack is left in
+            # [initiator_payloads; responder_payloads] order — position p
+            # of the merge sequence maps to pack row (p>>1) + (p&1)·m —
+            # so no full-size interleave copy is materialized.
+            rows2 = np.empty(2 * m, dtype=np.int64)
+            rows2[0::2] = row_of[batch.responders]
+            rows2[1::2] = row_of[batch.initiators]
+            pack = state._k_vstack(
+                [batch.initiator_payloads, batch.responder_payloads]
+            )
+            order = np.argsort(rows2, kind="stable")
+            sorted_rows = rows2[order]
+            group_starts = np.flatnonzero(
+                np.r_[True, sorted_rows[1:] != sorted_rows[:-1]]
+            )
+            sizes = np.diff(np.r_[group_starts, sorted_rows.shape[0]])
+            rank = (
+                np.arange(sorted_rows.shape[0], dtype=np.int64)
+                - np.repeat(group_starts, sizes)
+            )
+            learned = np.empty(2 * m, dtype=np.int64)
+            for t in range(int(sizes.max())):
+                sel = order[rank == t]
+                target_rows = rows2[sel]
+                before = state._k_row_popcounts(target_rows)
+                state._k_scatter(
+                    target_rows,
+                    state._k_select(pack, (sel >> 1) + (sel & 1) * m),
+                )
+                learned[sel] = state._k_row_popcounts(target_rows) - before
+            learned_resp = learned[0::2].tolist()
+            learned_init = learned[1::2].tolist()
+            initiated_at = batch.initiated_at
+            inits = batch.initiators.tolist()
+            resps = batch.responders.tolist()
+            if not any_parked:
+                for k, a in enumerate(inits):
+                    record(
+                        DeliveryEvent(
+                            r,
+                            nodes[a],
+                            nodes[resps[k]],
+                            initiated_at,
+                            False,
+                            True,
+                            learned_init[k],
+                            learned_resp[k],
+                        )
+                    )
+                continue
+            for k, a in enumerate(inits):
+                b = resps[k]
+                record(
+                    DeliveryEvent(
+                        r,
+                        nodes[a],
+                        nodes[b],
+                        initiated_at,
+                        False,
+                        True,
+                        learned_init[k],
+                        learned_resp[k],
+                    )
+                )
+                # Scalar parking replay: a node with duration d is parked
+                # during round r's deliveries iff r > d, and wakes at most
+                # once per round (initiator endpoint first).
+                for x in (a, b):
+                    d = durations[x]
+                    if 0 <= d < r and x not in woken:
+                        woken.add(x)
+                        record(WakeupEvent(r, nodes[x]))
+        return delivered
 
     # -- sequential path: the scalar engine's semantics, exchange by
     # -- exchange, over the layout state (checkers/recorder/failures) ----

@@ -302,7 +302,8 @@ class TestVectorBackendCLI:
         out = capsys.readouterr().out
         assert "(vector vs reference)" in out
         assert "(vector vs scalar)" in out
-        assert "skip differential general-eid" in out
+        assert "general-eid on ring-of-cliques (vector vs scalar)" in out
+        assert "skip differential" not in out
         assert "check passed" in out
 
     def test_check_vector_backend_mismatch_fails(self, capsys, monkeypatch):
@@ -336,13 +337,33 @@ class TestVectorBackendCLI:
         assert "push-pull[broadcast]" in vector_out
         assert vector_out == scalar_out
 
-    def test_simulate_vector_rejects_composite_protocol(self, capsys):
-        code = main(
-            ["simulate", "--protocol", "general-eid", "--topology", "grid",
-             "--rows", "3", "--cols", "3", "--backend", "vector"]
+    def test_simulate_vector_runs_composite_protocol(self, capsys):
+        # Composite algorithms dispatch per phase on the vector backend
+        # (PR 8); general-eid must run — and match the scalar output.
+        args = ["simulate", "--protocol", "general-eid", "--topology",
+                "grid", "--rows", "3", "--cols", "3"]
+        assert main(args) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(args + ["--backend", "vector"]) == 0
+        assert capsys.readouterr().out == scalar_out
+
+    def test_ineligibility_message_pins_genuinely_ineligible_only(self):
+        # The "not vector-backend eligible" diagnostic now fires only for
+        # protocols that truly cannot run vectorized (adaptive/ping-only),
+        # never for composite algorithms, which dispatch per phase.
+        from repro.protocols.dtg import LDTGProtocol
+        from repro.protocols.push_pull import PushPullProtocol
+        from repro.sim.vector import vector_ineligibility
+
+        reason = vector_ineligibility(LDTGProtocol(2))
+        assert reason == (
+            "protocol LDTGProtocol is not vector-backend eligible: it "
+            "declares no vector_program() (only oblivious protocols can "
+            "run on the vector backend; see docs/MODEL.md §8)"
         )
-        assert code == 2
-        assert "error:" in capsys.readouterr().err
+        import random
+
+        assert vector_ineligibility(PushPullProtocol(random.Random(0))) is None
 
     def test_unknown_backend_is_parse_error(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,231 @@
+"""Differential matrix for phase-chained composite runs on the vector backend.
+
+A ``backend="vector"`` :class:`~repro.protocols.base.PhaseRunner`
+dispatches each phase of a composite algorithm independently: eligible
+phases (RR Broadcast) ride :class:`~repro.sim.vector.VectorEngine`,
+adaptive phases (ℓ-DTG) fall back to the scalar engine over the *same*
+shared state.  The composite run must therefore be field-identical to
+the all-scalar run — same per-phase rounds and exchanges, same totals,
+same final per-node knowledge — for EID, a chained ℓ-DTG schedule, and
+Path Discovery's ``T(k)`` sequence, crossed with crash schedules,
+incoming caps, and every rumor-state layout the vector leg can start
+from.
+
+The mirror-path golden leg records one composite EID run (mixed
+vector/scalar phases) and pins the event stream byte for byte: the
+scalar run blesses the file, and the vector run — batched mirror by
+default, per-exchange sequential mirror under
+``REPRO_VECTOR_MIRROR=sequential`` — must reproduce it exactly
+(re-bless with ``REPRO_UPDATE_GOLDEN=1`` after a deliberate semantic
+change).
+"""
+
+import os
+import pathlib
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graphs.generators import ring_of_cliques
+from repro.obs import Recorder, events_to_jsonl
+from repro.protocols.base import PhaseRunner
+from repro.protocols.dtg import ldtg_factory
+from repro.protocols.eid import run_eid
+from repro.protocols.path_discovery import run_t_sequence
+from repro.sim.state import NetworkState
+from repro.sim.vector import VectorState
+from repro.testing import (
+    connected_latency_graphs,
+    crash_schedules,
+    seeds,
+    state_layouts,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _run_eid(runner, graph, max_rounds):
+    run_eid(graph, diameter=2, seed=1, runner=runner, max_rounds=max_rounds)
+
+
+def _run_ldtg_chain(runner, graph, max_rounds):
+    for step, ell in enumerate([1, max(1, graph.max_latency())]):
+        runner.run_phase(
+            ldtg_factory(graph, ell, run_tag=f"chain{step}"),
+            latencies_known=True,
+            max_rounds=max_rounds,
+            name=f"{ell}-DTG",
+        )
+
+
+def _run_path_discovery(runner, graph, max_rounds):
+    run_t_sequence(runner, graph, k=2, tag="t2", max_rounds=max_rounds)
+
+
+#: name -> composite driver over a prepared PhaseRunner.
+COMPOSITES = {
+    "eid": _run_eid,
+    "ldtg-chain": _run_ldtg_chain,
+    "path-discovery": _run_path_discovery,
+}
+
+
+#: Adaptive ℓ-DTG walks can wait forever on a crashed neighbor, so the
+#: crash-schedule leg bounds every phase and compares the park outcome
+#: itself — both backends must hit (or not hit) the budget identically.
+CRASH_MAX_ROUNDS = 600
+
+
+def run_composite(
+    name, graph, backend, engine_kwargs=None, layout=None, max_rounds=5_000
+):
+    """One all-to-all-seeded composite run; returns the finished runner."""
+    state = NetworkState(graph.nodes())
+    state.seed_self_rumors()
+    if layout is not None:
+        state = VectorState.from_network_state(state, layout=layout)
+    runner = PhaseRunner(
+        graph, state=state, backend=backend, engine_kwargs=engine_kwargs
+    )
+    COMPOSITES[name](runner, graph, max_rounds)
+    return runner
+
+
+def run_crash_leg(name, graph, backend, engine_kwargs):
+    """A phase-bounded composite run; returns ``(runner, parked)``."""
+    state = NetworkState(graph.nodes())
+    state.seed_self_rumors()
+    runner = PhaseRunner(graph, state=state, backend=backend, engine_kwargs=engine_kwargs)
+    try:
+        COMPOSITES[name](runner, graph, CRASH_MAX_ROUNDS)
+    except SimulationError as exc:
+        if "max_rounds" not in str(exc):
+            raise
+        return runner, True
+    return runner, False
+
+
+def assert_composites_agree(graph, scalar, vector):
+    assert vector.total_rounds == scalar.total_rounds
+    assert vector.total_exchanges == scalar.total_exchanges
+    assert vector.total_messages == scalar.total_messages
+    assert [(p.name, p.rounds, p.exchanges) for p in vector.phases] == [
+        (p.name, p.rounds, p.exchanges) for p in scalar.phases
+    ]
+    for node in graph.nodes():
+        assert set(vector.state.rumors(node)) == set(scalar.state.rumors(node))
+
+
+class TestCompositeMatrix:
+    """EID / ℓ-DTG / Path Discovery x {crashes, caps, layouts}."""
+
+    @pytest.mark.parametrize("name", sorted(COMPOSITES))
+    @given(connected_latency_graphs(min_nodes=4, max_nodes=9), st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_crash_schedules_agree(self, name, graph, data):
+        crashes = data.draw(crash_schedules(graph.nodes()))
+        kwargs = {"failure_model": crashes}  # stateless: sharable
+        scalar, scalar_parked = run_crash_leg(name, graph, None, kwargs)
+        vector, vector_parked = run_crash_leg(name, graph, "vector", kwargs)
+        assert vector_parked == scalar_parked
+        assert_composites_agree(graph, scalar, vector)
+
+    @pytest.mark.parametrize("name", sorted(COMPOSITES))
+    @given(
+        connected_latency_graphs(min_nodes=4, max_nodes=9),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_incoming_caps_agree(self, name, graph, cap):
+        kwargs = {"max_incoming_per_round": cap}
+        scalar = run_composite(name, graph, backend=None, engine_kwargs=kwargs)
+        vector = run_composite(
+            name, graph, backend="vector", engine_kwargs=kwargs
+        )
+        assert_composites_agree(graph, scalar, vector)
+
+    @pytest.mark.parametrize("name", sorted(COMPOSITES))
+    @given(connected_latency_graphs(min_nodes=4, max_nodes=9), state_layouts())
+    @settings(max_examples=5, deadline=None)
+    def test_layout_family_agrees(self, name, graph, layout):
+        scalar = run_composite(name, graph, backend=None)
+        vector = run_composite(name, graph, backend="vector", layout=layout)
+        assert_composites_agree(graph, scalar, vector)
+
+    @given(connected_latency_graphs(min_nodes=4, max_nodes=9), seeds(100))
+    @settings(max_examples=5, deadline=None)
+    def test_eid_mixes_backends(self, graph, seed):
+        """The vector EID run really is mixed: RR Broadcast phases ride
+        the fast path while the adaptive ℓ-DTG phases fall back."""
+        runner = run_composite("eid", graph, backend="vector")
+        backends = {p.backend for p in runner.phases}
+        assert "vector" in backends
+        assert "scalar-fallback" in backends
+        # Fallback reasons are recorded only for fallen-back phases.
+        assert any(r is not None for r in runner.phase_fallbacks)
+        assert any(
+            r is None
+            for r, p in zip(runner.phase_fallbacks, runner.phases)
+            if p.backend == "vector"
+        )
+
+
+def _composite_trace(backend, mirror=None) -> str:
+    """A recorded composite EID run's event stream as canonical JSONL.
+
+    The recorder forces every vector-dispatched phase onto its mirror
+    path (batched by default, per-exchange under
+    ``REPRO_VECTOR_MIRROR=sequential``), which must replay the scalar
+    engine's canonical stream byte for byte across phase boundaries.
+    """
+    graph = ring_of_cliques(3, 4, inter_latency=2, rng=random.Random(2))
+    recorder = Recorder.in_memory()
+    previous = os.environ.get("REPRO_VECTOR_MIRROR")
+    if mirror is not None:
+        os.environ["REPRO_VECTOR_MIRROR"] = mirror
+    try:
+        runner = PhaseRunner(graph, recorder=recorder, backend=backend)
+        run_eid(graph, diameter=3, seed=4, runner=runner)
+    finally:
+        if mirror is not None:
+            if previous is None:
+                os.environ.pop("REPRO_VECTOR_MIRROR", None)
+            else:
+                os.environ["REPRO_VECTOR_MIRROR"] = previous
+    return events_to_jsonl(recorder.events)
+
+
+GOLDEN_FILE = "eid_composite_mirror.jsonl"
+
+
+class TestCompositeGoldenTrace:
+    def test_scalar_golden_committed(self):
+        generated = _composite_trace(None)
+        path = GOLDEN_DIR / GOLDEN_FILE
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_bytes(generated.encode("ascii"))
+            pytest.skip(f"re-blessed {GOLDEN_FILE}")
+        assert path.exists(), (
+            f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+        )
+        assert path.read_bytes() == generated.encode("ascii"), (
+            f"{GOLDEN_FILE} drifted from the committed scalar stream — if "
+            "intentional, re-bless with REPRO_UPDATE_GOLDEN=1 and review"
+        )
+
+    @pytest.mark.parametrize("mirror", ["", "sequential"])
+    def test_mirror_paths_reproduce_committed_bytes(self, mirror):
+        path = GOLDEN_DIR / GOLDEN_FILE
+        assert path.exists(), (
+            f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+        )
+        generated = _composite_trace("vector", mirror=mirror)
+        assert path.read_bytes() == generated.encode("ascii"), (
+            f"mirror={mirror or 'batched'!r} diverged from the committed "
+            "composite stream — the mirror path must replay the scalar "
+            "engine byte for byte across phases"
+        )

@@ -4,9 +4,14 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.graphs import generators
+from repro.obs.metrics import default_registry, reset_metrics
 from repro.protocols.base import PhaseRunner, per_node_rng_factory
 from repro.protocols.dtg import ldtg_factory
+from repro.protocols.push_pull import PushPullProtocol
+from repro.sim.engine import Engine
+from repro.sim.runner import min_rumors_complete
 from repro.sim.state import NetworkState
+from repro.sim.vector import BroadcastVectorState, VectorState
 
 
 class TestPerNodeRng:
@@ -92,3 +97,128 @@ class TestPhaseRunner:
         engine = runner.run_phase(ldtg_factory(g, 1), latencies_known=True)
         assert engine.state is runner.state
         assert engine.all_done()
+
+
+def _push_pull_factory(seed):
+    make_rng = per_node_rng_factory(seed)
+    return lambda node: PushPullProtocol(make_rng(node))
+
+
+class TestBackendDispatch:
+    """Per-phase vector dispatch, fallback bookkeeping, and gates."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        reset_metrics()
+        yield
+        reset_metrics()
+
+    def test_eligible_phase_rides_vector(self):
+        g = generators.clique(8)
+        runner = PhaseRunner(g, backend="vector")
+        runner.run_phase(
+            _push_pull_factory(0),
+            until=min_rumors_complete(len(g.nodes())),
+            name="all-to-all",
+        )
+        assert runner.phases[-1].backend == "vector"
+        assert runner.phase_fallbacks == [None]
+        assert isinstance(runner.state, VectorState)
+
+    def test_adaptive_phase_falls_back(self):
+        g = generators.clique(6)
+        runner = PhaseRunner(g, backend="vector")
+        runner.run_phase(ldtg_factory(g, 1), latencies_known=True)
+        assert runner.phases[-1].backend == "scalar-fallback"
+        assert runner.phase_fallbacks[-1] is not None
+        assert "no vector_program" in runner.phase_fallbacks[-1]
+
+    def test_explicit_factory_disables_dispatch(self):
+        g = generators.clique(6)
+        runner = PhaseRunner(g, backend="vector", engine_factory=Engine)
+        runner.run_phase(_push_pull_factory(0), until=lambda s: True)
+        assert runner.phases[-1].backend == "scalar"
+        assert runner.phase_fallbacks == [None]
+
+    def test_phase_backend_counter_labels(self):
+        g = generators.clique(6)
+        runner = PhaseRunner(g, backend="vector")
+        runner.run_phase(
+            _push_pull_factory(0),
+            until=min_rumors_complete(len(g.nodes())),
+            name="gossip",
+        )
+        runner.run_phase(ldtg_factory(g, 1), latencies_known=True)
+        counter = default_registry().counter("sim_phase_backend")
+        assert (
+            counter.value(
+                backend="vector", protocol="PushPullProtocol", reason="eligible"
+            )
+            == 1
+        )
+        assert (
+            counter.value(
+                backend="scalar-fallback",
+                protocol="LDTGProtocol",
+                reason="no-vector-program",
+            )
+            == 1
+        )
+
+    def test_min_rumors_gate_ends_phase_early(self):
+        g = generators.clique(10)
+        # "Every node knows >= 2 rumors" holds long before the all-to-all
+        # completion that would otherwise park the oblivious phase.
+        early = PhaseRunner(g, backend="vector")
+        early.run_phase(_push_pull_factory(3), until=min_rumors_complete(2))
+        full = PhaseRunner(g, backend="vector")
+        full.run_phase(
+            _push_pull_factory(3), until=min_rumors_complete(len(g.nodes()))
+        )
+        assert 0 < early.total_rounds < full.total_rounds
+        for node in g.nodes():
+            assert len(early.state.rumors(node)) >= 2
+
+    def test_scalar_phase_then_vector_phase_relayouts(self):
+        # A scalar-fallback phase grows the rumor universe on the carried
+        # VectorState; the next vector phase must re-pick the layout and
+        # keep the accumulated knowledge.
+        g = generators.clique(6)
+        runner = PhaseRunner(g, backend="vector")
+        runner.run_phase(
+            _push_pull_factory(1), until=min_rumors_complete(2), name="warm"
+        )
+        assert isinstance(runner.state, VectorState)
+        runner.run_phase(
+            ldtg_factory(g, 1, run_tag="grow"), latencies_known=True
+        )
+        runner.run_phase(
+            _push_pull_factory(2),
+            until=min_rumors_complete(len(g.nodes())),
+            name="finish",
+        )
+        assert [p.backend for p in runner.phases] == [
+            "vector",
+            "scalar-fallback",
+            "vector",
+        ]
+        for node in g.nodes():
+            assert set(g.nodes()) <= runner.state.rumors(node)
+
+    def test_broadcast_layout_carryover(self):
+        # A small universe starts on the broadcast layout; the carried
+        # state stays a VectorState across phases without densifying.
+        g = generators.clique(6)
+        state = NetworkState(g.nodes())
+        state.add_rumor(g.nodes()[0], "seed")
+        vstate = VectorState.from_network_state(state)
+        assert isinstance(vstate, BroadcastVectorState)
+        runner = PhaseRunner(g, state=vstate, backend="vector")
+        runner.run_phase(
+            _push_pull_factory(5),
+            until=lambda s: all(s.knows(v, "seed") for v in g.nodes()),
+        )
+        assert runner.phases[-1].backend == "vector"
+        assert isinstance(runner.state, VectorState)
+        for node in g.nodes():
+            assert runner.state.knows(node, "seed")
