@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full scale-smoke examples experiments report regress clean
+.PHONY: install test bench bench-full scale-smoke sweep-smoke examples experiments report regress clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,28 @@ bench-full:
 scale-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_engine_scale.py -p no:cacheprovider -q
 	PYTHONPATH=src $(PYTHON) -m repro regress --suite engine_scale
+
+# Crash-recovery smoke for checkpointed sweeps: SIGKILL an E1 sweep at
+# an injected fault point, resume it, and demand the exported canonical
+# table bytes match an uninterrupted run; then run E6 as two independent
+# shard processes and demand the coordinator's merge matches serial.
+SWEEP_TMP ?= /tmp/repro-sweep-smoke
+sweep-smoke:
+	rm -rf $(SWEEP_TMP) && mkdir -p $(SWEEP_TMP)
+	@echo "== kill E1 mid-sweep (expect SIGKILL), then resume"
+	! REPRO_FAULT_AT=trial:2:kill PYTHONPATH=src $(PYTHON) -m repro sweep E1 --store $(SWEEP_TMP)/killed >/dev/null 2>&1
+	PYTHONPATH=src $(PYTHON) -m repro sweep E1 --store $(SWEEP_TMP)/killed --resume --export $(SWEEP_TMP)/resumed.json >/dev/null
+	PYTHONPATH=src $(PYTHON) -m repro sweep E1 --store $(SWEEP_TMP)/clean --export $(SWEEP_TMP)/clean.json >/dev/null
+	cmp $(SWEEP_TMP)/resumed.json $(SWEEP_TMP)/clean.json
+	@echo "== resumed E1 table is byte-identical to the clean run"
+	@echo "== two-shard E6, merged by the coordinator"
+	PYTHONPATH=src $(PYTHON) -m repro sweep E6 --shard 0/2 --store $(SWEEP_TMP)/shards >/dev/null
+	PYTHONPATH=src $(PYTHON) -m repro sweep E6 --shard 1/2 --store $(SWEEP_TMP)/shards >/dev/null
+	PYTHONPATH=src $(PYTHON) -m repro sweep E6 --store $(SWEEP_TMP)/shards --export $(SWEEP_TMP)/merged.json >/dev/null
+	PYTHONPATH=src $(PYTHON) -m repro sweep E6 --store $(SWEEP_TMP)/serial --export $(SWEEP_TMP)/serial.json >/dev/null
+	cmp $(SWEEP_TMP)/merged.json $(SWEEP_TMP)/serial.json
+	@echo "== shard-merged E6 table is byte-identical to the serial run"
+	rm -rf $(SWEEP_TMP)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

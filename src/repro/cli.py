@@ -25,6 +25,7 @@ reproduction can be poked at without writing Python.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import random
 import sys
 from typing import Optional, Sequence
@@ -192,6 +193,51 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
         return 0
     table = run_experiment(args.experiment_id, args.profile, checked=args.checked)
     print(table)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import sharding
+
+    if args.status:
+        status = sharding.sweep_status(
+            args.experiment_id,
+            args.profile,
+            checked=args.checked,
+            backend=args.backend,
+            store_root=args.store,
+        )
+        for key in sorted(status):
+            print(f"{key}: {status[key]}")
+        return 0
+    shard = sharding.parse_shard(args.shard) if args.shard else None
+    if shard and shard.count > 1 and args.export:
+        raise ReproError(
+            "--export needs the merged table; shard runs (k > 1) produce "
+            "none — export from the coordinator run instead"
+        )
+    result = sharding.run_sweep(
+        args.experiment_id,
+        args.profile,
+        checked=args.checked,
+        backend=args.backend,
+        store_root=args.store,
+        shard=shard,
+        resume=args.resume,
+        fresh=args.fresh,
+    )
+    if result.table is not None and args.export:
+        # Export before any printing: a closed stdout (broken pipe) must
+        # not cost the caller the artifact they asked for.
+        pathlib.Path(args.export).write_text(
+            sharding.table_to_json(result.table), encoding="utf-8"
+        )
+    print(result.report.summary())
+    if result.table is not None:
+        print()
+        print(result.table)
+        if args.export:
+            print(f"wrote canonical table bytes to {args.export}")
     return 0
 
 
@@ -720,6 +766,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach the model-invariant checkers to every engine",
     )
     run_exp.set_defaults(handler=_cmd_run_experiment)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run an experiment as a checkpointed, shardable, resumable sweep",
+    )
+    sweep.add_argument("experiment_id")
+    sweep.add_argument("--profile", default="quick", choices=["quick", "full"])
+    sweep.add_argument(
+        "--checked", action="store_true",
+        help="attach the model-invariant checkers to every engine",
+    )
+    sweep.add_argument(
+        "--shard", default=None, metavar="I/K",
+        help="compute and persist only shard I of a K-way split (trial "
+             "ordinal mod K); run once per shard, then merge with a plain "
+             "`repro sweep` over the same --store",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="require prior progress in the store, then complete the sweep "
+             "(loads finished trials, computes the rest, stores the table)",
+    )
+    sweep.add_argument(
+        "--fresh", action="store_true",
+        help="drop any stored progress for this recipe first",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="sweep store root (default: $REPRO_SWEEP_STORE or .repro/sweeps)",
+    )
+    sweep.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the merged table's canonical JSON bytes (manifest-free; "
+             "the unit of bit-identity) to PATH",
+    )
+    sweep.add_argument(
+        "--status", action="store_true",
+        help="inspect stored progress for this recipe and exit (no compute)",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     check = commands.add_parser(
         "check",

@@ -41,3 +41,13 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """The observability layer was misused (bad metric, trace, or gate input)."""
+
+
+class FaultInjected(ReproError):
+    """A deliberately injected fault fired (crash-recovery testing only).
+
+    Raised by :func:`repro.experiments.sharding.maybe_fault` when the
+    ``REPRO_FAULT_AT`` spec names the current fault point in ``raise``
+    mode.  Never raised outside fault-injection scopes; production sweeps
+    with the env var unset can never see it.
+    """

@@ -16,13 +16,33 @@ from repro.experiments.harness import (
     run_experiment,
     validate_profile,
 )
+from repro.experiments.sharding import (
+    ShardSpec,
+    SweepRecipe,
+    SweepReport,
+    SweepResult,
+    fault_injection,
+    parse_shard,
+    run_sweep,
+    sweep_status,
+    table_to_json,
+)
 
 __all__ = [
     "ExperimentTable",
     "Profile",
+    "ShardSpec",
+    "SweepRecipe",
+    "SweepReport",
+    "SweepResult",
     "all_experiments",
+    "fault_injection",
     "get_experiment",
+    "parse_shard",
     "register",
     "run_experiment",
+    "run_sweep",
+    "sweep_status",
+    "table_to_json",
     "validate_profile",
 ]

@@ -35,13 +35,22 @@ dozens of artifacts, not millions); :func:`clear` resets it, and
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import json
+import os
+import pickle
 import random
+import struct
+import tempfile
+from pathlib import Path
 from typing import Any, Callable, Hashable, Optional
 
 from repro.obs.manifest import run_manifest
 from repro.obs.metrics import default_registry
 
 __all__ = [
+    "ArtifactStore",
     "cached",
     "cached_graph",
     "cached_spanner",
@@ -105,6 +114,148 @@ def clear() -> None:
 def stats() -> dict[str, int]:
     """Cache effectiveness counters: ``{"hits", "misses", "entries"}``."""
     return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+# ----------------------------------------------------------------------
+# Durable on-disk store (sweep shards, checkpoints)
+# ----------------------------------------------------------------------
+#: File framing: magic + little-endian payload length + blake2b-16 digest.
+#: Any prefix-truncation (a worker killed mid-write on a filesystem without
+#: atomic replace, or a copy that died) fails either the length or the
+#: digest check and the entry is treated as absent, never half-loaded.
+_STORE_MAGIC = b"repro-artifact/1\n"
+_STORE_SUFFIX = ".art"
+
+
+class ArtifactStore:
+    """A crash-safe on-disk artifact store under one directory.
+
+    In-memory caching above is process-local; sweeps need artifacts that
+    survive the process (trial checkpoints, shard outputs).  Entries are
+    named by caller-chosen keys (``/``-free strings) and written with the
+    two standard durability tricks:
+
+    * **Atomic visibility** — payloads are written to a ``.tmp-*`` file in
+      the same directory, fsynced, then :func:`os.replace`'d into place.
+      A reader never observes a partially-written entry; a killed writer
+      leaves only an ignorable temp file.
+    * **Integrity framing** — each file is ``magic + length + blake2b
+      digest + payload``.  Truncated or corrupted entries (however they
+      got that way) fail verification and :meth:`load` returns the
+      default, so callers recompute instead of deserializing garbage.
+
+    Payloads are pickled Python objects (:meth:`save`/:meth:`load`) or
+    JSON documents (:meth:`save_json`/:meth:`load_json`); JSON entries use
+    the same framing.  ``stats`` counts saved/loaded/missing/corrupt for
+    tests — deliberately a plain dict, not obs metrics, so store traffic
+    cannot perturb an experiment's metric bit-identity.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = {"saved": 0, "loaded": 0, "missing": 0, "corrupt": 0}
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid artifact name {name!r}")
+        return self.root / (name + _STORE_SUFFIX)
+
+    def _write(self, name: str, payload: bytes) -> None:
+        digest = hashlib.blake2b(payload, digest_size=16).digest()
+        framed = _STORE_MAGIC + struct.pack("<Q", len(payload)) + digest + payload
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=self.root)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(framed)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._path(name))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.stats["saved"] += 1
+
+    def _read(self, name: str) -> Optional[bytes]:
+        try:
+            framed = self._path(name).read_bytes()
+        except FileNotFoundError:
+            self.stats["missing"] += 1
+            return None
+        header = len(_STORE_MAGIC) + 8 + 16
+        if len(framed) < header or not framed.startswith(_STORE_MAGIC):
+            self.stats["corrupt"] += 1
+            return None
+        (length,) = struct.unpack_from("<Q", framed, len(_STORE_MAGIC))
+        digest = framed[len(_STORE_MAGIC) + 8 : header]
+        payload = framed[header:]
+        if len(payload) != length:
+            self.stats["corrupt"] += 1
+            return None
+        if hashlib.blake2b(payload, digest_size=16).digest() != digest:
+            self.stats["corrupt"] += 1
+            return None
+        self.stats["loaded"] += 1
+        return payload
+
+    def save(self, name: str, value: Any) -> None:
+        """Durably store a picklable value under ``name``."""
+        self._write(name, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def load(self, name: str, default: Any = None) -> Any:
+        """Load ``name``; missing, truncated, or corrupt → ``default``."""
+        payload = self._read(name)
+        if payload is None:
+            return default
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            self.stats["corrupt"] += 1
+            return default
+
+    def save_json(self, name: str, value: Any) -> None:
+        """Store a JSON document (canonical form) under ``name``."""
+        text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        self._write(name, text.encode("utf-8"))
+
+    def load_json(self, name: str, default: Any = None) -> Any:
+        payload = self._read(name)
+        if payload is None:
+            return default
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self.stats["corrupt"] += 1
+            return default
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Entry names (sorted) starting with ``prefix``; temp files excluded."""
+        names = []
+        for path in self.root.iterdir():
+            if path.name.startswith(".tmp-") or not path.name.endswith(_STORE_SUFFIX):
+                continue
+            name = path.name[: -len(_STORE_SUFFIX)]
+            if name.startswith(prefix):
+                names.append(name)
+        return sorted(names)
+
+    def delete(self, name: str) -> bool:
+        try:
+            self._path(name).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> None:
+        """Remove every entry (and stale temp files) in the store."""
+        for path in self.root.iterdir():
+            if path.name.endswith(_STORE_SUFFIX) or path.name.startswith(".tmp-"):
+                with contextlib.suppress(OSError):
+                    path.unlink()
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,7 @@ __all__ = [
     "validate_profile",
     "trial_jobs",
     "map_trials",
+    "execute_trials",
 ]
 
 _T = TypeVar("_T")
@@ -297,6 +298,15 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
     same trials (metrics never read a clock).
     """
     items = list(items)
+    # Sweep interception: under an active repro.experiments.sharding
+    # scope, trials are addressed, checkpointed, and possibly loaded from
+    # the sweep store instead of recomputed.  Lazy import — the plain
+    # harness must not pay for (or depend on) the sharding layer.
+    from repro.experiments import sharding
+
+    scope = sharding.active_sweep()
+    if scope is not None:
+        return scope.map_call(fn, items)
     jobs = trial_jobs()
     if jobs <= 1 or len(items) <= 1:
         results = []
@@ -310,6 +320,42 @@ def map_trials(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
         merge_spans(span_delta)
         merge_metrics(metrics_delta)
     return [result for result, _, _ in triples]
+
+
+def execute_trials(fn: Callable[[_T], _R], items: Sequence[_T]) -> list[tuple]:
+    """Run trials and return ``(result, span delta, metrics delta)`` triples.
+
+    The telemetry-preserving core of :func:`map_trials`, exposed for the
+    sweep layer: each trial's deltas are folded into the ambient
+    registries here (so in-process consumers see them exactly as
+    ``map_trials`` would deliver) *and* returned per-trial so the caller
+    can persist them — the same triple pool workers ship home, whichever
+    path executed the trial.
+
+    Serial trials capture their delta by snapshot/``since`` around the
+    ``harness.trial`` span without resetting the registries (the writes
+    already landed in-registry, so merging again would double-count);
+    pooled trials use the existing worker wrapper and are merged here.
+    """
+    items = list(items)
+    jobs = trial_jobs()
+    if jobs <= 1 or len(items) <= 1:
+        triples = []
+        for item in items:
+            spans_before = span_snapshot()
+            metrics_before = metrics_snapshot()
+            with span("harness.trial"):
+                result = fn(item)
+            triples.append(
+                (result, spans_since(spans_before), metrics_since(metrics_before))
+            )
+        return triples
+    wrapped = functools.partial(_run_trial_with_spans, fn)
+    triples = list(_shared_pool(jobs).map(wrapped, items))
+    for _, span_delta, metrics_delta in triples:
+        merge_spans(span_delta)
+        merge_metrics(metrics_delta)
+    return triples
 
 
 def run_experiment(

@@ -1,0 +1,718 @@
+"""Sharded, checkpointed, resumable experiment sweeps.
+
+The plain harness runs a sweep as one monolithic process: a crash loses
+everything since the last printed table, and nothing spans machines.
+This module turns a sweep into a content-addressed DAG of **trial
+records**: every ``map_trials`` call inside an experiment becomes a node
+whose per-trial outputs — ``(result, span delta, metric delta)``, exactly
+the triple pool workers already ship home — are persisted to an
+:class:`~repro.experiments.artifacts.ArtifactStore` as they complete.
+Interrupt the sweep anywhere; a later ``repro sweep --resume`` reloads
+completed trials and recomputes only the rest, producing an
+:class:`~repro.experiments.harness.ExperimentTable` byte-identical to an
+uninterrupted run.
+
+Addressing
+----------
+A trial's identity is ``(recipe fingerprint, map_trials call index,
+item index)``:
+
+* the **recipe fingerprint** (:meth:`SweepRecipe.fingerprint`) hashes
+  everything that determines the trial list — experiment id, profile,
+  checked flag, backend, the store format version, and the library
+  version — so a store can never serve records from a different sweep;
+* the **call index** counts ``map_trials`` calls in execution order
+  (experiments are deterministic, so this is stable);
+* the **item index** is the trial's position within its call.
+
+Notably *absent* from the address: the shard count and ``REPRO_JOBS``.
+Records written by a ``--shard 0/4`` run are read verbatim by a
+``--shard 1/2`` run, a resume, or a serial coordinator.  Each record also
+stores a digest of its pickled input item; a mismatch (the experiment
+code changed what it maps over) is treated as a miss and recomputed.
+
+Sharding and "borrowing"
+------------------------
+``--shard i/k`` assigns trial *ordinals* (global position across all
+calls) round-robin: ordinal ``o`` belongs to shard ``o % k``.  Experiments
+interleave ``map_trials`` calls with aggregation code that consumes real
+results (``statistics.fmean`` over the returned list, say), so a shard
+cannot simply skip the other shards' trials.  Instead it *borrows* them:
+any trial that is neither stored nor assigned to this shard is computed
+in-memory so the experiment function runs to completion, but only
+assigned trials are **persisted**.  Shards running concurrently therefore
+duplicate some work (bounded by the aggregation structure) but never
+write outside their assignment; shards running sequentially against a
+shared store load instead of borrowing.  The coordinator (``--resume`` or
+a plain ``repro sweep`` over a warm store) loads every stored record and
+computes nothing but the gaps.
+
+Bit-identity
+------------
+Loaded trials replay their stored span/metric deltas through
+:func:`repro.obs.profile.merge_spans` / :func:`repro.obs.metrics.merge_metrics`
+— the same protocol that already makes ``REPRO_JOBS=N`` tables
+bit-identical to serial ones.  Counters and histogram cells add, gauges
+max-merge over touched windows, so the scoped metrics on the final table
+match an uninterrupted run exactly.  (The manifest is environment-
+dependent by design and excluded, as everywhere else in the repo;
+:func:`table_to_json` is the canonical manifest-free byte form.)
+
+Fault injection
+---------------
+``REPRO_FAULT_AT=kind[:ordinal][:mode]`` arms exactly one deterministic
+fault point, checked in the sweep parent process only (never inside pool
+workers), so the store state at the kill is identical regardless of
+``REPRO_JOBS``:
+
+* ``trial:N`` fires just before trial ordinal ``N`` is persisted;
+* ``call:N`` fires at the end of ``map_trials`` call ``N`` (a shard
+  boundary in the DAG);
+* ``merge`` fires after the experiment function returns, before the
+  final table is stored;
+* ``final`` fires after the table is stored.
+
+Modes: ``raise`` (default — raise :class:`~repro.errors.FaultInjected`),
+``exit`` (``os._exit(70)``), ``kill`` (``SIGKILL`` to self).  Tests use
+the :func:`fault_injection` scope; CI uses the env var directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import numbers
+import os
+import pickle
+import signal
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+import repro
+from repro.errors import ExperimentError, FaultInjected
+from repro.experiments import harness
+from repro.experiments.artifacts import ArtifactStore
+from repro.obs.metrics import (
+    delta_from_wire,
+    delta_to_wire,
+    merge_metrics,
+)
+from repro.obs.profile import (
+    merge_spans,
+    spans_from_wire,
+    spans_to_wire,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ShardSpec",
+    "SweepRecipe",
+    "SweepReport",
+    "SweepResult",
+    "SweepStore",
+    "active_sweep",
+    "default_store_root",
+    "fault_injection",
+    "maybe_fault",
+    "parse_fault",
+    "parse_shard",
+    "run_sweep",
+    "shard_assignment",
+    "shard_of",
+    "sweep_status",
+    "table_to_json",
+    "table_to_jsonable",
+    "trial_plan",
+]
+
+#: Bump when the on-disk record schema changes; part of the fingerprint,
+#: so old stores are simply never matched rather than misread.
+FORMAT_VERSION = 1
+
+_FAULT_ENV = "REPRO_FAULT_AT"
+_FAULT_KINDS = ("trial", "call", "merge", "final")
+_FAULT_MODES = ("raise", "exit", "kill")
+#: Exit status for ``exit``-mode faults (BSD EX_SOFTWARE, greppable in CI).
+FAULT_EXIT_STATUS = 70
+
+
+# ----------------------------------------------------------------------
+# Recipes and shard addressing (pure, heavily property-tested)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SweepRecipe:
+    """Everything that determines a sweep's trial list, hence its store.
+
+    ``backend`` is deliberately *not* normalized: ``None`` (ambient
+    default) and ``"scalar"`` fingerprint differently even though they
+    usually behave the same, because "usually" is not a provenance
+    guarantee.  The CLI always passes an explicit backend.
+    """
+
+    experiment_id: str
+    profile: str = "quick"
+    checked: bool = False
+    backend: Optional[str] = None
+
+    def canonical(self) -> str:
+        """Canonical JSON identity (stable across processes/platforms)."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "profile": self.profile,
+                "checked": self.checked,
+                "backend": self.backend,
+                "format_version": FORMAT_VERSION,
+                "repro_version": repro.__version__,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def fingerprint(self) -> str:
+        """blake2b-16 hex digest of :meth:`canonical` — the store key."""
+        return hashlib.blake2b(
+            self.canonical().encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a ``k``-way split: ``index`` ∈ [0, count)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ExperimentError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ExperimentError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(spec: str) -> ShardSpec:
+    """Parse ``"i/k"`` (e.g. ``"0/4"``) into a validated :class:`ShardSpec`."""
+    parts = spec.split("/")
+    if len(parts) != 2:
+        raise ExperimentError(f"shard spec must look like 'i/k', got {spec!r}")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ExperimentError(
+            f"shard spec must be two integers 'i/k', got {spec!r}"
+        ) from None
+    return ShardSpec(index, count)
+
+
+def shard_of(ordinal: int, count: int) -> int:
+    """The shard owning global trial ordinal ``ordinal`` in a ``count``-way
+    split (round-robin, so shard loads differ by at most one trial)."""
+    if ordinal < 0:
+        raise ExperimentError(f"trial ordinal must be >= 0, got {ordinal}")
+    if count < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {count}")
+    return ordinal % count
+
+
+def trial_plan(call_sizes: Sequence[int]) -> list[tuple[int, int, int]]:
+    """Flatten per-call trial counts into ``(ordinal, call, item)`` triples.
+
+    The plan is the DAG's address space: ordinals number trials globally
+    in execution order, which is what :func:`shard_of` partitions.
+    """
+    plan = []
+    ordinal = 0
+    for call, size in enumerate(call_sizes):
+        if size < 0:
+            raise ExperimentError(f"call size must be >= 0, got {size}")
+        for item in range(size):
+            plan.append((ordinal, call, item))
+            ordinal += 1
+    return plan
+
+
+def shard_assignment(
+    call_sizes: Sequence[int], shard: ShardSpec
+) -> list[tuple[int, int, int]]:
+    """The sub-plan of :func:`trial_plan` owned by ``shard``."""
+    return [
+        entry
+        for entry in trial_plan(call_sizes)
+        if shard_of(entry[0], shard.count) == shard.index
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def parse_fault(spec: str) -> tuple[str, Optional[int], str]:
+    """Parse ``kind[:ordinal][:mode]`` into ``(kind, ordinal, mode)``.
+
+    ``trial``/``call`` require an ordinal; ``merge``/``final`` forbid one.
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind not in _FAULT_KINDS:
+        raise ExperimentError(
+            f"fault kind must be one of {_FAULT_KINDS}, got {spec!r}"
+        )
+    ordinal: Optional[int] = None
+    mode = "raise"
+    rest = parts[1:]
+    if kind in ("trial", "call"):
+        if not rest:
+            raise ExperimentError(f"fault {kind!r} needs an ordinal: {spec!r}")
+        try:
+            ordinal = int(rest[0])
+        except ValueError:
+            raise ExperimentError(
+                f"fault ordinal must be an integer, got {spec!r}"
+            ) from None
+        if ordinal < 0:
+            raise ExperimentError(f"fault ordinal must be >= 0, got {spec!r}")
+        rest = rest[1:]
+    if rest:
+        mode = rest[0]
+        rest = rest[1:]
+    if rest or mode not in _FAULT_MODES:
+        raise ExperimentError(
+            f"fault spec must be 'kind[:ordinal][:mode]' with mode in "
+            f"{_FAULT_MODES}, got {spec!r}"
+        )
+    return kind, ordinal, mode
+
+
+def maybe_fault(kind: str, ordinal: Optional[int] = None) -> None:
+    """Fire the armed fault if ``(kind, ordinal)`` matches ``REPRO_FAULT_AT``.
+
+    Reads the env var on every check (cheap: one dict lookup when unset)
+    so subprocess tests can arm faults without touching library state.
+    Called only from the sweep parent process — never from pool workers —
+    so the fault point, and therefore the store state at the kill, is
+    deterministic regardless of ``REPRO_JOBS``.
+    """
+    spec = os.environ.get(_FAULT_ENV)
+    if not spec:
+        return
+    want_kind, want_ordinal, mode = parse_fault(spec)
+    if kind != want_kind or (want_ordinal is not None and ordinal != want_ordinal):
+        return
+    where = kind if want_ordinal is None else f"{kind}:{want_ordinal}"
+    if mode == "exit":
+        os._exit(FAULT_EXIT_STATUS)
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise FaultInjected(f"injected fault at {where} ({_FAULT_ENV}={spec})")
+
+
+@contextlib.contextmanager
+def fault_injection(spec: str) -> Iterator[None]:
+    """Arm ``REPRO_FAULT_AT=spec`` for the scope, validating it eagerly,
+    and restore the previous value on exit (even via the injected fault)."""
+    parse_fault(spec)
+    previous = os.environ.get(_FAULT_ENV)
+    os.environ[_FAULT_ENV] = spec
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(_FAULT_ENV, None)
+        else:
+            os.environ[_FAULT_ENV] = previous
+
+
+# ----------------------------------------------------------------------
+# The on-disk sweep store
+# ----------------------------------------------------------------------
+def default_store_root() -> Path:
+    """``REPRO_SWEEP_STORE`` or ``.repro/sweeps`` under the working dir."""
+    return Path(os.environ.get("REPRO_SWEEP_STORE") or ".repro/sweeps")
+
+
+def _item_digest(item: Any) -> str:
+    return hashlib.blake2b(
+        pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL), digest_size=16
+    ).hexdigest()
+
+
+class SweepStore:
+    """The per-recipe artifact directory: ``<root>/<fingerprint>/``.
+
+    Trial records live at ``trials/cCCCC-tTTTT`` inside an
+    :class:`ArtifactStore` (atomic, integrity-framed); the merged table at
+    ``table``; the recipe's canonical JSON at ``recipe`` for humans and
+    ``sweep_status``.  Bookkeeping counters stay in ``self.artifacts.stats``
+    — never obs metrics, which would perturb the very bit-identity the
+    store exists to preserve.
+    """
+
+    _TRIAL_SCHEMA = 1
+
+    def __init__(self, root: str | os.PathLike, recipe: SweepRecipe) -> None:
+        self.recipe = recipe
+        self.path = Path(root) / recipe.fingerprint()
+        self.artifacts = ArtifactStore(self.path)
+        if not self.artifacts.exists("recipe"):
+            self.artifacts.save_json("recipe", json.loads(recipe.canonical()))
+
+    @staticmethod
+    def trial_name(call: int, item: int) -> str:
+        return f"trials-c{call:04d}-t{item:04d}"
+
+    def save_trial(
+        self,
+        call: int,
+        item: int,
+        result: Any,
+        span_delta: dict,
+        metric_delta: dict,
+        *,
+        item_value: Any,
+    ) -> None:
+        self.artifacts.save(
+            self.trial_name(call, item),
+            {
+                "schema": self._TRIAL_SCHEMA,
+                "item_digest": _item_digest(item_value),
+                "result": result,
+                "spans": spans_to_wire(span_delta),
+                "metrics": delta_to_wire(metric_delta),
+            },
+        )
+
+    def load_trial(self, call: int, item: int, *, item_value: Any) -> Optional[dict]:
+        """The stored record, decoded — or ``None`` on miss/corruption/
+        input mismatch (all three mean "recompute")."""
+        record = self.artifacts.load(self.trial_name(call, item))
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != self._TRIAL_SCHEMA
+            or record.get("item_digest") != _item_digest(item_value)
+        ):
+            return None
+        return {
+            "result": record["result"],
+            "spans": spans_from_wire(record["spans"]),
+            "metrics": delta_from_wire(record["metrics"]),
+        }
+
+    def save_table(self, table: harness.ExperimentTable) -> None:
+        self.artifacts.save("table", table)
+
+    def load_table(self) -> Optional[harness.ExperimentTable]:
+        table = self.artifacts.load("table")
+        return table if isinstance(table, harness.ExperimentTable) else None
+
+    def completed_trials(self) -> list[tuple[int, int]]:
+        """Sorted ``(call, item)`` addresses with a stored record."""
+        out = []
+        for name in self.artifacts.list("trials-"):
+            body = name[len("trials-") :]
+            call_part, _, item_part = body.partition("-")
+            out.append((int(call_part[1:]), int(item_part[1:])))
+        return sorted(out)
+
+    def clear(self) -> None:
+        self.artifacts.clear()
+        self.artifacts.save_json("recipe", json.loads(self.recipe.canonical()))
+
+
+# ----------------------------------------------------------------------
+# The sweep scope: intercepts map_trials inside run_experiment
+# ----------------------------------------------------------------------
+_ACTIVE: Optional["SweepScope"] = None
+
+
+def active_sweep() -> Optional["SweepScope"]:
+    """The scope :func:`harness.map_trials` should dispatch to, if any."""
+    if _ACTIVE is not None and not _ACTIVE.suspended:
+        return _ACTIVE
+    return None
+
+
+class SweepScope:
+    """Per-sweep state threaded under one ``run_experiment`` call.
+
+    Tracks the call/ordinal counters that give trials their addresses and
+    holds the load/compute/borrow tallies for the report.  ``suspended``
+    guards reentrancy: a trial that itself calls ``map_trials`` (nested
+    fan-out helpers) must fall through to the plain harness path, not
+    consume sweep addresses.
+    """
+
+    def __init__(self, store: SweepStore, shard: ShardSpec) -> None:
+        self.store = store
+        self.shard = shard
+        self.suspended = False
+        self._next_call = 0
+        self._next_ordinal = 0
+        self.loaded = 0
+        self.computed = 0
+        self.borrowed = 0
+
+    @contextlib.contextmanager
+    def _suspend(self) -> Iterator[None]:
+        self.suspended = True
+        try:
+            yield
+        finally:
+            self.suspended = False
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator[None]:
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise ExperimentError("a sweep scope is already active in this process")
+        _ACTIVE = self
+        try:
+            yield
+        finally:
+            _ACTIVE = None
+
+    def map_call(self, fn: Callable, items: list) -> list:
+        """One intercepted ``map_trials`` call.
+
+        Stored trials are loaded (result + replayed telemetry deltas);
+        the rest are computed via :func:`harness.execute_trials` — pool or
+        serial per ``REPRO_JOBS`` — then persisted in input order, but
+        only those this shard owns.  Unowned misses are *borrowed*: their
+        results feed the experiment's aggregation code and are dropped.
+        Fault checks sit immediately before each persist and at the call
+        boundary, in this (parent) process only.
+        """
+        call = self._next_call
+        self._next_call += 1
+        results: list[Any] = [None] * len(items)
+        pending: list[tuple[int, int, bool]] = []  # (position, ordinal, owned)
+        for position in range(len(items)):
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+            record = self.store.load_trial(call, position, item_value=items[position])
+            if record is not None:
+                merge_spans(record["spans"])
+                merge_metrics(record["metrics"])
+                results[position] = record["result"]
+                self.loaded += 1
+            else:
+                owned = shard_of(ordinal, self.shard.count) == self.shard.index
+                pending.append((position, ordinal, owned))
+        if pending:
+            with self._suspend():
+                computed = harness.execute_trials(
+                    fn, [items[position] for position, _, _ in pending]
+                )
+            for (position, ordinal, owned), (result, span_delta, metric_delta) in zip(
+                pending, computed
+            ):
+                results[position] = result
+                if owned:
+                    maybe_fault("trial", ordinal)
+                    self.store.save_trial(
+                        call,
+                        position,
+                        result,
+                        span_delta,
+                        metric_delta,
+                        item_value=items[position],
+                    )
+                    self.computed += 1
+                else:
+                    self.borrowed += 1
+        maybe_fault("call", call)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SweepReport:
+    """What one sweep invocation did, for logs and tests."""
+
+    recipe: SweepRecipe
+    fingerprint: str
+    shard: ShardSpec
+    trials_loaded: int
+    trials_computed: int
+    trials_borrowed: int
+    table_stored: bool
+
+    def summary(self) -> str:
+        return (
+            f"sweep {self.recipe.experiment_id}[{self.recipe.profile}] "
+            f"shard {self.shard} store {self.fingerprint[:12]}: "
+            f"computed={self.trials_computed} loaded={self.trials_loaded} "
+            f"borrowed={self.trials_borrowed} "
+            f"table={'stored' if self.table_stored else 'pending'}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """``table`` is ``None`` for shard runs (k > 1): only the coordinator
+    (a ``k == 1`` run over the shared store) merges and stores the table."""
+
+    table: Optional[harness.ExperimentTable]
+    report: SweepReport
+
+
+def run_sweep(
+    experiment_id: str,
+    profile: str = "quick",
+    *,
+    checked: bool = False,
+    backend: Optional[str] = None,
+    store_root: Optional[str | os.PathLike] = None,
+    shard: Optional[ShardSpec] = None,
+    resume: bool = False,
+    fresh: bool = False,
+) -> SweepResult:
+    """Run (or resume, or shard) one experiment sweep against a store.
+
+    * No flags: run the whole sweep, checkpointing every trial; if the
+      store already holds the merged table, return it without running.
+    * ``shard=ShardSpec(i, k)`` with ``k > 1``: compute and persist this
+      shard's trials only; the returned table is ``None``.
+    * ``resume=True``: require prior progress in the store (guards
+      against a typo'd store path silently starting from scratch), then
+      complete the sweep and store the table.
+    * ``fresh=True``: drop the store first (mutually exclusive with
+      ``resume``).
+    """
+    harness.validate_profile(profile)
+    harness.get_experiment(experiment_id)  # fail fast on unknown ids
+    recipe = SweepRecipe(experiment_id, profile, checked=checked, backend=backend)
+    shard = shard or ShardSpec(0, 1)
+    if resume and fresh:
+        raise ExperimentError("--resume and --fresh are mutually exclusive")
+    if resume and shard.count > 1:
+        raise ExperimentError("--resume is a coordinator operation; drop --shard")
+    root = Path(store_root or default_store_root())
+    if resume and not (root / recipe.fingerprint()).exists():
+        # Guard against a typo'd store path (or wrong recipe) silently
+        # starting from scratch.  The per-recipe directory is created the
+        # moment a sweep starts, so even a run killed before its first
+        # checkpoint is resumable.
+        raise ExperimentError(
+            f"nothing to resume for {experiment_id}[{profile}] under "
+            f"{root} — run `repro sweep {experiment_id}` first"
+        )
+    store = SweepStore(root, recipe)
+    if fresh:
+        store.clear()
+    if shard.count == 1 and not fresh:
+        cached = store.load_table()
+        if cached is not None:
+            return SweepResult(
+                table=cached,
+                report=SweepReport(
+                    recipe=recipe,
+                    fingerprint=recipe.fingerprint(),
+                    shard=shard,
+                    trials_loaded=0,
+                    trials_computed=0,
+                    trials_borrowed=0,
+                    table_stored=True,
+                ),
+            )
+    scope = SweepScope(store, shard)
+    with scope.activate():
+        table = harness.run_experiment(
+            experiment_id, profile, checked=checked, backend=backend
+        )
+    stored = False
+    if shard.count == 1:
+        maybe_fault("merge")
+        store.save_table(table)
+        stored = True
+        maybe_fault("final")
+    report = SweepReport(
+        recipe=recipe,
+        fingerprint=recipe.fingerprint(),
+        shard=shard,
+        trials_loaded=scope.loaded,
+        trials_computed=scope.computed,
+        trials_borrowed=scope.borrowed,
+        table_stored=stored,
+    )
+    return SweepResult(table=table if shard.count == 1 else None, report=report)
+
+
+def sweep_status(
+    experiment_id: str,
+    profile: str = "quick",
+    *,
+    checked: bool = False,
+    backend: Optional[str] = None,
+    store_root: Optional[str | os.PathLike] = None,
+) -> dict[str, Any]:
+    """Store inspection for ``repro sweep --status`` (no computation)."""
+    recipe = SweepRecipe(experiment_id, profile, checked=checked, backend=backend)
+    store = SweepStore(store_root or default_store_root(), recipe)
+    completed = store.completed_trials()
+    return {
+        "experiment_id": experiment_id,
+        "profile": profile,
+        "fingerprint": recipe.fingerprint(),
+        "store": str(store.path),
+        "trials_completed": len(completed),
+        "calls_touched": sorted({call for call, _ in completed}),
+        "table_stored": store.load_table() is not None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Canonical table bytes (the unit of bit-identity)
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    # ExperimentTable rows hold numpy scalars on the vector backend; JSON
+    # needs native types.  bool check first: numpy bools are Integral.
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(cell) for key, cell in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(cell) for cell in value]
+    return value
+
+
+def table_to_jsonable(table: harness.ExperimentTable) -> dict[str, Any]:
+    """The table minus its manifest, as plain JSON types.
+
+    The manifest carries wall-clock spans and host provenance — different
+    on every run by design — so it is excluded here exactly as the
+    serial-vs-parallel equivalence tests exclude it.
+    """
+    return {
+        "experiment_id": table.experiment_id,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": _jsonable(table.rows),
+        "expectation": table.expectation,
+        "conclusion": table.conclusion,
+        "metrics": _jsonable(table.metrics),
+    }
+
+
+def table_to_json(table: harness.ExperimentTable) -> str:
+    """Canonical bytes: two runs are bit-identical iff these strings match."""
+    return (
+        json.dumps(
+            table_to_jsonable(table),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        )
+        + "\n"
+    )

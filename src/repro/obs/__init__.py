@@ -53,6 +53,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSink,
     default_registry,
+    delta_from_wire,
+    delta_to_wire,
     merge_metrics,
     metrics_since,
     metrics_snapshot,
@@ -64,7 +66,9 @@ from repro.obs.profile import (
     span,
     span_aggregates,
     span_snapshot,
+    spans_from_wire,
     spans_since,
+    spans_to_wire,
 )
 from repro.obs.recorder import (
     CounterSink,

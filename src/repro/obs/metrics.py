@@ -56,6 +56,8 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSink",
     "default_registry",
+    "delta_from_wire",
+    "delta_to_wire",
     "merge_metrics",
     "metrics_since",
     "metrics_snapshot",
@@ -471,6 +473,56 @@ def metrics_since(snapshot: Mapping[str, Any]) -> dict[str, Any]:
 def merge_metrics(delta: Mapping[str, Any]) -> None:
     """Fold a worker's delta into the default registry."""
     _DEFAULT.merge(delta)
+
+
+def delta_to_wire(delta: Mapping[str, Any]) -> dict[str, Any]:
+    """A :meth:`MetricsRegistry.since` delta in JSON-native wire form.
+
+    ``since`` deltas key cells by label-pair *tuples*, which survive
+    pickling but not JSON.  The wire form flattens each cell to
+    ``[label_pairs, value]`` with every tuple replaced by a list, so a
+    delta can ride any transport — the sweep shard store, a CI artifact,
+    an HTTP body — and come back through :func:`delta_from_wire` ready
+    for :func:`merge_metrics` on the other side.  Cells are emitted in
+    canonical (sorted label key) order: same delta, same wire bytes.
+    """
+    wire: dict[str, Any] = {}
+    for name, entry in delta.items():
+        cells = [
+            [
+                [list(pair) for pair in key],
+                list(cell) if isinstance(cell, list) else cell,
+            ]
+            for key, cell in sorted(entry["cells"].items())
+        ]
+        out: dict[str, Any] = {
+            "type": entry["type"],
+            "help": entry.get("help", ""),
+            "cells": cells,
+        }
+        if "buckets" in entry:
+            out["buckets"] = list(entry["buckets"])
+        wire[name] = out
+    return wire
+
+
+def delta_from_wire(wire: Mapping[str, Any]) -> dict[str, Any]:
+    """Rebuild a mergeable delta from :func:`delta_to_wire` output."""
+    delta: dict[str, Any] = {}
+    for name, entry in wire.items():
+        cells: dict[LabelKey, Any] = {}
+        for pairs, cell in entry["cells"]:
+            key = tuple((str(label), str(value)) for label, value in pairs)
+            cells[key] = list(cell) if isinstance(cell, list) else cell
+        out: dict[str, Any] = {
+            "type": entry["type"],
+            "help": entry.get("help", ""),
+            "cells": cells,
+        }
+        if "buckets" in entry:
+            out["buckets"] = tuple(float(b) for b in entry["buckets"])
+        delta[name] = out
+    return delta
 
 
 def reset_metrics() -> None:

@@ -33,6 +33,8 @@ __all__ = [
     "span_aggregates",
     "span_snapshot",
     "spans_since",
+    "spans_from_wire",
+    "spans_to_wire",
     "merge_spans",
     "reset_spans",
 ]
@@ -118,6 +120,24 @@ def merge_spans(delta: SpanSnapshot) -> None:
             entry[1] += total
             if maximum > entry[2]:
                 entry[2] = maximum
+
+
+def spans_to_wire(delta: SpanSnapshot) -> Dict[str, list]:
+    """A span delta in JSON-native wire form (``{name: [count, s, max]}``).
+
+    Mirrors :func:`repro.obs.metrics.delta_to_wire`: span deltas already
+    use string keys, so only the value tuples need flattening for JSON
+    transports (the sweep shard store, CI artifacts).
+    """
+    return {name: [count, total, maximum] for name, (count, total, maximum) in delta.items()}
+
+
+def spans_from_wire(wire: Dict[str, list]) -> SpanSnapshot:
+    """Rebuild a :func:`merge_spans`-ready delta from wire form."""
+    return {
+        name: (int(cell[0]), float(cell[1]), float(cell[2]))
+        for name, cell in wire.items()
+    }
 
 
 def reset_spans() -> None:

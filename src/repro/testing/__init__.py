@@ -27,24 +27,32 @@ from repro.testing.replay import (
     replay,
 )
 
+from repro.experiments.sharding import fault_injection
+
 try:  # pragma: no cover - exercised implicitly by environments without hypothesis
     from repro.testing.strategies import (
         connected_latency_graphs,
         crash_schedules,
         engine_configs,
+        fault_points,
         large_dense_graphs,
         latency_models,
         seeds,
         state_layouts,
+        sweep_recipes,
+        trial_plans,
     )
 except ImportError:  # hypothesis not installed; strategies stay unavailable
     connected_latency_graphs = None
     crash_schedules = None
     engine_configs = None
+    fault_points = None
     large_dense_graphs = None
     latency_models = None
     seeds = None
     state_layouts = None
+    sweep_recipes = None
+    trial_plans = None
 
 __all__ = [
     "DifferentialReport",
@@ -56,6 +64,8 @@ __all__ = [
     "connected_latency_graphs",
     "crash_schedules",
     "engine_configs",
+    "fault_injection",
+    "fault_points",
     "large_dense_graphs",
     "latency_models",
     "record_and_replay",
@@ -63,4 +73,6 @@ __all__ = [
     "run_differential",
     "seeds",
     "state_layouts",
+    "sweep_recipes",
+    "trial_plans",
 ]

@@ -36,6 +36,9 @@ __all__ = [
     "crash_schedules",
     "engine_configs",
     "state_layouts",
+    "sweep_recipes",
+    "fault_points",
+    "trial_plans",
 ]
 
 
@@ -172,6 +175,70 @@ def state_layouts() -> st.SearchStrategy[str]:
     from repro.sim.vector import STATE_LAYOUTS
 
     return st.sampled_from(sorted(STATE_LAYOUTS))
+
+
+@st.composite
+def sweep_recipes(draw, experiment_ids=None):
+    """A :class:`repro.experiments.sharding.SweepRecipe` over the registry.
+
+    By default draws the experiment id from a fixed, registry-shaped pool
+    (``E1``..``E16``) rather than importing every experiment module —
+    fingerprint properties (determinism, sensitivity to each field) hold
+    for any id string.  Pass ``experiment_ids`` to restrict to runnable
+    experiments for end-to-end sweep properties.
+    """
+    from repro.experiments.sharding import SweepRecipe
+
+    pool = (
+        list(experiment_ids)
+        if experiment_ids is not None
+        else [f"E{index}" for index in range(1, 17)]
+    )
+    return SweepRecipe(
+        experiment_id=draw(st.sampled_from(pool)),
+        profile=draw(st.sampled_from(["quick", "full"])),
+        checked=draw(st.booleans()),
+        backend=draw(st.sampled_from([None, "scalar", "vector"])),
+    )
+
+
+@st.composite
+def fault_points(draw, max_ordinal: int = 64) -> str:
+    """A valid ``REPRO_FAULT_AT`` spec string.
+
+    Spans the whole grammar: all four kinds, explicit and defaulted
+    modes.  Feed to :func:`repro.experiments.sharding.parse_fault` or the
+    :func:`~repro.experiments.sharding.fault_injection` scope.  ``exit``
+    and ``kill`` modes are included — callers that can only survive
+    ``raise`` (in-process suites) should pass the spec through
+    ``parse_fault`` and filter on the mode, or draw with
+    ``fault_points().filter(lambda s: s.endswith(':raise'))``.
+    """
+    kind = draw(st.sampled_from(["trial", "call", "merge", "final"]))
+    parts = [kind]
+    if kind in ("trial", "call"):
+        parts.append(str(draw(st.integers(min_value=0, max_value=max_ordinal))))
+    explicit_mode = draw(st.booleans())
+    if explicit_mode:
+        parts.append(draw(st.sampled_from(["raise", "exit", "kill"])))
+    return ":".join(parts)
+
+
+def trial_plans(
+    max_calls: int = 6, max_call_size: int = 8
+) -> st.SearchStrategy[list]:
+    """Per-call trial counts shaped like a real sweep's ``map_trials`` calls.
+
+    The raw input to :func:`repro.experiments.sharding.trial_plan` /
+    :func:`~repro.experiments.sharding.shard_assignment` — a short list of
+    small call sizes (including empty calls, which real experiments
+    produce for degenerate parameter rungs).
+    """
+    return st.lists(
+        st.integers(min_value=0, max_value=max_call_size),
+        min_size=0,
+        max_size=max_calls,
+    )
 
 
 @st.composite

@@ -128,3 +128,42 @@ class TestDerivedProducts:
         hits_before = artifacts.stats()["hits"]
         artifacts.cached_conductance_profile(g)
         assert artifacts.stats()["hits"] == hits_before + 1
+
+
+class TestArtifactStore:
+    """The durable on-disk store: atomic visibility + integrity framing.
+
+    Deep durability coverage (every truncation prefix, bit flips, temp
+    hygiene) lives in ``test_sharding.py``; this checks the headline
+    contract from the cache's side: a torn write is *recomputed*, never
+    half-loaded.
+    """
+
+    def test_truncated_entry_recomputed_not_loaded(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        builds = []
+
+        def lookup():
+            cached = store.load("diameter")
+            if cached is None:
+                builds.append(1)
+                cached = 42  # stand-in for the expensive product
+                store.save("diameter", cached)
+            return cached
+
+        assert lookup() == 42 and len(builds) == 1
+        assert lookup() == 42 and len(builds) == 1  # second call: disk hit
+        # A killed writer's torn entry: keep only a prefix of the file.
+        path = store._path("diameter")
+        path.write_bytes(path.read_bytes()[:10])
+        assert lookup() == 42 and len(builds) == 2  # detected, recomputed
+        assert store.stats["corrupt"] == 1
+        assert lookup() == 42 and len(builds) == 2  # rewritten entry loads
+
+    def test_writes_are_atomic_under_crash(self, tmp_path):
+        # A write that dies before os.replace leaves only a temp file,
+        # which readers and listings never see.
+        store = artifacts.ArtifactStore(tmp_path)
+        (tmp_path / ".tmp-abandoned").write_bytes(b"repro-artifact/1\n partial")
+        assert store.list() == []
+        assert store.load("anything") is None

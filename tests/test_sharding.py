@@ -1,0 +1,415 @@
+"""Unit and property tests for repro.experiments.sharding.
+
+The sweep layer's correctness rests on a handful of pure functions —
+shard addressing, fault-spec parsing, recipe fingerprints, telemetry
+wire formats — plus the crash-safe store.  This suite pins them down;
+the end-to-end crash/resume matrix lives in ``test_sweep_resume.py``.
+"""
+
+import dataclasses
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError, FaultInjected
+from repro.experiments import artifacts, sharding
+from repro.experiments.sharding import (
+    ShardSpec,
+    SweepRecipe,
+    SweepStore,
+    fault_injection,
+    maybe_fault,
+    parse_fault,
+    parse_shard,
+    shard_assignment,
+    shard_of,
+    trial_plan,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    delta_from_wire,
+    delta_to_wire,
+)
+from repro.obs.profile import spans_from_wire, spans_to_wire
+from repro.testing import fault_points, sweep_recipes, trial_plans
+
+
+# ---------------------------------------------------------------------------
+# Recipes and fingerprints
+# ---------------------------------------------------------------------------
+class TestRecipeFingerprint:
+    def test_deterministic(self):
+        a = SweepRecipe("E6", "quick", checked=False, backend="scalar")
+        b = SweepRecipe("E6", "quick", checked=False, backend="scalar")
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"experiment_id": "E7"},
+            {"profile": "full"},
+            {"checked": True},
+            {"backend": "vector"},
+            {"backend": None},
+        ],
+    )
+    def test_sensitive_to_every_field(self, change):
+        base = SweepRecipe("E6", "quick", checked=False, backend="scalar")
+        other = dataclasses.replace(base, **change)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_none_backend_is_not_scalar(self):
+        # "ambient default" and "explicit scalar" must not share a store:
+        # equal behavior today is not a provenance guarantee.
+        assert (
+            SweepRecipe("E1", backend=None).fingerprint()
+            != SweepRecipe("E1", backend="scalar").fingerprint()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(recipe=sweep_recipes())
+    def test_fingerprint_is_hex_and_reproducible(self, recipe):
+        fingerprint = recipe.fingerprint()
+        assert fingerprint == recipe.fingerprint()
+        assert len(fingerprint) == 32
+        int(fingerprint, 16)
+
+
+# ---------------------------------------------------------------------------
+# Shard addressing
+# ---------------------------------------------------------------------------
+class TestShardSpec:
+    def test_parse_roundtrip(self):
+        assert parse_shard("2/5") == ShardSpec(2, 5)
+        assert str(ShardSpec(2, 5)) == "2/5"
+
+    @pytest.mark.parametrize("bad", ["", "3", "1/2/3", "a/2", "1/b", "-1/2", "2/2", "0/0"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_shard(bad)
+
+    def test_shard_of_rejects_bad_inputs(self):
+        with pytest.raises(ExperimentError):
+            shard_of(-1, 2)
+        with pytest.raises(ExperimentError):
+            shard_of(0, 0)
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(call_sizes=trial_plans(), count=st.integers(min_value=1, max_value=7))
+    def test_shards_are_a_disjoint_cover(self, call_sizes, count):
+        plan = trial_plan(call_sizes)
+        pieces = [
+            shard_assignment(call_sizes, ShardSpec(index, count))
+            for index in range(count)
+        ]
+        # Disjoint: no trial appears in two shards.  Cover: together they
+        # are exactly the plan (order-preserving within each shard).
+        merged = sorted(itertools.chain.from_iterable(pieces))
+        assert merged == plan
+        seen = set()
+        for piece in pieces:
+            assert seen.isdisjoint(piece)
+            seen.update(piece)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        call_sizes=trial_plans(),
+        k1=st.integers(min_value=1, max_value=7),
+        k2=st.integers(min_value=1, max_value=7),
+    )
+    def test_addresses_stable_under_shard_count_changes(self, call_sizes, k1, k2):
+        # The (ordinal, call, item) address of every trial is independent
+        # of how many shards split the sweep — records written under one
+        # k are valid under any other.
+        union1 = sorted(
+            itertools.chain.from_iterable(
+                shard_assignment(call_sizes, ShardSpec(i, k1)) for i in range(k1)
+            )
+        )
+        union2 = sorted(
+            itertools.chain.from_iterable(
+                shard_assignment(call_sizes, ShardSpec(i, k2)) for i in range(k2)
+            )
+        )
+        assert union1 == union2 == trial_plan(call_sizes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(call_sizes=trial_plans(), count=st.integers(min_value=1, max_value=7))
+    def test_round_robin_balance(self, call_sizes, count):
+        plan = trial_plan(call_sizes)
+        loads = [
+            len(shard_assignment(call_sizes, ShardSpec(index, count)))
+            for index in range(count)
+        ]
+        assert sum(loads) == len(plan)
+        assert max(loads) - min(loads) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Telemetry deltas: wire round-trips and order-insensitive merging
+# ---------------------------------------------------------------------------
+def _sample_registry(seed: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("trials_total", "count")
+    counter.inc(kind="a", amount=seed + 1)
+    counter.inc(kind="b", amount=2 * seed + 1)
+    registry.gauge("peak_bytes", "peak").set_max(100 * (seed + 1))
+    histogram = registry.histogram("rounds", "rounds", buckets=(1, 2, 4, 8))
+    for value in range(seed + 2):
+        histogram.observe(value)
+    return registry
+
+
+class TestWireFormats:
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_metrics_delta_roundtrip(self, seed):
+        delta = _sample_registry(seed).since({})
+        assert delta_from_wire(delta_to_wire(delta)) == delta
+
+    def test_metrics_wire_is_json_native(self):
+        import json
+
+        wire = delta_to_wire(_sample_registry(3).since({}))
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_spans_roundtrip(self):
+        delta = {"harness.trial": (3, 1.5, 0.9), "experiment.E6": (1, 2.0, 2.0)}
+        assert spans_from_wire(spans_to_wire(delta)) == delta
+
+    @settings(max_examples=30, deadline=None)
+    @given(order=st.permutations(list(range(4))))
+    def test_merge_is_order_insensitive(self, order):
+        # Shards complete in arbitrary order; the coordinator's merged
+        # registry must not depend on which finished first.
+        deltas = [_sample_registry(seed).since({}) for seed in range(4)]
+        reference = MetricsRegistry()
+        for delta in deltas:
+            reference.merge(delta)
+        permuted = MetricsRegistry()
+        for index in order:
+            permuted.merge(delta_from_wire(delta_to_wire(deltas[index])))
+        assert permuted.collect() == reference.collect()
+
+
+# ---------------------------------------------------------------------------
+# Fault parsing and injection
+# ---------------------------------------------------------------------------
+class TestFaults:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("trial:0", ("trial", 0, "raise")),
+            ("trial:7:kill", ("trial", 7, "kill")),
+            ("call:2:exit", ("call", 2, "exit")),
+            ("merge", ("merge", None, "raise")),
+            ("final:kill", ("final", None, "kill")),
+        ],
+    )
+    def test_parse(self, spec, expected):
+        assert parse_fault(spec) == expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "boom",
+            "trial",
+            "trial:x",
+            "trial:-1",
+            "trial:1:explode",
+            "merge:3",
+            "final:0:raise",
+            "trial:1:raise:extra",
+        ],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_fault(bad)
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=fault_points())
+    def test_strategy_only_emits_parseable_specs(self, spec):
+        kind, ordinal, mode = parse_fault(spec)
+        assert kind in ("trial", "call", "merge", "final")
+        assert mode in ("raise", "exit", "kill")
+
+    def test_scope_sets_and_restores_env(self):
+        assert os.environ.get("REPRO_FAULT_AT") is None
+        with fault_injection("merge"):
+            assert os.environ["REPRO_FAULT_AT"] == "merge"
+        assert os.environ.get("REPRO_FAULT_AT") is None
+
+    def test_scope_restores_on_fault(self):
+        with pytest.raises(FaultInjected):
+            with fault_injection("trial:3"):
+                maybe_fault("trial", 3)
+        assert os.environ.get("REPRO_FAULT_AT") is None
+
+    def test_scope_validates_eagerly(self):
+        with pytest.raises(ExperimentError):
+            with fault_injection("nonsense"):
+                pass
+
+    def test_non_matching_points_pass_through(self):
+        with fault_injection("trial:3"):
+            maybe_fault("trial", 2)
+            maybe_fault("call", 3)
+            maybe_fault("merge")
+
+    def test_unarmed_is_a_noop(self):
+        maybe_fault("trial", 0)
+        maybe_fault("merge")
+
+
+# ---------------------------------------------------------------------------
+# The sweep store
+# ---------------------------------------------------------------------------
+class TestSweepStore:
+    def test_trial_roundtrip(self, tmp_path):
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        spans = {"harness.trial": (1, 0.5, 0.5)}
+        metrics = _sample_registry(1).since({})
+        store.save_trial(0, 2, {"rounds": 7}, spans, metrics, item_value=(1, 2))
+        record = store.load_trial(0, 2, item_value=(1, 2))
+        assert record == {"result": {"rounds": 7}, "spans": spans, "metrics": metrics}
+
+    def test_item_digest_mismatch_is_a_miss(self, tmp_path):
+        # The experiment changed what it maps over: stale records must be
+        # recomputed, not served for the wrong input.
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        store.save_trial(0, 0, "result", {}, {}, item_value=(1, 2))
+        assert store.load_trial(0, 0, item_value=(1, 3)) is None
+        assert store.load_trial(0, 0, item_value=(1, 2)) is not None
+
+    def test_missing_trial_is_none(self, tmp_path):
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        assert store.load_trial(0, 0, item_value=0) is None
+
+    def test_completed_trials_sorted(self, tmp_path):
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        for call, item in [(2, 0), (0, 1), (0, 0)]:
+            store.save_trial(call, item, None, {}, {}, item_value=(call, item))
+        assert store.completed_trials() == [(0, 0), (0, 1), (2, 0)]
+
+    def test_distinct_recipes_distinct_directories(self, tmp_path):
+        a = SweepStore(tmp_path, SweepRecipe("E1"))
+        b = SweepStore(tmp_path, SweepRecipe("E2"))
+        a.save_trial(0, 0, "a", {}, {}, item_value=0)
+        assert b.load_trial(0, 0, item_value=0) is None
+        assert a.path != b.path
+
+    def test_truncated_record_is_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        store.save_trial(0, 0, "payload", {}, {}, item_value=0)
+        path = store.artifacts._path(SweepStore.trial_name(0, 0))
+        path.write_bytes(path.read_bytes()[:-5])
+        assert store.load_trial(0, 0, item_value=0) is None
+        assert store.artifacts.stats["corrupt"] == 1
+
+    def test_clear_keeps_recipe_marker(self, tmp_path):
+        store = SweepStore(tmp_path, SweepRecipe("E1"))
+        store.save_trial(0, 0, "x", {}, {}, item_value=0)
+        store.clear()
+        assert store.completed_trials() == []
+        assert store.artifacts.load_json("recipe")["experiment_id"] == "E1"
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore durability (the satellite fix: atomic writes + framing)
+# ---------------------------------------------------------------------------
+class TestArtifactStoreDurability:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save("entry", {"value": [1, 2, 3]})
+        assert store.load("entry") == {"value": [1, 2, 3]}
+        assert store.stats["saved"] == 1 and store.stats["loaded"] == 1
+
+    def test_missing_returns_default(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        assert store.load("ghost", default="fallback") == "fallback"
+        assert store.stats["missing"] == 1
+
+    @pytest.mark.parametrize("keep", [0, 5, 17, 40])
+    def test_any_prefix_truncation_is_detected(self, tmp_path, keep):
+        # A killed writer on a non-atomic filesystem (or a torn copy)
+        # leaves a prefix; every prefix length must fail verification.
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save("entry", list(range(100)))
+        path = store._path("entry")
+        data = path.read_bytes()
+        assert keep < len(data)
+        path.write_bytes(data[:keep])
+        assert store.load("entry", default="recompute") == "recompute"
+        assert store.stats["corrupt"] == 1
+
+    def test_flipped_payload_byte_is_detected(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save("entry", "payload")
+        path = store._path("entry")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.load("entry") is None
+        assert store.stats["corrupt"] == 1
+
+    def test_temp_files_invisible_and_cleared(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save("entry", 1)
+        (tmp_path / ".tmp-orphan").write_bytes(b"half a write")
+        assert store.list() == ["entry"]
+        store.clear()
+        assert store.list() == []
+        assert not (tmp_path / ".tmp-orphan").exists()
+
+    def test_list_prefix_and_delete(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        for name in ["a-1", "a-2", "b-1"]:
+            store.save(name, name)
+        assert store.list("a-") == ["a-1", "a-2"]
+        assert store.delete("a-1") is True
+        assert store.delete("a-1") is False
+        assert store.list() == ["a-2", "b-1"]
+
+    def test_json_roundtrip_and_corruption(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save_json("doc", {"k": [1, "two"]})
+        assert store.load_json("doc") == {"k": [1, "two"]}
+        path = store._path("doc")
+        path.write_bytes(path.read_bytes()[: len(b"repro-artifact/1\n") + 10])
+        assert store.load_json("doc", default={}) == {}
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden"])
+    def test_invalid_names_rejected(self, tmp_path, bad):
+        store = artifacts.ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save(bad, 1)
+
+
+# ---------------------------------------------------------------------------
+# Reentrancy guard
+# ---------------------------------------------------------------------------
+class TestScope:
+    def test_nested_activation_rejected(self, tmp_path):
+        scope = sharding.SweepScope(
+            SweepStore(tmp_path, SweepRecipe("E1")), ShardSpec(0, 1)
+        )
+        with scope.activate():
+            with pytest.raises(ExperimentError):
+                with scope.activate():
+                    pass
+        assert sharding.active_sweep() is None
+
+    def test_suspended_scope_not_returned(self, tmp_path):
+        scope = sharding.SweepScope(
+            SweepStore(tmp_path, SweepRecipe("E1")), ShardSpec(0, 1)
+        )
+        with scope.activate():
+            assert sharding.active_sweep() is scope
+            with scope._suspend():
+                assert sharding.active_sweep() is None
+            assert sharding.active_sweep() is scope

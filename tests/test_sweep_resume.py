@@ -1,0 +1,375 @@
+"""Crash-resume bit-identity suite for sharded sweeps.
+
+The contract under test: a sweep killed at *any* injected fault point
+and resumed with ``run_sweep(..., resume=True)`` produces an
+:class:`ExperimentTable` whose canonical bytes (rows, conclusion,
+merged metrics — everything but the environment-dependent manifest) and
+whose profiling-span *counts* are identical to an uninterrupted run;
+and ``--shard i/k`` runs on independent processes merge to the serial
+result bit-identically.
+
+The in-process matrix uses ``raise``-mode faults (the store state at a
+``raise`` is identical to a SIGKILL at the same point — persistence
+happens before the fault check fires for the *next* trial, and writes
+are atomic); the subprocess tests then cover the real ``kill``/``exit``
+modes through the ``repro sweep`` CLI.
+
+Experiments in the matrix (E1, E13) have cache-free trials: a trial
+that warms the in-process artifact cache shifts hit/miss counters
+between a cold resumed process and a warm uninterrupted one, exactly as
+the existing ``REPRO_JOBS`` equivalence suite is scoped around.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.errors import ExperimentError, FaultInjected
+from repro.experiments import (
+    ShardSpec,
+    SweepRecipe,
+    artifacts,
+    run_experiment,
+    run_sweep,
+    sweep_status,
+    table_to_json,
+)
+from repro.experiments.sharding import SweepStore, fault_injection
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def clean_world():
+    """Each case starts from a cold process-global state, like a fresh run."""
+    obs.reset_metrics()
+    obs.reset_spans()
+    artifacts.clear()
+    yield
+    obs.reset_metrics()
+    obs.reset_spans()
+    artifacts.clear()
+
+
+def _reset_world():
+    obs.reset_metrics()
+    obs.reset_spans()
+    artifacts.clear()
+
+
+def _span_counts() -> dict[str, int]:
+    return {
+        name: aggregate["count"]
+        for name, aggregate in obs.span_aggregates().items()
+    }
+
+
+def _clean_reference(experiment_id: str):
+    """Canonical bytes + span counts of an uninterrupted plain run."""
+    _reset_world()
+    table = run_experiment(experiment_id, "quick", backend="scalar")
+    return table_to_json(table), _span_counts()
+
+
+# ---------------------------------------------------------------------------
+# The kill-point matrix (in-process, raise-mode faults)
+# ---------------------------------------------------------------------------
+# Fault points chosen to hit every structural position in the DAG:
+# the very first persist, a mid-shard trial, a late trial, a map_trials
+# call boundary, and the post-experiment merge step.  E1 (quick) runs 40
+# trials over 8 calls; E13 runs 4 trials in one call — points are picked
+# per experiment so each one actually fires.
+KILL_MATRIX = [
+    ("E1", "trial:0"),
+    ("E1", "trial:5"),
+    ("E1", "trial:17"),
+    ("E1", "call:2"),
+    ("E1", "merge"),
+    ("E13", "trial:0"),
+    ("E13", "trial:2"),
+    ("E13", "trial:3"),
+    ("E13", "call:0"),
+    ("E13", "merge"),
+]
+
+
+@pytest.mark.parametrize("experiment_id,fault", KILL_MATRIX)
+def test_resume_after_kill_is_bit_identical(tmp_path, experiment_id, fault):
+    clean_bytes, clean_spans = _clean_reference(experiment_id)
+
+    _reset_world()
+    with pytest.raises(FaultInjected):
+        with fault_injection(fault):
+            run_sweep(
+                experiment_id, "quick", backend="scalar", store_root=tmp_path
+            )
+
+    _reset_world()
+    result = run_sweep(
+        experiment_id, "quick", backend="scalar", store_root=tmp_path, resume=True
+    )
+    assert table_to_json(result.table) == clean_bytes
+    assert _span_counts() == clean_spans
+    # The interrupted run's progress was actually reused, not recomputed
+    # (except at trial:0, where nothing was persisted before the fault).
+    if fault != "trial:0":
+        assert result.report.trials_loaded > 0
+
+
+def test_resume_after_merge_fault_loads_everything(tmp_path):
+    # A fault at "merge" interrupts after every trial persisted: the
+    # resume must compute nothing at all.
+    clean_bytes, _ = _clean_reference("E1")
+    _reset_world()
+    with pytest.raises(FaultInjected):
+        with fault_injection("merge"):
+            run_sweep("E1", "quick", backend="scalar", store_root=tmp_path)
+    _reset_world()
+    result = run_sweep(
+        "E1", "quick", backend="scalar", store_root=tmp_path, resume=True
+    )
+    assert result.report.trials_computed == 0
+    assert table_to_json(result.table) == clean_bytes
+
+
+def test_repeated_kills_then_resume(tmp_path):
+    # Crash, resume into another crash further along, resume again: the
+    # store accretes monotonically and the final table is still exact.
+    clean_bytes, clean_spans = _clean_reference("E1")
+    for fault in ["trial:3", "trial:11", "call:4"]:
+        _reset_world()
+        with pytest.raises(FaultInjected):
+            with fault_injection(fault):
+                run_sweep("E1", "quick", backend="scalar", store_root=tmp_path)
+    _reset_world()
+    result = run_sweep(
+        "E1", "quick", backend="scalar", store_root=tmp_path, resume=True
+    )
+    assert table_to_json(result.table) == clean_bytes
+    assert _span_counts() == clean_spans
+
+
+def test_completed_sweep_resumes_from_stored_table(tmp_path):
+    clean_bytes, _ = _clean_reference("E1")
+    _reset_world()
+    first = run_sweep("E1", "quick", backend="scalar", store_root=tmp_path)
+    assert table_to_json(first.table) == clean_bytes
+    _reset_world()
+    again = run_sweep(
+        "E1", "quick", backend="scalar", store_root=tmp_path, resume=True
+    )
+    assert again.report.trials_computed == 0
+    assert table_to_json(again.table) == clean_bytes
+
+
+def test_resume_with_empty_store_is_an_error(tmp_path):
+    with pytest.raises(ExperimentError, match="nothing to resume"):
+        run_sweep("E1", "quick", backend="scalar", store_root=tmp_path, resume=True)
+
+
+def test_resume_rejects_sharding(tmp_path):
+    with pytest.raises(ExperimentError, match="coordinator"):
+        run_sweep(
+            "E1",
+            "quick",
+            backend="scalar",
+            store_root=tmp_path,
+            resume=True,
+            shard=ShardSpec(0, 2),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sharded runs merging to the serial result
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("count", [2, 3])
+def test_shards_merge_to_serial_result(tmp_path, count):
+    clean_bytes, clean_spans = _clean_reference("E6")
+    for index in range(count):
+        _reset_world()
+        piece = run_sweep(
+            "E6",
+            "quick",
+            backend="scalar",
+            store_root=tmp_path,
+            shard=ShardSpec(index, count),
+        )
+        assert piece.table is None
+        assert piece.report.trials_computed > 0
+    _reset_world()
+    merged = run_sweep("E6", "quick", backend="scalar", store_root=tmp_path)
+    assert merged.report.trials_computed == 0
+    assert merged.report.trials_borrowed == 0
+    assert table_to_json(merged.table) == clean_bytes
+    assert _span_counts() == clean_spans
+
+
+def test_sequential_shards_load_instead_of_borrowing(tmp_path):
+    # Shard 1 running after shard 0 against the same store should load
+    # shard 0's records rather than recompute ("borrow") them.
+    _reset_world()
+    first = run_sweep(
+        "E6", "quick", backend="scalar", store_root=tmp_path, shard=ShardSpec(0, 2)
+    )
+    _reset_world()
+    second = run_sweep(
+        "E6", "quick", backend="scalar", store_root=tmp_path, shard=ShardSpec(1, 2)
+    )
+    assert second.report.trials_loaded == first.report.trials_computed
+    assert second.report.trials_borrowed == 0
+
+
+def test_shard_killed_then_rerun_then_merge(tmp_path):
+    clean_bytes, _ = _clean_reference("E6")
+    _reset_world()
+    with pytest.raises(FaultInjected):
+        with fault_injection("trial:4"):
+            run_sweep(
+                "E6",
+                "quick",
+                backend="scalar",
+                store_root=tmp_path,
+                shard=ShardSpec(0, 2),
+            )
+    for index in range(2):
+        _reset_world()
+        run_sweep(
+            "E6",
+            "quick",
+            backend="scalar",
+            store_root=tmp_path,
+            shard=ShardSpec(index, 2),
+        )
+    _reset_world()
+    merged = run_sweep("E6", "quick", backend="scalar", store_root=tmp_path)
+    assert table_to_json(merged.table) == clean_bytes
+
+
+# ---------------------------------------------------------------------------
+# Store damage between runs
+# ---------------------------------------------------------------------------
+def test_truncated_trial_record_is_recomputed(tmp_path):
+    clean_bytes, _ = _clean_reference("E1")
+    _reset_world()
+    with pytest.raises(FaultInjected):
+        with fault_injection("merge"):
+            run_sweep("E1", "quick", backend="scalar", store_root=tmp_path)
+    # Maul one record the way a torn write would: keep a prefix.
+    recipe = SweepRecipe("E1", "quick", backend="scalar")
+    store = SweepStore(tmp_path, recipe)
+    name = SweepStore.trial_name(0, 0)
+    path = store.artifacts._path(name)
+    path.write_bytes(path.read_bytes()[:20])
+    _reset_world()
+    result = run_sweep(
+        "E1", "quick", backend="scalar", store_root=tmp_path, resume=True
+    )
+    assert result.report.trials_computed == 1
+    assert table_to_json(result.table) == clean_bytes
+
+
+def test_status_reports_progress(tmp_path):
+    _reset_world()
+    with pytest.raises(FaultInjected):
+        with fault_injection("trial:5"):
+            run_sweep("E1", "quick", backend="scalar", store_root=tmp_path)
+    status = sweep_status("E1", "quick", backend="scalar", store_root=tmp_path)
+    assert status["trials_completed"] == 5
+    assert status["table_stored"] is False
+    _reset_world()
+    run_sweep("E1", "quick", backend="scalar", store_root=tmp_path, resume=True)
+    status = sweep_status("E1", "quick", backend="scalar", store_root=tmp_path)
+    assert status["table_stored"] is True
+
+
+# ---------------------------------------------------------------------------
+# Real process deaths through the CLI (kill / exit modes)
+# ---------------------------------------------------------------------------
+def _run_cli(*argv: str, env_extra=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_FAULT_AT", None)
+    env.pop("REPRO_JOBS", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_cli_sigkill_then_resume_bytes_match_clean_run(tmp_path):
+    store = str(tmp_path / "store")
+    killed = _run_cli(
+        "E1", "--store", store, env_extra={"REPRO_FAULT_AT": "trial:2:kill"}
+    )
+    assert killed.returncode == -9
+    resumed_path = tmp_path / "resumed.json"
+    resumed = _run_cli(
+        "E1", "--store", store, "--resume", "--export", str(resumed_path)
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "loaded=2" in resumed.stdout
+    clean_path = tmp_path / "clean.json"
+    clean = _run_cli(
+        "E1", "--store", str(tmp_path / "clean-store"), "--export", str(clean_path)
+    )
+    assert clean.returncode == 0, clean.stderr
+    assert resumed_path.read_bytes() == clean_path.read_bytes()
+
+
+def test_cli_exit_mode_statuses(tmp_path):
+    store = str(tmp_path / "store")
+    died = _run_cli(
+        "E1", "--store", store, env_extra={"REPRO_FAULT_AT": "call:1:exit"}
+    )
+    assert died.returncode == 70
+    raised = _run_cli(
+        "E1",
+        "--store",
+        str(tmp_path / "other"),
+        env_extra={"REPRO_FAULT_AT": "merge:raise"},
+    )
+    assert raised.returncode == 2
+    assert "injected fault at merge" in raised.stderr
+
+
+def test_cli_kill_after_table_stored_resumes_instantly(tmp_path):
+    # "final" fires after the table is persisted: the resume finds the
+    # finished sweep and runs zero trials.
+    store = str(tmp_path / "store")
+    killed = _run_cli(
+        "E1", "--store", store, env_extra={"REPRO_FAULT_AT": "final:kill"}
+    )
+    assert killed.returncode == -9
+    resumed = _run_cli("E1", "--store", store, "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    assert "computed=0 loaded=0" in resumed.stdout
+
+
+def test_cli_parallel_sweep_matches_serial(tmp_path):
+    # REPRO_JOBS inside a sweep uses the pool path for pending trials;
+    # the canonical bytes must not notice.
+    serial_path = tmp_path / "serial.json"
+    pooled_path = tmp_path / "pooled.json"
+    serial = _run_cli(
+        "E1", "--store", str(tmp_path / "s1"), "--export", str(serial_path)
+    )
+    assert serial.returncode == 0, serial.stderr
+    pooled = _run_cli(
+        "E1",
+        "--store",
+        str(tmp_path / "s2"),
+        "--export",
+        str(pooled_path),
+        env_extra={"REPRO_JOBS": "2"},
+    )
+    assert pooled.returncode == 0, pooled.stderr
+    assert serial_path.read_bytes() == pooled_path.read_bytes()
